@@ -1,0 +1,185 @@
+package storm
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section V). Each benchmark runs the corresponding experiment
+// from internal/experiments and reports the paper's headline ratios as
+// custom metrics, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation. These are macro-benchmarks — run them with -benchtime=1x for
+// a single full pass (the default time-based iteration also works; each
+// iteration is one complete experiment).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// benchOps keeps each iteration fast while preserving the shapes.
+const benchOps = 80
+
+func BenchmarkFigure4RoutingIOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RoutingOverhead(experiments.Options{FioOps: benchOps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].NormIOPS(), "norm4K")
+		b.ReportMetric(rows[len(rows)-1].NormIOPS(), "norm256K")
+	}
+}
+
+func BenchmarkFigure7RoutingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RoutingOverhead(experiments.Options{FioOps: benchOps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].NormLatency(), "latnorm4K")
+		b.ReportMetric(rows[len(rows)-1].NormLatency(), "latnorm256K")
+	}
+}
+
+func BenchmarkFigure5ProcessingIOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ProcessingOverheadBySize(experiments.Options{FioOps: benchOps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].NormIOPS(experiments.MBActive), "act4K")
+		b.ReportMetric(rows[len(rows)-1].NormIOPS(experiments.MBActive), "act256K")
+		b.ReportMetric(rows[len(rows)-1].NormIOPS(experiments.MBPassive), "pas256K")
+	}
+}
+
+func BenchmarkFigure8ProcessingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ProcessingOverheadBySize(experiments.Options{FioOps: benchOps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].NormLatency(experiments.MBActive), "actlat256K")
+		b.ReportMetric(rows[len(rows)-1].NormLatency(experiments.MBPassive), "paslat256K")
+	}
+}
+
+func BenchmarkFigure6ThreadsIOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ProcessingOverheadByThreads(experiments.Options{FioOps: benchOps / 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].NormIOPS(experiments.MBActive), "act4t")
+		b.ReportMetric(rows[len(rows)-1].NormIOPS(experiments.MBActive), "act32t")
+	}
+}
+
+func BenchmarkFigure9ThreadsLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ProcessingOverheadByThreads(experiments.Options{FioOps: benchOps / 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].NormLatency(experiments.MBActive), "actlat4t")
+		b.ReportMetric(rows[len(rows)-1].NormLatency(experiments.MBActive), "actlat32t")
+	}
+}
+
+func BenchmarkFigure10CPUBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CPUBreakdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Total*100, "tenant-total-%")
+		b.ReportMetric(rows[1].Total*100, "mb-total-%")
+		b.ReportMetric(rows[1].Total/rows[0].Total, "mb/tenant")
+	}
+}
+
+func BenchmarkFigure11PostMark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunPostmarkComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.MiddleBox.CreateOpsPerSec/cmp.TenantSide.CreateOpsPerSec, "create-x")
+		b.ReportMetric(cmp.MiddleBox.ReadOpsPerSec/cmp.TenantSide.ReadOpsPerSec, "read-x")
+	}
+}
+
+func BenchmarkFigure13ReplicaTPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunReplication(1500 * time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Avg3RBefore/rep.Avg1R, "3R/1R")
+		b.ReportMetric(rep.Avg3RAfter/rep.Avg3RBefore, "after/before")
+		b.ReportMetric(float64(rep.Errors3R), "failover-errs")
+	}
+}
+
+func BenchmarkTableIReconstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Log)), "log-entries")
+	}
+}
+
+func BenchmarkTableIIIMalware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		steps, log, err := experiments.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(steps)), "steps")
+		b.ReportMetric(float64(len(log)), "events")
+	}
+}
+
+func BenchmarkAblationGatewayPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationGatewayPlacement(benchOps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		legacy := rows[0].Latency
+		b.ReportMetric(float64(rows[1].Latency-legacy)/float64(time.Microsecond), "worst-ovh-us")
+		b.ReportMetric(float64(rows[len(rows)-1].Latency-legacy)/float64(time.Microsecond), "coloc-ovh-us")
+	}
+}
+
+func BenchmarkAblationChainLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationChainLength(benchOps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].Latency-rows[0].Latency)/float64(time.Microsecond)/3,
+			"per-mb-us")
+	}
+}
+
+func BenchmarkAblationJournalCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationJournalCapacity(benchOps / 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].IOPS/rows[0].IOPS, "big/small")
+	}
+}
+
+func BenchmarkAblationReplicaFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationReplicaFactor(500 * time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].IOPS/rows[0].IOPS, "4R/2R")
+	}
+}

@@ -1,0 +1,155 @@
+// Command stormbench regenerates every table and figure of the paper's
+// evaluation (Section V) against the simulated testbed, printing the same
+// rows and series the paper reports. Absolute numbers reflect the scaled
+// cost model; the shapes (who wins, by roughly what factor, where the
+// crossovers fall) are the reproduction targets — see EXPERIMENTS.md.
+//
+// Usage:
+//
+//	stormbench                 # run everything
+//	stormbench -fig 4          # one figure (4,5,6,7,8,9,10,11,13)
+//	stormbench -table 1        # one table (1 or 3)
+//	stormbench -ablations      # the design-choice sweeps
+//	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "run a single figure (4-11, 13); 0 = all")
+		table     = flag.Int("table", 0, "run a single table (1 or 3); 0 = all")
+		ablations = flag.Bool("ablations", false, "run only the ablation sweeps")
+		ops       = flag.Int("ops", 150, "fio operations per data point")
+		repDur    = flag.Duration("repdur", 3*time.Second, "replication run duration")
+	)
+	flag.Parse()
+	if err := run(*fig, *table, *ablations, *ops, *repDur); err != nil {
+		fmt.Fprintln(os.Stderr, "stormbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) error {
+	opts := experiments.Options{FioOps: ops}
+	all := fig == 0 && table == 0 && !ablationsOnly
+
+	section := func(title string) {
+		fmt.Printf("\n================ %s ================\n", title)
+	}
+
+	if ablationsOnly || all {
+		defer func() {
+			section("Ablations (design choices)")
+			if rows, err := experiments.AblationGatewayPlacement(ops); err == nil {
+				fmt.Print(experiments.FormatAblation("gateway placement (16K, 1 thread)", rows))
+			} else {
+				fmt.Println("gateway placement failed:", err)
+			}
+			if rows, err := experiments.AblationChainLength(ops); err == nil {
+				fmt.Print(experiments.FormatAblation("chain length (forward MBs on path)", rows))
+			} else {
+				fmt.Println("chain length failed:", err)
+			}
+			if rows, err := experiments.AblationJournalCapacity(ops / 2); err == nil {
+				fmt.Print(experiments.FormatAblation("active-relay journal capacity (write-heavy)", rows))
+			} else {
+				fmt.Println("journal capacity failed:", err)
+			}
+			if rows, err := experiments.AblationReplicaFactor(repDur / 3); err == nil {
+				fmt.Print(experiments.FormatAblation("replication factor (OLTP TPS)", rows))
+			} else {
+				fmt.Println("replica factor failed:", err)
+			}
+		}()
+		if ablationsOnly {
+			return nil
+		}
+	}
+
+	if all || fig == 4 || fig == 7 {
+		section("Figures 4 & 7: traffic redirection overhead (LEGACY vs MB-FWD)")
+		fmt.Println("paper: norm IOPS 0.93/0.86/0.83/0.82; norm latency 1.08/1.22/1.25/1.30")
+		rows, err := experiments.RoutingOverhead(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRoutingTable(rows))
+	}
+
+	if all || fig == 5 || fig == 8 {
+		section("Figures 5 & 8: middle-box processing overhead by I/O size")
+		fmt.Println("paper: active norm IOPS 1.01/1.00/1.06/1.14; active norm latency 0.98/1.01/0.94/0.89")
+		rows, err := experiments.ProcessingOverheadBySize(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatProcessingTable(rows, false))
+	}
+
+	if all || fig == 6 || fig == 9 {
+		section("Figures 6 & 9: middle-box processing overhead by thread count (16K)")
+		fmt.Println("paper: active norm IOPS 1.06/1.10/1.27/1.39; active norm latency 0.95/0.91/0.79/0.70")
+		rows, err := experiments.ProcessingOverheadByThreads(experiments.Options{FioOps: ops / 2})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatProcessingTable(rows, true))
+	}
+
+	if all || fig == 10 {
+		section("Figure 10: CPU utilization breakdown (FTP, AES-256)")
+		fmt.Println("paper: tenant-side 85%+24.4%; middle-box 25.1%+37.1%+25% (~20% total savings)")
+		rows, err := experiments.CPUBreakdown()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCPUTable(rows))
+	}
+
+	if all || fig == 11 {
+		section("Figure 11: PostMark with tenant-side vs middle-box encryption")
+		fmt.Println("paper: middle-box improves every component by 23-34%")
+		cmp, err := experiments.RunPostmarkComparison()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPostmarkTable(cmp))
+	}
+
+	if all || fig == 12 || fig == 13 {
+		section("Figure 13: MySQL stand-in TPS with replica failure")
+		fmt.Println("paper: 3 replicas ~1.8x one store; slight drop after a replica fails; service continues")
+		rep, err := experiments.RunReplication(repDur)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatReplicationRun(rep))
+	}
+
+	if all || table == 1 {
+		section("Tables I & II: semantics reconstruction")
+		res, err := experiments.TableI()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatReconstruction(res, 60))
+	}
+
+	if all || table == 3 {
+		section("Table III: backdoor malware installation footprint")
+		steps, log, err := experiments.TableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMalware(steps, log))
+	}
+	return nil
+}

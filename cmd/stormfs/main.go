@@ -1,0 +1,110 @@
+// Command stormfs demonstrates the semantics reconstruction pipeline in
+// isolation (Section III-C): it formats an in-memory volume with the
+// ext-style file system, dumps the initial high-level system view (the
+// dumpe2fs analogue), replays a set of tenant file operations through a
+// monitored device, and prints the reconstructed block-level access log —
+// the Table I / Table II demonstration.
+//
+// Usage:
+//
+//	stormfs            # the paper's synthetic scenario
+//	stormfs -view      # also print the initial system view
+//	stormfs -max 50    # cap the printed log
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blockdev"
+	"repro/internal/extfs"
+	"repro/internal/services/monitor"
+)
+
+func main() {
+	var (
+		showView = flag.Bool("view", false, "print the initial system view")
+		maxRows  = flag.Int("max", 80, "maximum log rows to print (0 = all)")
+	)
+	flag.Parse()
+	if err := run(*showView, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "stormfs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(showView bool, maxRows int) error {
+	disk, err := blockdev.NewMemDisk(512, 262144) // 128 MiB
+	if err != nil {
+		return err
+	}
+
+	// Build the Section V-B1 layout: /mnt/box/name0..name9 each holding
+	// 1.img..10.img.
+	fs, err := extfs.Mkfs(disk, extfs.Options{})
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll("/mnt/box"); err != nil {
+		return err
+	}
+	for d := 0; d < 10; d++ {
+		dir := fmt.Sprintf("/mnt/box/name%d", d)
+		if err := fs.Mkdir(dir); err != nil {
+			return err
+		}
+		for f := 1; f <= 10; f++ {
+			if err := fs.WriteFile(fmt.Sprintf("%s/%d.img", dir, f),
+				bytes.Repeat([]byte{byte(f)}, 4096)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The platform-side dump at attach time.
+	view, err := fs.Dump()
+	if err != nil {
+		return err
+	}
+	if showView {
+		fmt.Println("initial high-level system view:")
+		fmt.Print(view.String())
+		fmt.Println()
+	}
+
+	// Re-mount through the monitor's tap, as the middle-box observes the
+	// volume, and replay the Table II operations.
+	mon := monitor.New(view)
+	tapped, err := mon.Service()(disk)
+	if err != nil {
+		return err
+	}
+	fs2, err := extfs.Mount(tapped)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("file operations in the tenant VM (Table II):")
+	fmt.Println("  1*  write /mnt/box/name1/1.img 4096")
+	fmt.Println("  2** read  /mnt/box/name9/7.img 4096")
+	if err := fs2.WriteAt("/mnt/box/name1/1.img", bytes.Repeat([]byte{0x5A}, 4096), 0); err != nil {
+		return err
+	}
+	if _, err := fs2.ReadFile("/mnt/box/name9/7.img"); err != nil {
+		return err
+	}
+
+	log := mon.Log()
+	fmt.Printf("\nreconstructed block-level access log (Table I, %d entries):\n", len(log))
+	fmt.Printf("%-6s %-6s %s\n", "ID", "op", "file/size")
+	for i, e := range log {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Printf("... (%d more)\n", len(log)-i)
+			break
+		}
+		fmt.Println(e.String())
+	}
+	return nil
+}

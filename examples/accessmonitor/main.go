@@ -1,0 +1,110 @@
+// Command accessmonitor demonstrates the storage access monitor case study
+// (Section V-B1): a tenant deploys a monitoring middle-box for a volume,
+// marks sensitive directories, and the middle-box reconstructs file-level
+// operations from raw block traffic — including the installation footprint
+// of a Linux backdoor replayed inside the (assumed compromised) VM.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	storm "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cloud, err := storm.NewCloud(storm.CloudConfig{})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	platform := storm.NewPlatform(cloud)
+
+	vm, err := cloud.LaunchVM("vm1", "")
+	if err != nil {
+		return err
+	}
+	vol, err := cloud.Volumes.Create("rootfs", 128<<20)
+	if err != nil {
+		return err
+	}
+
+	// The tenant formats the volume over the legacy path and installs a
+	// little system tree.
+	dev, err := cloud.AttachVolume(vm, vol.ID)
+	if err != nil {
+		return err
+	}
+	fs, err := storm.Mkfs(dev, storm.FSOptions{})
+	if err != nil {
+		return err
+	}
+	for _, d := range []string{"/etc/init.d", "/etc/rc3.d", "/bin", "/usr/bin/bsd-port"} {
+		if err := fs.MkdirAll(d); err != nil {
+			return err
+		}
+	}
+	if err := fs.WriteFile("/bin/netstat", bytes.Repeat([]byte{0x7F, 'E', 'L', 'F'}, 512)); err != nil {
+		return err
+	}
+	_ = dev.Close()
+	if err := cloud.DetachVolume(vol.ID); err != nil {
+		return err
+	}
+
+	// Deploy the monitor and re-attach the volume through it. The watch
+	// rules mark /etc and /bin as sensitive.
+	pol := &storm.Policy{
+		Tenant: "acme",
+		MiddleBoxes: []storm.MiddleBoxSpec{{
+			Name:   "mon1",
+			Type:   storm.TypeMonitor,
+			Params: map[string]string{"watch": "/etc,/bin"},
+		}},
+		Volumes: []storm.VolumeBinding{{VM: "vm1", Volume: vol.ID, Chain: []string{"mon1"}}},
+	}
+	dep, err := platform.Apply(pol)
+	if err != nil {
+		return err
+	}
+	mon := dep.Monitors["mon1"]
+	mon.OnAlert(func(a storm.Alert) {
+		fmt.Printf("ALERT [%s]  %s\n", a.Rule, a.Event.String())
+	})
+
+	// The "malware" (running in the compromised VM) installs itself.
+	av := dep.Volumes["vm1/"+vol.ID]
+	fs2, err := storm.Mount(av.Device)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- replaying backdoor installation inside the tenant VM --")
+	if err := fs2.WriteFile("/etc/init.d/DbSecuritySpt", []byte("#!/bin/bash\n/tmp/malware\n")); err != nil {
+		return err
+	}
+	if err := fs2.Symlink("/etc/init.d/DbSecuritySpt", "/etc/rc3.d/S97DbSecuritySpt"); err != nil {
+		return err
+	}
+	if err := fs2.WriteFile("/usr/bin/bsd-port/getty", bytes.Repeat([]byte{0xEB, 0xFE}, 2048)); err != nil {
+		return err
+	}
+	if err := fs2.WriteFile("/bin/netstat", bytes.Repeat([]byte{0xEB, 0xFE}, 2048)); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n-- monitor access log (%d events) --\n", len(mon.Log()))
+	for _, e := range mon.Log() {
+		if e.Type.String() == "create" || e.Type.String() == "write" {
+			fmt.Println("  ", e.String())
+		}
+	}
+	fmt.Printf("\n%d alerts raised on watched paths\n", len(mon.Alerts()))
+	return platform.Teardown("acme")
+}

@@ -1,0 +1,101 @@
+// Command quickstart boots the simulated cloud, deploys a tenant-defined
+// encryption middle-box from a JSON policy, attaches a volume through it,
+// and shows that the data is transparently encrypted at rest — the minimal
+// end-to-end StorM session.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	storm "repro"
+)
+
+const policyJSON = `{
+  "tenant": "acme",
+  "middleboxes": [
+    {
+      "name": "enc1",
+      "type": "encryption",
+      "mode": "active",
+      "params": {
+        "key": "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+      }
+    }
+  ],
+  "volumes": [
+    {"vm": "vm1", "volume": "vol-0001", "chain": ["enc1"]}
+  ]
+}`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Boot the Figure 1 topology: compute hosts, a storage host, the two
+	// isolated networks, and the StorM control plane.
+	cloud, err := storm.NewCloud(storm.CloudConfig{ComputeHosts: 4})
+	if err != nil {
+		return err
+	}
+	defer cloud.Close()
+	platform := storm.NewPlatform(cloud)
+
+	// Tenant resources: one VM, one 64 MiB volume.
+	if _, err := cloud.LaunchVM("vm1", ""); err != nil {
+		return err
+	}
+	vol, err := cloud.Volumes.Create("acme-data", 64<<20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created volume %s (IQN %s)\n", vol.ID, vol.IQN)
+
+	// Submit the tenant policy: the platform provisions the encryption
+	// middle-box, creates the gateway pair, installs the forwarding chain,
+	// and attaches the volume through it.
+	pol, err := storm.ParsePolicy([]byte(policyJSON))
+	if err != nil {
+		return err
+	}
+	dep, err := platform.Apply(pol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed policy for tenant %q: %d middle-box(es)\n", dep.Tenant, len(dep.MBs))
+
+	// The VM sees an ordinary block device; every byte it writes crosses
+	// the middle-box chain.
+	av := dep.Volumes["vm1/"+vol.ID]
+	secret := []byte("attack at dawn -- tenant secret")
+	buf := make([]byte, 512)
+	copy(buf, secret)
+	if err := av.Device.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	got := make([]byte, 512)
+	if err := av.Device.ReadAt(got, 0); err != nil {
+		return err
+	}
+	fmt.Printf("VM reads back: %q\n", bytes.TrimRight(got, "\x00"))
+
+	// Provider-side view of the same block: ciphertext.
+	raw := make([]byte, 512)
+	if err := vol.Device().ReadAt(raw, 0); err != nil {
+		return err
+	}
+	if bytes.Contains(raw, secret) {
+		return fmt.Errorf("plaintext leaked to the storage host")
+	}
+	fmt.Printf("storage host sees:  %x... (ciphertext)\n", raw[:24])
+
+	// Connection attribution: the platform knows which VM owns the flow.
+	if b, ok := cloud.Plane.Attributions().ByIQN(vol.IQN); ok {
+		fmt.Printf("attribution: %s\n", b)
+	}
+	return platform.Teardown("acme")
+}

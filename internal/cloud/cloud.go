@@ -1,0 +1,382 @@
+// Package cloud assembles the mini-IaaS of Figure 1: compute hosts running
+// tenant VMs, a storage host running the volume service, the two isolated
+// networks, the SDN controller, and the StorM splice plane. It provides the
+// raw infrastructure operations (launch VM, create/attach volume, launch
+// middle-box) that the StorM platform (internal/core) orchestrates.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/initiator"
+	"repro/internal/metrics"
+	"repro/internal/middlebox"
+	"repro/internal/netsim"
+	"repro/internal/sdn"
+	"repro/internal/splice"
+	"repro/internal/target"
+	"repro/internal/volume"
+)
+
+// Config sizes the cloud.
+type Config struct {
+	// ComputeHosts is the number of compute hosts (default 4). Host 1 is
+	// named compute1, etc.; every compute host has NICs on both networks.
+	ComputeHosts int
+	// Model is the fabric cost model (netsim.DefaultModel when zero).
+	Model netsim.Model
+	// DiskRead / DiskWrite are the storage medium models for volumes.
+	DiskRead  blockdev.ServiceModel
+	DiskWrite blockdev.ServiceModel
+	// DiskConcurrency bounds concurrent medium accesses per volume.
+	DiskConcurrency int
+}
+
+// VM is a tenant virtual machine.
+type VM struct {
+	Name     string
+	Host     string
+	Endpoint *netsim.Endpoint
+}
+
+// MiddleBox is a provisioned storage middle-box VM.
+type MiddleBox struct {
+	Name       string
+	Host       string
+	Mode       middlebox.Mode
+	Endpoint   *netsim.Endpoint
+	Relay      *middlebox.Relay
+	RelayAddr  netsim.Addr
+	InstanceIP string
+	listener   *netsim.Listener
+}
+
+// Close stops the middle-box's relay.
+func (m *MiddleBox) Close() {
+	_ = m.listener.Close()
+	m.Relay.Close()
+}
+
+// Cloud is the assembled infrastructure.
+type Cloud struct {
+	Fabric     *netsim.Fabric
+	Controller *sdn.Controller
+	Plane      *splice.Plane
+	Volumes    *volume.Service
+
+	storageHost *netsim.Host
+
+	mu       sync.Mutex
+	computes []*netsim.Host
+	vms      map[string]*VM
+	mbs      map[string]*MiddleBox
+	nextIP   int
+	nextHost int
+}
+
+// New builds the cloud.
+func New(cfg Config) (*Cloud, error) {
+	if cfg.ComputeHosts <= 0 {
+		cfg.ComputeHosts = 4
+	}
+	model := cfg.Model
+	if model.MTU == 0 {
+		model = netsim.DefaultModel()
+	}
+	fabric := netsim.NewFabric(model)
+	c := &Cloud{
+		Fabric:     fabric,
+		Controller: sdn.NewController(),
+		vms:        make(map[string]*VM),
+		mbs:        make(map[string]*MiddleBox),
+		nextIP:     100,
+	}
+	for i := 1; i <= cfg.ComputeHosts; i++ {
+		h, err := fabric.AddHost(fmt.Sprintf("compute%d", i), map[netsim.Network]string{
+			netsim.StorageNet:  fmt.Sprintf("10.0.0.%d", i),
+			netsim.InstanceNet: fmt.Sprintf("192.168.0.%d", i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.computes = append(c.computes, h)
+	}
+	sh, err := fabric.AddHost("storage1", map[netsim.Network]string{
+		netsim.StorageNet: "10.0.0.100",
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.storageHost = sh
+
+	c.Plane = splice.NewPlane(fabric, c.Controller)
+
+	vs, err := volume.NewService(sh.NewEndpoint("cinder-tgtd"), volume.Config{
+		DiskRead:        cfg.DiskRead,
+		DiskWrite:       cfg.DiskWrite,
+		DiskConcurrency: cfg.DiskConcurrency,
+		LoginHook: func(info target.LoginInfo) {
+			c.Plane.Attributions().RecordLogin(info.TargetIQN, info.SourcePort)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Volumes = vs
+	return c, nil
+}
+
+// Close tears the cloud down.
+func (c *Cloud) Close() {
+	c.mu.Lock()
+	mbs := make([]*MiddleBox, 0, len(c.mbs))
+	for _, mb := range c.mbs {
+		mbs = append(mbs, mb)
+	}
+	c.mu.Unlock()
+	for _, mb := range mbs {
+		mb.Close()
+	}
+	c.Volumes.Close()
+}
+
+// ComputeHosts lists the compute host names.
+func (c *Cloud) ComputeHosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.computes))
+	for i, h := range c.computes {
+		out[i] = h.Name()
+	}
+	return out
+}
+
+// StorageHost returns the storage host name.
+func (c *Cloud) StorageHost() string { return c.storageHost.Name() }
+
+// HostCPU returns a host's CPU account.
+func (c *Cloud) HostCPU(host string) *metrics.CPUAccount {
+	h := c.Fabric.Host(host)
+	if h == nil {
+		return nil
+	}
+	return h.CPU()
+}
+
+// allocIP hands out instance-network addresses.
+func (c *Cloud) allocIP() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextIP++
+	return fmt.Sprintf("192.168.10.%d", c.nextIP)
+}
+
+// pickHost round-robins compute hosts when the caller does not care.
+func (c *Cloud) pickHost() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.computes[c.nextHost%len(c.computes)]
+	c.nextHost++
+	return h.Name()
+}
+
+// LaunchVM boots a tenant VM on the named compute host ("" picks one).
+func (c *Cloud) LaunchVM(name, host string) (*VM, error) {
+	if host == "" {
+		host = c.pickHost()
+	}
+	h := c.Fabric.Host(host)
+	if h == nil {
+		return nil, fmt.Errorf("cloud: unknown host %q", host)
+	}
+	c.mu.Lock()
+	if _, ok := c.vms[name]; ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cloud: VM %q already exists", name)
+	}
+	c.mu.Unlock()
+	ep, err := h.NewGuest(name, c.allocIP())
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{Name: name, Host: host, Endpoint: ep}
+	c.mu.Lock()
+	c.vms[name] = vm
+	c.mu.Unlock()
+	return vm, nil
+}
+
+// VM returns a launched VM by name.
+func (c *Cloud) VM(name string) (*VM, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vm, ok := c.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("cloud: unknown VM %q", name)
+	}
+	return vm, nil
+}
+
+// AttachVolume attaches a volume to a VM over the legacy direct path (no
+// middle-boxes) and returns the VM-side block device. The attribution
+// table records both halves of the binding.
+func (c *Cloud) AttachVolume(vm *VM, volID string) (*initiator.Device, error) {
+	vol, err := c.Volumes.Get(volID)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Volumes.MarkAttached(volID, vm.Name); err != nil {
+		return nil, err
+	}
+	dev, err := c.loginAndOpen(vm.Endpoint, vm.Name, vol.IQN)
+	if err != nil {
+		_ = c.Volumes.MarkDetached(volID)
+		return nil, err
+	}
+	c.Plane.Attributions().RecordAttachment(vm.Name, vol.IQN)
+	return dev, nil
+}
+
+// loginAndOpen dials the volume service and opens the device.
+func (c *Cloud) loginAndOpen(ep *netsim.Endpoint, vmName, iqn string) (*initiator.Device, error) {
+	conn, err := ep.DialAddr(c.Volumes.TargetAddr())
+	if err != nil {
+		return nil, err
+	}
+	sess, err := initiator.Login(conn, initiator.Config{
+		InitiatorIQN: "iqn.2016-04.edu.purdue.storm:init:" + vmName,
+		TargetIQN:    iqn,
+		AttachedVM:   vmName,
+	})
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	dev, err := initiator.OpenDevice(sess)
+	if err != nil {
+		_ = sess.Close()
+		return nil, err
+	}
+	return dev, nil
+}
+
+// DetachVolume releases the attachment bookkeeping (the device should be
+// closed by the caller).
+func (c *Cloud) DetachVolume(volID string) error {
+	vol, err := c.Volumes.Get(volID)
+	if err != nil {
+		return err
+	}
+	c.Plane.Attributions().RemoveAttachment(vol.IQN)
+	return c.Volumes.MarkDetached(volID)
+}
+
+// ErrNoSuchMiddleBox reports an unknown middle-box name.
+var ErrNoSuchMiddleBox = errors.New("cloud: no such middle-box")
+
+// MBSpec describes a middle-box to provision.
+type MBSpec struct {
+	Name string
+	// Host pins placement ("" picks round-robin).
+	Host string
+	Mode middlebox.Mode
+	// BuildServices constructs the tenant service chain once the
+	// middle-box VM exists (so factories can use its network identity,
+	// e.g. to attach replica volumes). May be nil.
+	BuildServices func(mb *MiddleBox) ([]middlebox.ServiceFactory, error)
+	// JournalCapacity bounds the active relay's NVRAM buffer.
+	JournalCapacity int
+}
+
+// LaunchMiddleBox provisions a middle-box VM running a relay with the given
+// service chain. Its relay listens inside the tenant network space and is
+// isolated from tenant VMs.
+func (c *Cloud) LaunchMiddleBox(spec MBSpec) (*MiddleBox, error) {
+	name, host := spec.Name, spec.Host
+	if host == "" {
+		host = c.pickHost()
+	}
+	h := c.Fabric.Host(host)
+	if h == nil {
+		return nil, fmt.Errorf("cloud: unknown host %q", host)
+	}
+	ip := c.allocIP()
+	ep, err := h.NewGuest(name, ip)
+	if err != nil {
+		return nil, err
+	}
+	mb := &MiddleBox{
+		Name:       name,
+		Host:       host,
+		Mode:       spec.Mode,
+		Endpoint:   ep,
+		InstanceIP: ip,
+	}
+	var services []middlebox.ServiceFactory
+	if spec.BuildServices != nil {
+		if services, err = spec.BuildServices(mb); err != nil {
+			return nil, fmt.Errorf("cloud: build services for %q: %w", name, err)
+		}
+	}
+	relay, err := middlebox.NewRelay(middlebox.Config{
+		Name:            name,
+		Mode:            spec.Mode,
+		Endpoint:        ep,
+		Services:        services,
+		JournalCapacity: spec.JournalCapacity,
+		CPU:             h.CPU(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr := netsim.Addr{Net: netsim.InstanceNet, IP: ip, Port: 3260}
+	ln, err := ep.ListenAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	go relay.Serve(ln)
+	if err := c.Plane.RegisterMB(splice.MBInfo{Name: name, Host: host, InstanceIP: ip}); err != nil {
+		_ = ln.Close()
+		relay.Close()
+		return nil, err
+	}
+	mb.Relay = relay
+	mb.RelayAddr = addr
+	mb.listener = ln
+	c.mu.Lock()
+	c.mbs[name] = mb
+	c.mu.Unlock()
+	return mb, nil
+}
+
+// MiddleBox returns a launched middle-box by name.
+func (c *Cloud) MiddleBox(name string) (*MiddleBox, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mb, ok := c.mbs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
+	}
+	return mb, nil
+}
+
+// MBAttachVolume attaches a volume directly to a middle-box VM over the
+// storage network (the replica service's backup volumes).
+func (c *Cloud) MBAttachVolume(mb *MiddleBox, volID string) (*initiator.Device, error) {
+	vol, err := c.Volumes.Get(volID)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Volumes.MarkAttached(volID, mb.Name); err != nil {
+		return nil, err
+	}
+	dev, err := c.loginAndOpen(mb.Endpoint, mb.Name, vol.IQN)
+	if err != nil {
+		_ = c.Volumes.MarkDetached(volID)
+		return nil, err
+	}
+	return dev, nil
+}

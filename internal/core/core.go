@@ -1,0 +1,431 @@
+// Package core implements the StorM platform itself (Figure 2): it accepts
+// tenant policies, provisions middle-box VMs with the requested service
+// logic, creates the per-volume storage gateway pairs, installs SDN
+// forwarding chains, generates initial file-system views for semantic
+// services, and connects volumes to their VMs with middle-box services
+// enabled — dividing service creation between tenant (the policy and
+// service logic) and provider (all infrastructural support).
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cloud"
+	"repro/internal/extfs"
+	"repro/internal/initiator"
+	"repro/internal/middlebox"
+	"repro/internal/policy"
+	"repro/internal/sdn"
+	"repro/internal/services/crypt"
+	"repro/internal/services/monitor"
+	"repro/internal/services/replica"
+	"repro/internal/splice"
+	"repro/internal/volume"
+	"repro/internal/vswitch"
+)
+
+// AttachedVolume is one volume connected through its middle-box chain.
+type AttachedVolume struct {
+	VolumeID     string
+	VM           string
+	DeploymentID string
+	// Device is the VM-side block device (I/O flows through the chain).
+	Device *initiator.Device
+}
+
+// TenantDeployment is the realized state of one applied policy.
+type TenantDeployment struct {
+	Tenant string
+	// MBs maps middle-box names to their provisioned VMs.
+	MBs map[string]*cloud.MiddleBox
+	// Monitors exposes the monitoring engine per monitor middle-box (the
+	// tenant's log/alert retrieval interface).
+	Monitors map[string]*monitor.Monitor
+	// Dispatchers exposes the live replica dispatcher per replication
+	// middle-box (populated when the volume session is established).
+	Dispatchers map[string]*replica.Dispatcher
+	// ReplicaVolumes lists the backup volumes created per replication
+	// middle-box (for failure injection in experiments).
+	ReplicaVolumes map[string][]*volume.Volume
+	// Volumes holds the attached volumes keyed "vm/volumeID".
+	Volumes map[string]*AttachedVolume
+
+	mu sync.Mutex
+}
+
+// setDispatcher records a replication middle-box's live dispatcher.
+func (t *TenantDeployment) setDispatcher(mb string, d *replica.Dispatcher) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Dispatchers[mb] = d
+}
+
+// Dispatcher returns the live dispatcher of a replication middle-box.
+func (t *TenantDeployment) Dispatcher(mb string) *replica.Dispatcher {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Dispatchers[mb]
+}
+
+// Platform is the StorM control plane.
+type Platform struct {
+	cloud *cloud.Cloud
+
+	mu      sync.Mutex
+	tenants map[string]*TenantDeployment
+	nextGW  int
+}
+
+// New builds a platform over the cloud.
+func New(c *cloud.Cloud) *Platform {
+	return &Platform{cloud: c, tenants: make(map[string]*TenantDeployment)}
+}
+
+// Cloud returns the underlying infrastructure.
+func (p *Platform) Cloud() *cloud.Cloud { return p.cloud }
+
+// allocGatewayIP hands out gateway addresses in the tenant network space.
+func (p *Platform) allocGatewayIP() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextGW++
+	return fmt.Sprintf("192.168.20.%d", p.nextGW)
+}
+
+// Apply deploys a tenant policy: provision middle-boxes, install chains,
+// and attach every bound volume through its chain.
+func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if _, ok := p.tenants[pol.Tenant]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: tenant %q already has a deployment", pol.Tenant)
+	}
+	p.mu.Unlock()
+
+	dep := &TenantDeployment{
+		Tenant:         pol.Tenant,
+		MBs:            make(map[string]*cloud.MiddleBox),
+		Monitors:       make(map[string]*monitor.Monitor),
+		Dispatchers:    make(map[string]*replica.Dispatcher),
+		ReplicaVolumes: make(map[string][]*volume.Volume),
+		Volumes:        make(map[string]*AttachedVolume),
+	}
+
+	// Provision middle-boxes (forward-type boxes need no relay VM service
+	// stack; they are pure routing hops and need no provisioning here).
+	specs := make(map[string]*policy.MiddleBoxSpec)
+	for i := range pol.MiddleBoxes {
+		spec := &pol.MiddleBoxes[i]
+		specs[spec.Name] = spec
+		if spec.Type == policy.TypeForward {
+			continue
+		}
+		mb, err := p.provisionMB(pol, spec, dep)
+		if err != nil {
+			return nil, err
+		}
+		dep.MBs[spec.Name] = mb
+	}
+
+	// Wire each volume through its chain and attach it.
+	for _, vb := range pol.Volumes {
+		av, err := p.attachBinding(pol.Tenant, vb, specs, dep)
+		if err != nil {
+			return nil, err
+		}
+		dep.Volumes[vb.VM+"/"+vb.Volume] = av
+	}
+
+	p.mu.Lock()
+	p.tenants[pol.Tenant] = dep
+	p.mu.Unlock()
+	return dep, nil
+}
+
+// provisionMB launches one service middle-box.
+func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, dep *TenantDeployment) (*cloud.MiddleBox, error) {
+	mode := middlebox.Active
+	if spec.EffectiveMode() == policy.ModePassive {
+		mode = middlebox.Passive
+	}
+	build := func(mb *cloud.MiddleBox) ([]middlebox.ServiceFactory, error) {
+		switch spec.Type {
+		case policy.TypeMonitor:
+			mon, err := p.buildMonitor(pol, spec, dep)
+			if err != nil {
+				return nil, err
+			}
+			dep.Monitors[spec.Name] = mon
+			return []middlebox.ServiceFactory{mon.Service()}, nil
+		case policy.TypeEncryption:
+			key, err := spec.Key()
+			if err != nil {
+				return nil, err
+			}
+			cpu := p.cloud.HostCPU(mb.Host)
+			cost := crypt.DefaultCostModel(cpu)
+			if v := spec.Params["cipherCostNsPerKiB"]; v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("core: middle-box %q: bad cipherCostNsPerKiB %q", spec.Name, v)
+				}
+				cost.PerKiB = time.Duration(n) * time.Nanosecond
+			}
+			return []middlebox.ServiceFactory{crypt.Service(key, cost)}, nil
+		case policy.TypeReplication:
+			return p.buildReplication(pol, spec, mb, dep)
+		default:
+			return nil, fmt.Errorf("core: middle-box %q: unsupported type %q", spec.Name, spec.Type)
+		}
+	}
+	return p.cloud.LaunchMiddleBox(cloud.MBSpec{
+		Name:          pol.Tenant + "-" + spec.Name,
+		Host:          spec.Host,
+		Mode:          mode,
+		BuildServices: build,
+	})
+}
+
+// buildMonitor creates the monitoring engine with the initial system view
+// of the (single) volume chained through this monitor.
+func (p *Platform) buildMonitor(pol *policy.Policy, spec *policy.MiddleBoxSpec, dep *TenantDeployment) (*monitor.Monitor, error) {
+	volID := ""
+	for _, vb := range pol.Volumes {
+		for _, name := range vb.Chain {
+			if name == spec.Name {
+				volID = vb.Volume
+			}
+		}
+	}
+	if volID == "" {
+		return nil, fmt.Errorf("core: monitor %q is chained by no volume", spec.Name)
+	}
+	vol, err := p.cloud.Volumes.Get(volID)
+	if err != nil {
+		return nil, err
+	}
+	view, err := p.DumpView(vol)
+	if err != nil {
+		return nil, err
+	}
+	mon := monitor.New(view)
+	if watch := spec.Params["watch"]; watch != "" {
+		for _, prefix := range strings.Split(watch, ",") {
+			if prefix = strings.TrimSpace(prefix); prefix != "" {
+				mon.Watch(prefix)
+			}
+		}
+	}
+	return mon, nil
+}
+
+// DumpView generates the initial high-level system view of a volume: the
+// platform-side dumpe2fs pass run when the device is attached. An
+// unformatted volume yields a raw (geometry-only) view.
+func (p *Platform) DumpView(vol *volume.Volume) (*extfs.View, error) {
+	fs, err := extfs.Mount(vol.Device())
+	if err == extfs.ErrNotFormatted {
+		return &extfs.View{
+			BlockSize:       4096,
+			SectorsPerBlock: 4096 / vol.Device().BlockSize(),
+			BlocksCount:     vol.SizeBytes / 4096,
+		}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fs.Dump()
+}
+
+// buildReplication provisions the backup volumes, attaches them to the
+// middle-box over the storage network, and returns the dispatcher factory.
+func (p *Platform) buildReplication(pol *policy.Policy, spec *policy.MiddleBoxSpec, mb *cloud.MiddleBox, dep *TenantDeployment) ([]middlebox.ServiceFactory, error) {
+	// The primary volume is the one chained through this middle-box; the
+	// backups match its size.
+	var primary *volume.Volume
+	for _, vb := range pol.Volumes {
+		for _, name := range vb.Chain {
+			if name == spec.Name {
+				vol, err := p.cloud.Volumes.Get(vb.Volume)
+				if err != nil {
+					return nil, err
+				}
+				primary = vol
+			}
+		}
+	}
+	if primary == nil {
+		return nil, fmt.Errorf("core: replication %q is chained by no volume", spec.Name)
+	}
+	nExtra := spec.Replicas() - 1
+	var extras []replica.NamedDevice
+	for i := 0; i < nExtra; i++ {
+		rv, err := p.cloud.Volumes.Create(fmt.Sprintf("%s-%s-replica%d", pol.Tenant, spec.Name, i+1), primary.SizeBytes)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := p.cloud.MBAttachVolume(mb, rv.ID)
+		if err != nil {
+			return nil, err
+		}
+		dep.ReplicaVolumes[spec.Name] = append(dep.ReplicaVolumes[spec.Name], rv)
+		extras = append(extras, replica.NamedDevice{Name: rv.ID, Dev: dev})
+	}
+	factory := func(backend blockdev.Device) (blockdev.Device, error) {
+		d, err := replica.New(backend, extras...)
+		if err != nil {
+			return nil, err
+		}
+		dep.setDispatcher(spec.Name, d)
+		return d, nil
+	}
+	return []middlebox.ServiceFactory{factory}, nil
+}
+
+// attachBinding deploys the splice path for one volume and attaches it.
+func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs map[string]*policy.MiddleBoxSpec, dep *TenantDeployment) (*AttachedVolume, error) {
+	vm, err := p.cloud.VM(vb.VM)
+	if err != nil {
+		return nil, err
+	}
+	vol, err := p.cloud.Volumes.Get(vb.Volume)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the SDN chain from the policy order.
+	var chain []sdn.MBSpec
+	for _, name := range vb.Chain {
+		spec := specs[name]
+		if spec.Type == policy.TypeForward {
+			host := spec.Host
+			if host == "" {
+				host = p.pickOtherHost(vm.Host)
+			}
+			chain = append(chain, sdn.MBSpec{
+				Name: tenant + "-" + name, Host: host, Mode: vswitch.ModeForward,
+			})
+			continue
+		}
+		mb := dep.MBs[name]
+		chain = append(chain, sdn.MBSpec{
+			Name: mb.Name, Host: mb.Host, Mode: vswitch.ModeTerminate, RelayAddr: mb.RelayAddr,
+		})
+	}
+
+	ingressHost := vb.IngressHost
+	if ingressHost == "" {
+		ingressHost = vm.Host
+	}
+	egressHost := vb.EgressHost
+	if egressHost == "" {
+		egressHost = p.pickOtherHost(vm.Host)
+	}
+	d := &splice.Deployment{
+		ID:         fmt.Sprintf("%s/%s/%s", tenant, vb.VM, vb.Volume),
+		VM:         vb.VM,
+		VMHost:     vm.Host,
+		VolumeIQN:  vol.IQN,
+		TargetAddr: p.cloud.Volumes.TargetAddr(),
+		Ingress:    splice.GatewaySpec{Name: "gw-in", Host: ingressHost, InstanceIP: p.allocGatewayIP()},
+		Egress:     splice.GatewaySpec{Name: "gw-out", Host: egressHost, InstanceIP: p.allocGatewayIP()},
+		Chain:      chain,
+	}
+	if err := p.cloud.Plane.Deploy(d); err != nil {
+		return nil, err
+	}
+
+	if err := p.cloud.Volumes.MarkAttached(vol.ID, vb.VM); err != nil {
+		p.cloud.Plane.Undeploy(d.ID)
+		return nil, err
+	}
+	var dev *initiator.Device
+	err = p.cloud.Plane.AtomicAttach(d, func() error {
+		conn, err := vm.Endpoint.DialAddr(d.TargetAddr)
+		if err != nil {
+			return err
+		}
+		sess, err := initiator.Login(conn, initiator.Config{
+			InitiatorIQN: "iqn.2016-04.edu.purdue.storm:init:" + vb.VM,
+			TargetIQN:    vol.IQN,
+			AttachedVM:   vb.VM,
+		})
+		if err != nil {
+			_ = conn.Close()
+			return err
+		}
+		dev, err = initiator.OpenDevice(sess)
+		if err != nil {
+			_ = sess.Close()
+		}
+		return err
+	})
+	if err != nil {
+		_ = p.cloud.Volumes.MarkDetached(vol.ID)
+		p.cloud.Plane.Undeploy(d.ID)
+		return nil, fmt.Errorf("core: attach %s: %w", d.ID, err)
+	}
+	p.cloud.Plane.Attributions().RecordAttachment(vb.VM, vol.IQN)
+	return &AttachedVolume{
+		VolumeID:     vol.ID,
+		VM:           vb.VM,
+		DeploymentID: d.ID,
+		Device:       dev,
+	}, nil
+}
+
+// pickOtherHost returns a compute host different from avoid when possible.
+func (p *Platform) pickOtherHost(avoid string) string {
+	hosts := p.cloud.ComputeHosts()
+	for _, h := range hosts {
+		if h != avoid {
+			return h
+		}
+	}
+	return hosts[0]
+}
+
+// Teardown removes a tenant's deployment: volumes detach, chains and
+// middle-boxes are destroyed.
+func (p *Platform) Teardown(tenant string) error {
+	p.mu.Lock()
+	dep, ok := p.tenants[tenant]
+	if ok {
+		delete(p.tenants, tenant)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: tenant %q has no deployment", tenant)
+	}
+	for _, av := range dep.Volumes {
+		_ = av.Device.Close()
+		p.cloud.Plane.Undeploy(av.DeploymentID)
+		_ = p.cloud.Volumes.MarkDetached(av.VolumeID)
+	}
+	for _, mb := range dep.MBs {
+		mb.Close()
+	}
+	return nil
+}
+
+// Deployment returns a tenant's live deployment.
+func (p *Platform) Deployment(tenant string) (*TenantDeployment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dep, ok := p.tenants[tenant]
+	return dep, ok
+}
+
+// UpdateChain mutates a live volume's middle-box chain by deployment ID —
+// the on-demand scaling interface.
+func (p *Platform) UpdateChain(deploymentID string, chain []sdn.MBSpec) error {
+	return p.cloud.Plane.UpdateChain(deploymentID, chain)
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// AblationRow is one configuration point of a design-choice sweep.
+type AblationRow struct {
+	Label   string
+	IOPS    float64
+	Latency time.Duration
+}
+
+// FormatAblation renders an ablation sweep as text.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-24s %10s %12s\n", title, "config", "IOPS", "mean lat")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10.0f %12v\n", r.Label, r.IOPS, r.Latency.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// ablationFio is the common workload for the sweeps.
+func ablationFio(dev interface {
+	BlockSize() int
+	Blocks() uint64
+	ReadAt([]byte, uint64) error
+	WriteAt([]byte, uint64) error
+	Flush() error
+	Close() error
+}, ops int) (*workload.FioResult, error) {
+	return workload.RunFio(workload.FioConfig{
+		Dev:          dev,
+		RequestSize:  16 * 1024,
+		Threads:      1,
+		ReadFraction: 0.5,
+		Ops:          ops,
+		Seed:         99,
+	})
+}
+
+// AblationGatewayPlacement quantifies Section V-A's placement note: the
+// worst-case spread (all hops on distinct hosts) versus co-locating the
+// ingress gateway with the VM and the egress gateway near the target.
+func AblationGatewayPlacement(ops int) ([]AblationRow, error) {
+	type placement struct {
+		label           string
+		ingress, egress string
+	}
+	placements := []placement{
+		{"worst-case spread", "compute2", "compute4"},
+		{"ingress@VM host", "compute1", "compute4"},
+		{"co-located both", "compute1", "compute1"},
+	}
+	// A LEGACY baseline isolates the routing overhead each placement adds.
+	var rows []AblationRow
+	{
+		l, err := NewLab()
+		if err != nil {
+			return nil, err
+		}
+		dev, cleanup, err := l.provision(Legacy, "vm-gw-base")
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		res, err := ablationFio(dev, ops)
+		cleanup()
+		l.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: "legacy (no StorM)", IOPS: res.IOPS, Latency: res.Latency.Mean})
+	}
+	for i, pl := range placements {
+		l, err := NewLab()
+		if err != nil {
+			return nil, err
+		}
+		vmName := fmt.Sprintf("vm-gw-%d", i)
+		if _, err := l.Cloud.LaunchVM(vmName, "compute1"); err != nil {
+			l.Close()
+			return nil, err
+		}
+		vol, err := l.Cloud.Volumes.Create(vmName+"-vol", volumeSize)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		pol := &policy.Policy{
+			Tenant: l.nextTenant(),
+			MiddleBoxes: []policy.MiddleBoxSpec{{
+				Name: "fwd", Type: policy.TypeForward, Host: "compute3",
+			}},
+			Volumes: []policy.VolumeBinding{{
+				VM: vmName, Volume: vol.ID, Chain: []string{"fwd"},
+				IngressHost: pl.ingress, EgressHost: pl.egress,
+			}},
+		}
+		dep, err := l.Platform.Apply(pol)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		res, err := ablationFio(dep.Volumes[vmName+"/"+vol.ID].Device, ops)
+		l.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Label: pl.label, IOPS: res.IOPS, Latency: res.Latency.Mean})
+	}
+	return rows, nil
+}
+
+// AblationChainLength sweeps the number of forwarding middle-boxes on the
+// path (0-3), the cost of chaining Section III-A enables.
+func AblationChainLength(ops int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for n := 0; n <= 3; n++ {
+		l, err := NewLab()
+		if err != nil {
+			return nil, err
+		}
+		vmName := fmt.Sprintf("vm-chain-%d", n)
+		if _, err := l.Cloud.LaunchVM(vmName, "compute1"); err != nil {
+			l.Close()
+			return nil, err
+		}
+		vol, err := l.Cloud.Volumes.Create(vmName+"-vol", volumeSize)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		pol := &policy.Policy{Tenant: l.nextTenant()}
+		var chain []string
+		hosts := []string{"compute2", "compute3", "compute4"}
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("fwd%d", i)
+			pol.MiddleBoxes = append(pol.MiddleBoxes, policy.MiddleBoxSpec{
+				Name: name, Type: policy.TypeForward, Host: hosts[i%len(hosts)],
+			})
+			chain = append(chain, name)
+		}
+		pol.Volumes = []policy.VolumeBinding{{
+			VM: vmName, Volume: vol.ID, Chain: chain,
+			IngressHost: "compute2", EgressHost: "compute4",
+		}}
+		dep, err := l.Platform.Apply(pol)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		res, err := ablationFio(dep.Volumes[vmName+"/"+vol.ID].Device, ops)
+		l.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("%d middle-boxes", n), IOPS: res.IOPS, Latency: res.Latency.Mean,
+		})
+	}
+	return rows, nil
+}
+
+// AblationJournalCapacity sweeps the active relay's NVRAM budget: too
+// small and early acknowledgement degrades to write-through under load.
+func AblationJournalCapacity(ops int) ([]AblationRow, error) {
+	capacities := []int{32 * 1024, 256 * 1024, 4 << 20}
+	var rows []AblationRow
+	for i, capBytes := range capacities {
+		l, err := NewLab()
+		if err != nil {
+			return nil, err
+		}
+		vmName := fmt.Sprintf("vm-j-%d", i)
+		dev, cleanup, err := l.provisionActiveWithJournal(vmName, capBytes)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		res, err := workload.RunFio(workload.FioConfig{
+			Dev: dev, RequestSize: 16 * 1024, Threads: 8,
+			ReadFraction: 0.2, Ops: ops * 4, Seed: 99,
+		})
+		cleanup()
+		l.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("journal %d KiB", capBytes/1024), IOPS: res.IOPS, Latency: res.Latency.Mean,
+		})
+	}
+	return rows, nil
+}
+
+// AblationReplicaFactor sweeps the replication factor's effect on OLTP
+// throughput (read striping gain vs. write fan-out cost).
+func AblationReplicaFactor(duration time.Duration) ([]AblationRow, error) {
+	if duration <= 0 {
+		duration = time.Second
+	}
+	var rows []AblationRow
+	for _, replicas := range []int{2, 3, 4} {
+		l, err := NewLabQueuedDisk(4)
+		if err != nil {
+			return nil, err
+		}
+		res, err := l.replicatedOLTP(fmt.Sprintf("vm-rf-%d", replicas), replicas, duration)
+		l.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Label: fmt.Sprintf("%d replicas", replicas),
+			IOPS:  res.TPS,
+		})
+	}
+	return rows, nil
+}

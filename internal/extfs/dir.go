@@ -1,0 +1,246 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Directory entries use the ext2 record format: a block is fully covered by
+// variable-length records; deleting an entry merges its space into the
+// preceding record's length.
+const direntHeader = 8 // inode(4) + recLen(2) + nameLen(1) + fileType(1)
+
+// Dirent is one parsed directory entry.
+type Dirent struct {
+	Ino  uint32
+	Type FileType
+	Name string
+}
+
+// direntRecLen returns the aligned record length for a name.
+func direntRecLen(nameLen int) int {
+	return (direntHeader + nameLen + 3) &^ 3
+}
+
+// initDirBlock fills a fresh directory block with "." and ".." entries.
+func initDirBlock(blk []byte, self, parent uint32) {
+	// "."
+	binary.LittleEndian.PutUint32(blk[0:4], self)
+	binary.LittleEndian.PutUint16(blk[4:6], uint16(direntRecLen(1)))
+	blk[6] = 1
+	blk[7] = byte(TypeDir)
+	blk[8] = '.'
+	// ".." covering the rest of the block.
+	off := direntRecLen(1)
+	binary.LittleEndian.PutUint32(blk[off:off+4], parent)
+	binary.LittleEndian.PutUint16(blk[off+4:off+6], uint16(len(blk)-off))
+	blk[off+6] = 2
+	blk[off+7] = byte(TypeDir)
+	blk[off+8] = '.'
+	blk[off+9] = '.'
+}
+
+// parseDirBlock yields the live entries of a directory block.
+func parseDirBlock(blk []byte) ([]Dirent, error) {
+	var out []Dirent
+	off := 0
+	for off < len(blk) {
+		if off+direntHeader > len(blk) {
+			return nil, fmt.Errorf("extfs: corrupt dirent at offset %d", off)
+		}
+		ino := binary.LittleEndian.Uint32(blk[off : off+4])
+		recLen := int(binary.LittleEndian.Uint16(blk[off+4 : off+6]))
+		nameLen := int(blk[off+6])
+		if recLen < direntHeader || off+recLen > len(blk) || direntHeader+nameLen > recLen {
+			return nil, fmt.Errorf("extfs: corrupt dirent record at offset %d (recLen=%d nameLen=%d)", off, recLen, nameLen)
+		}
+		if ino != 0 && nameLen > 0 {
+			out = append(out, Dirent{
+				Ino:  ino,
+				Type: FileType(blk[off+7]),
+				Name: string(blk[off+direntHeader : off+direntHeader+nameLen]),
+			})
+		}
+		off += recLen
+	}
+	return out, nil
+}
+
+// dirBlocks iterates the data blocks of a directory inode.
+func (fs *FS) dirBlocks(in *Inode) ([]uint64, error) {
+	return fs.fileBlocks(in)
+}
+
+// lookupInDir finds name in the directory, returning its entry.
+func (fs *FS) lookupInDir(dir *Inode, name string) (*Dirent, error) {
+	blocks, err := fs.dirBlocks(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, blk := range blocks {
+		buf, err := fs.readBlock(blk)
+		if err != nil {
+			return nil, err
+		}
+		ents, err := parseDirBlock(buf)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ents {
+			if ents[i].Name == name {
+				return &ents[i], nil
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// addDirEntry inserts (name -> ino) into the directory, growing it by one
+// block if needed. dirIno is the directory's inode number; dir is mutated
+// (size) and written back by the caller when grown.
+func (fs *FS) addDirEntry(dirIno uint32, dir *Inode, name string, ino uint32, ft FileType) error {
+	if len(name) == 0 || len(name) > MaxNameLen {
+		return ErrNameTooLong
+	}
+	need := direntRecLen(len(name))
+	blocks, err := fs.dirBlocks(dir)
+	if err != nil {
+		return err
+	}
+	for _, blk := range blocks {
+		buf, err := fs.readBlock(blk)
+		if err != nil {
+			return err
+		}
+		if fs.insertIntoDirBlock(buf, name, ino, ft, need) {
+			return fs.writeBlock(blk, buf)
+		}
+	}
+	// No room: grow the directory by one block.
+	idx := dir.Size / uint64(fs.sb.BlockSize)
+	blk, err := fs.blockOfFile(dir, idx, true)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, fs.sb.BlockSize)
+	// One record spanning the whole block.
+	binary.LittleEndian.PutUint32(buf[0:4], ino)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(buf)))
+	buf[6] = byte(len(name))
+	buf[7] = byte(ft)
+	copy(buf[direntHeader:], name)
+	if err := fs.writeBlock(blk, buf); err != nil {
+		return err
+	}
+	dir.Size += uint64(fs.sb.BlockSize)
+	dir.Mtime = fs.tick()
+	return fs.writeInode(dirIno, dir)
+}
+
+// insertIntoDirBlock finds space in one directory block, splitting an
+// existing record. Returns false when the block has no room.
+func (fs *FS) insertIntoDirBlock(buf []byte, name string, ino uint32, ft FileType, need int) bool {
+	off := 0
+	for off < len(buf) {
+		entIno := binary.LittleEndian.Uint32(buf[off : off+4])
+		recLen := int(binary.LittleEndian.Uint16(buf[off+4 : off+6]))
+		nameLen := int(buf[off+6])
+		if recLen < direntHeader || off+recLen > len(buf) {
+			return false // corrupt; let reads report it
+		}
+		var used int
+		if entIno == 0 || nameLen == 0 {
+			used = 0
+		} else {
+			used = direntRecLen(nameLen)
+		}
+		if recLen-used >= need {
+			insertAt := off + used
+			if used == 0 {
+				insertAt = off
+			} else {
+				binary.LittleEndian.PutUint16(buf[off+4:off+6], uint16(used))
+			}
+			rest := off + recLen - insertAt
+			binary.LittleEndian.PutUint32(buf[insertAt:insertAt+4], ino)
+			binary.LittleEndian.PutUint16(buf[insertAt+4:insertAt+6], uint16(rest))
+			buf[insertAt+6] = byte(len(name))
+			buf[insertAt+7] = byte(ft)
+			copy(buf[insertAt+direntHeader:], name)
+			// Clear stale name bytes after the new name within the header
+			// area we own (cosmetic; parsing uses nameLen).
+			return true
+		}
+		off += recLen
+	}
+	return false
+}
+
+// removeDirEntry deletes name from the directory.
+func (fs *FS) removeDirEntry(dir *Inode, name string) error {
+	blocks, err := fs.dirBlocks(dir)
+	if err != nil {
+		return err
+	}
+	for _, blk := range blocks {
+		buf, err := fs.readBlock(blk)
+		if err != nil {
+			return err
+		}
+		if fs.removeFromDirBlock(buf, name) {
+			return fs.writeBlock(blk, buf)
+		}
+	}
+	return ErrNotFound
+}
+
+// removeFromDirBlock unlinks a name inside one block by merging its record
+// into the predecessor (or zeroing the inode when it is the first record).
+func (fs *FS) removeFromDirBlock(buf []byte, name string) bool {
+	off, prev := 0, -1
+	for off < len(buf) {
+		ino := binary.LittleEndian.Uint32(buf[off : off+4])
+		recLen := int(binary.LittleEndian.Uint16(buf[off+4 : off+6]))
+		nameLen := int(buf[off+6])
+		if recLen < direntHeader || off+recLen > len(buf) {
+			return false
+		}
+		if ino != 0 && nameLen > 0 && string(buf[off+direntHeader:off+direntHeader+nameLen]) == name {
+			if prev >= 0 {
+				prevLen := int(binary.LittleEndian.Uint16(buf[prev+4 : prev+6]))
+				binary.LittleEndian.PutUint16(buf[prev+4:prev+6], uint16(prevLen+recLen))
+			} else {
+				binary.LittleEndian.PutUint32(buf[off:off+4], 0)
+				buf[off+6] = 0
+			}
+			return true
+		}
+		prev = off
+		off += recLen
+	}
+	return false
+}
+
+// dirIsEmpty reports whether the directory holds only "." and "..".
+func (fs *FS) dirIsEmpty(dir *Inode) (bool, error) {
+	blocks, err := fs.dirBlocks(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, blk := range blocks {
+		buf, err := fs.readBlock(blk)
+		if err != nil {
+			return false, err
+		}
+		ents, err := parseDirBlock(buf)
+		if err != nil {
+			return false, err
+		}
+		for _, e := range ents {
+			if e.Name != "." && e.Name != ".." {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

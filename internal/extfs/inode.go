@@ -1,0 +1,240 @@
+package extfs
+
+import (
+	"encoding/binary"
+)
+
+// Inode addressing: 12 direct blocks, one single-indirect, one
+// double-indirect (matching ext2's first 14 pointers; the triple-indirect
+// slot is reserved but unused).
+const (
+	directBlocks = 12
+	ptrSize      = 8 // block pointers are 64-bit on disk
+)
+
+// Inode is the in-memory form of an on-disk inode.
+type Inode struct {
+	Type  FileType
+	Links uint16
+	Size  uint64
+	// Mtime/Ctime are logical timestamps (monotonic operation counter).
+	Mtime uint64
+	Ctime uint64
+	// Direct block pointers; 0 means unallocated (block 0 is the
+	// superblock and can never be file data).
+	Direct [directBlocks]uint64
+	// Indirect is a block of pointers; DoubleIndirect is a block of
+	// pointers to pointer blocks.
+	Indirect       uint64
+	DoubleIndirect uint64
+}
+
+// encode serializes the inode into b (InodeSize bytes). Block pointers are
+// stored as 32-bit values (ext2's width), bounding the fs to 2^32 blocks —
+// 16 TiB at a 4 KiB block size.
+func (in *Inode) encode(b []byte) {
+	clear(b[:InodeSize])
+	b[0] = byte(in.Type)
+	binary.LittleEndian.PutUint16(b[2:4], in.Links)
+	binary.LittleEndian.PutUint64(b[8:16], in.Size)
+	binary.LittleEndian.PutUint64(b[16:24], in.Mtime)
+	binary.LittleEndian.PutUint64(b[24:32], in.Ctime)
+	off := 32
+	for _, p := range in.Direct {
+		binary.LittleEndian.PutUint32(b[off:off+4], uint32(p))
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(b[off:off+4], uint32(in.Indirect))
+	binary.LittleEndian.PutUint32(b[off+4:off+8], uint32(in.DoubleIndirect))
+}
+
+// decode parses an inode from b.
+func (in *Inode) decode(b []byte) {
+	in.Type = FileType(b[0])
+	in.Links = binary.LittleEndian.Uint16(b[2:4])
+	in.Size = binary.LittleEndian.Uint64(b[8:16])
+	in.Mtime = binary.LittleEndian.Uint64(b[16:24])
+	in.Ctime = binary.LittleEndian.Uint64(b[24:32])
+	off := 32
+	for i := range in.Direct {
+		in.Direct[i] = uint64(binary.LittleEndian.Uint32(b[off : off+4]))
+		off += 4
+	}
+	in.Indirect = uint64(binary.LittleEndian.Uint32(b[off : off+4]))
+	in.DoubleIndirect = uint64(binary.LittleEndian.Uint32(b[off+4 : off+8]))
+}
+
+// ptrsPerBlock returns how many block pointers fit one fs block.
+func (fs *FS) ptrsPerBlock() uint64 {
+	return uint64(fs.sb.BlockSize) / ptrSize
+}
+
+// maxFileBlocks returns the largest addressable file length in fs blocks.
+func (fs *FS) maxFileBlocks() uint64 {
+	p := fs.ptrsPerBlock()
+	return directBlocks + p + p*p
+}
+
+// blockOfFile resolves logical file block idx to its physical fs block
+// (0 if unmapped). alloc extends the mapping, allocating data and pointer
+// blocks as needed; the inode is mutated but not written back.
+func (fs *FS) blockOfFile(in *Inode, idx uint64, alloc bool) (uint64, error) {
+	p := fs.ptrsPerBlock()
+	switch {
+	case idx < directBlocks:
+		if in.Direct[idx] == 0 && alloc {
+			blk, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			in.Direct[idx] = blk
+		}
+		return in.Direct[idx], nil
+	case idx < directBlocks+p:
+		if in.Indirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			blk, err := fs.allocZeroedBlock()
+			if err != nil {
+				return 0, err
+			}
+			in.Indirect = blk
+		}
+		return fs.ptrInBlock(in.Indirect, idx-directBlocks, alloc)
+	case idx < directBlocks+p+p*p:
+		if in.DoubleIndirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			blk, err := fs.allocZeroedBlock()
+			if err != nil {
+				return 0, err
+			}
+			in.DoubleIndirect = blk
+		}
+		rest := idx - directBlocks - p
+		l1 := rest / p
+		l2 := rest % p
+		mid, err := fs.ptrInBlockAllocPointer(in.DoubleIndirect, l1, alloc)
+		if err != nil || mid == 0 {
+			return mid, err
+		}
+		return fs.ptrInBlock(mid, l2, alloc)
+	default:
+		return 0, ErrFileTooBig
+	}
+}
+
+// ptrInBlock reads slot i of the pointer block at blk, allocating a data
+// block into the slot when alloc is set and the slot is empty.
+func (fs *FS) ptrInBlock(blk, i uint64, alloc bool) (uint64, error) {
+	buf, err := fs.readBlock(blk)
+	if err != nil {
+		return 0, err
+	}
+	off := int(i) * ptrSize
+	ptr := binary.LittleEndian.Uint64(buf[off : off+8])
+	if ptr == 0 && alloc {
+		ptr, err = fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint64(buf[off:off+8], ptr)
+		if err := fs.writeBlock(blk, buf); err != nil {
+			return 0, err
+		}
+	}
+	return ptr, nil
+}
+
+// ptrInBlockAllocPointer is ptrInBlock but allocates a zeroed *pointer*
+// block into empty slots (for the double-indirect level).
+func (fs *FS) ptrInBlockAllocPointer(blk, i uint64, alloc bool) (uint64, error) {
+	buf, err := fs.readBlock(blk)
+	if err != nil {
+		return 0, err
+	}
+	off := int(i) * ptrSize
+	ptr := binary.LittleEndian.Uint64(buf[off : off+8])
+	if ptr == 0 && alloc {
+		ptr, err = fs.allocZeroedBlock()
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint64(buf[off:off+8], ptr)
+		if err := fs.writeBlock(blk, buf); err != nil {
+			return 0, err
+		}
+	}
+	return ptr, nil
+}
+
+// fileBlocks walks every mapped data block of the inode in logical order.
+func (fs *FS) fileBlocks(in *Inode) ([]uint64, error) {
+	var out []uint64
+	nblocks := (in.Size + uint64(fs.sb.BlockSize) - 1) / uint64(fs.sb.BlockSize)
+	for idx := uint64(0); idx < nblocks; idx++ {
+		blk, err := fs.blockOfFile(in, idx, false)
+		if err != nil {
+			return nil, err
+		}
+		if blk != 0 {
+			out = append(out, blk)
+		}
+	}
+	return out, nil
+}
+
+// freeInodeBlocks releases all data and pointer blocks of the inode.
+func (fs *FS) freeInodeBlocks(in *Inode) error {
+	p := fs.ptrsPerBlock()
+	for i, blk := range in.Direct {
+		if blk != 0 {
+			if err := fs.freeBlock(blk); err != nil {
+				return err
+			}
+			in.Direct[i] = 0
+		}
+	}
+	if in.Indirect != 0 {
+		if err := fs.freePointerBlock(in.Indirect, 1); err != nil {
+			return err
+		}
+		in.Indirect = 0
+	}
+	if in.DoubleIndirect != 0 {
+		if err := fs.freePointerBlock(in.DoubleIndirect, 2); err != nil {
+			return err
+		}
+		in.DoubleIndirect = 0
+	}
+	_ = p
+	in.Size = 0
+	return nil
+}
+
+// freePointerBlock frees a pointer block of the given depth (1 = entries
+// are data blocks, 2 = entries are level-1 pointer blocks) and the block
+// itself.
+func (fs *FS) freePointerBlock(blk uint64, depth int) error {
+	buf, err := fs.readBlock(blk)
+	if err != nil {
+		return err
+	}
+	n := int(fs.ptrsPerBlock())
+	for i := 0; i < n; i++ {
+		ptr := binary.LittleEndian.Uint64(buf[i*ptrSize : i*ptrSize+8])
+		if ptr == 0 {
+			continue
+		}
+		if depth > 1 {
+			if err := fs.freePointerBlock(ptr, depth-1); err != nil {
+				return err
+			}
+		} else if err := fs.freeBlock(ptr); err != nil {
+			return err
+		}
+	}
+	return fs.freeBlock(blk)
+}

@@ -1,0 +1,205 @@
+package initiator
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/blockdev"
+	"repro/internal/iscsi"
+	"repro/internal/scsi"
+)
+
+// Capacity queries the device geometry with READ CAPACITY(10), escalating
+// to READ CAPACITY(16) for large devices per SBC-3.
+func (s *Session) Capacity() (scsi.Capacity, error) {
+	data, err := s.execRead(mustEncode(scsi.NewReadCapacity10()), 8)
+	if err != nil {
+		return scsi.Capacity{}, err
+	}
+	cap10, err := scsi.DecodeCapacity10(data)
+	if err != nil {
+		return scsi.Capacity{}, err
+	}
+	if cap10.LastLBA != 0xFFFFFFFF {
+		return cap10, nil
+	}
+	data, err = s.execRead(mustEncode(scsi.NewReadCapacity16()), 32)
+	if err != nil {
+		return scsi.Capacity{}, err
+	}
+	return scsi.DecodeCapacity16(data)
+}
+
+// Inquiry queries the standard inquiry data.
+func (s *Session) Inquiry() (*scsi.InquiryData, error) {
+	data, err := s.execRead(mustEncode(scsi.NewInquiry(36)), 36)
+	if err != nil {
+		return nil, err
+	}
+	return scsi.DecodeInquiry(data)
+}
+
+// TestUnitReady probes the logical unit.
+func (s *Session) TestUnitReady() error {
+	_, err := s.execRead(mustEncode(scsi.NewTestUnitReady()), 0)
+	return err
+}
+
+// Flush issues SYNCHRONIZE CACHE over the whole medium.
+func (s *Session) Flush() error {
+	_, err := s.execRead(mustEncode(scsi.NewSyncCache(0, 0)), 0)
+	return err
+}
+
+// Ping round-trips a NOP-Out/NOP-In pair.
+func (s *Session) Ping() error {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	p := &pendingCmd{done: make(chan struct{})}
+	itt, cmdSN, expStatSN, err := s.register(p)
+	if err != nil {
+		return err
+	}
+	nop := &iscsi.NopOut{ITT: itt, TTT: 0xFFFFFFFF, CmdSN: cmdSN, ExpStatSN: expStatSN}
+	if err := s.sendPDU(nop.Encode()); err != nil {
+		s.unregister(itt)
+		return err
+	}
+	<-p.done
+	return p.err
+}
+
+// Discover issues a SendTargets=All text request and returns the target
+// names the server exports (the discovery-session flow).
+func (s *Session) Discover() ([]string, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	p := &pendingCmd{done: make(chan struct{})}
+	itt, cmdSN, expStatSN, err := s.register(p)
+	if err != nil {
+		return nil, err
+	}
+	req := &iscsi.PDU{}
+	req.SetOp(iscsi.OpTextReq)
+	req.SetImmediate(true)
+	req.BHS[1] = 0x80 // final
+	req.SetITT(itt)
+	binary.BigEndian.PutUint32(req.BHS[20:24], 0xFFFFFFFF) // TTT reserved
+	binary.BigEndian.PutUint32(req.BHS[24:28], cmdSN)
+	binary.BigEndian.PutUint32(req.BHS[28:32], expStatSN)
+	data := []byte("SendTargets=All\x00")
+	req.Data = data
+	req.BHS[5] = byte(len(data) >> 16)
+	req.BHS[6] = byte(len(data) >> 8)
+	req.BHS[7] = byte(len(data))
+	if err := s.sendPDU(req); err != nil {
+		s.unregister(itt)
+		return nil, err
+	}
+	<-p.done
+	if p.err != nil {
+		return nil, p.err
+	}
+	var names []string
+	for _, kv := range bytes.Split(p.buf[:p.filled], []byte{0}) {
+		const prefix = "TargetName="
+		if v, ok := bytes.CutPrefix(kv, []byte(prefix)); ok && len(v) > 0 {
+			names = append(names, string(v))
+		}
+	}
+	return names, nil
+}
+
+// Logout ends the session gracefully and closes the connection.
+func (s *Session) Logout() error {
+	s.mu.Lock()
+	s.cmdSN++
+	req := &iscsi.LogoutRequest{Reason: 0, ITT: s.itt + 1, CmdSN: s.cmdSN, ExpStatSN: s.expStatSN}
+	s.mu.Unlock()
+	err := s.sendPDU(req.Encode())
+	<-s.readerDone
+	cerr := s.conn.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Close abandons the session, failing outstanding commands.
+func (s *Session) Close() error {
+	err := s.conn.Close()
+	<-s.readerDone
+	return err
+}
+
+func mustEncode(c *scsi.CDB) *scsi.CDB {
+	if _, err := c.Encode(); err != nil {
+		// Only reachable through a programming error in this package: the
+		// helper is called with constructor-produced CDBs.
+		panic(fmt.Sprintf("initiator: encode CDB: %v", err))
+	}
+	return c
+}
+
+// Device adapts a session to the blockdev.Device interface so upper layers
+// (file systems, databases, workloads) can use a remote volume exactly like
+// a local disk — this is the virtual block device a tenant VM sees.
+type Device struct {
+	sess      *Session
+	blockSize int
+	blocks    uint64
+}
+
+var _ blockdev.Device = (*Device)(nil)
+
+// OpenDevice queries the session's capacity and returns a device view.
+func OpenDevice(sess *Session) (*Device, error) {
+	c, err := sess.Capacity()
+	if err != nil {
+		return nil, fmt.Errorf("initiator: read capacity: %w", err)
+	}
+	if c.BlockSize == 0 {
+		return nil, fmt.Errorf("initiator: target reported zero block size")
+	}
+	return &Device{sess: sess, blockSize: int(c.BlockSize), blocks: c.Blocks()}, nil
+}
+
+// Session returns the underlying session.
+func (d *Device) Session() *Session { return d.sess }
+
+// BlockSize implements blockdev.Device.
+func (d *Device) BlockSize() int { return d.blockSize }
+
+// Blocks implements blockdev.Device.
+func (d *Device) Blocks() uint64 { return d.blocks }
+
+// ReadAt implements blockdev.Device.
+func (d *Device) ReadAt(p []byte, lba uint64) error {
+	if len(p) == 0 || len(p)%d.blockSize != 0 {
+		return blockdev.ErrBadLength
+	}
+	data, err := d.sess.Read(lba, uint32(len(p)/d.blockSize), d.blockSize)
+	if err != nil {
+		return err
+	}
+	if len(data) != len(p) {
+		return fmt.Errorf("initiator: short read: %d of %d bytes", len(data), len(p))
+	}
+	copy(p, data)
+	return nil
+}
+
+// WriteAt implements blockdev.Device.
+func (d *Device) WriteAt(p []byte, lba uint64) error {
+	if len(p) == 0 || len(p)%d.blockSize != 0 {
+		return blockdev.ErrBadLength
+	}
+	return d.sess.Write(lba, p, d.blockSize)
+}
+
+// Flush implements blockdev.Device.
+func (d *Device) Flush() error { return d.sess.Flush() }
+
+// Close implements blockdev.Device by logging out the session.
+func (d *Device) Close() error { return d.sess.Logout() }

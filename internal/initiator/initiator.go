@@ -1,0 +1,487 @@
+// Package initiator implements the iSCSI initiator used by tenant VMs (and
+// by the active-relay middle-box's pseudo-client): login with the StorM
+// source-port exposure, tag-based multiplexing of outstanding commands,
+// immediate data, and R2T-solicited Data-Out sequences.
+package initiator
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"repro/internal/iscsi"
+	"repro/internal/scsi"
+)
+
+// Errors returned by session operations.
+var (
+	ErrSessionClosed = errors.New("initiator: session closed")
+	ErrLoginFailed   = errors.New("initiator: login failed")
+)
+
+// Config describes the session to establish.
+type Config struct {
+	// InitiatorIQN names this initiator.
+	InitiatorIQN string
+	// TargetIQN names the volume's target.
+	TargetIQN string
+	// AttachedVM optionally carries the owning VM's name for StorM's
+	// connection attribution.
+	AttachedVM string
+	// Params are the desired operational parameters (DefaultParams when
+	// zero).
+	Params iscsi.Params
+	// QueueDepth bounds locally outstanding commands (default 32,
+	// Open-iSCSI's node.session.queue_depth).
+	QueueDepth int
+}
+
+// pendingCmd tracks one outstanding command.
+type pendingCmd struct {
+	buf    []byte // Data-In assembly for reads
+	filled int
+	r2t    chan *iscsi.R2T
+	done   chan struct{}
+
+	status byte
+	sense  *scsi.Sense
+	err    error
+}
+
+// Session is a logged-in iSCSI session. All methods are safe for concurrent
+// use; multiple application threads share one session, as Fio threads share
+// a volume connection in the paper's setup.
+type Session struct {
+	conn   net.Conn
+	params iscsi.Params
+	cfg    Config
+
+	writeMu sync.Mutex
+
+	mu        sync.Mutex
+	itt       uint32
+	cmdSN     uint32
+	expStatSN uint32
+	pending   map[uint32]*pendingCmd
+	closedErr error
+
+	sem        chan struct{}
+	readerDone chan struct{}
+}
+
+// Login establishes a session over conn. The local TCP source port is
+// exposed in the login text (the paper's modified Login Session code) so the
+// platform can attribute the connection.
+func Login(conn net.Conn, cfg Config) (*Session, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.Params == (iscsi.Params{}) {
+		cfg.Params = iscsi.DefaultParams()
+	}
+	pairs := cfg.Params.Pairs()
+	pairs[iscsi.KeyInitiatorName] = cfg.InitiatorIQN
+	pairs[iscsi.KeyTargetName] = cfg.TargetIQN
+	pairs[iscsi.KeySessionType] = "Normal"
+	if port := localPort(conn); port != 0 {
+		pairs[iscsi.KeySourcePort] = strconv.Itoa(port)
+	}
+	if cfg.AttachedVM != "" {
+		pairs[iscsi.KeyAttachedVM] = cfg.AttachedVM
+	}
+	req := &iscsi.LoginRequest{
+		Transit: true,
+		CSG:     iscsi.StageOperational,
+		NSG:     iscsi.StageFullFeature,
+		ISID:    [6]byte{0x80, 0, 0, 0, 0, 1},
+		ITT:     1,
+		CmdSN:   1,
+		Pairs:   pairs,
+	}
+	if _, err := req.Encode().WriteTo(conn); err != nil {
+		return nil, fmt.Errorf("initiator: send login: %w", err)
+	}
+	pdu, err := iscsi.ReadPDU(conn)
+	if err != nil {
+		return nil, fmt.Errorf("initiator: read login response: %w", err)
+	}
+	resp, err := iscsi.ParseLoginResponse(pdu)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusClass != iscsi.LoginStatusSuccess {
+		return nil, fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
+			ErrLoginFailed, resp.StatusClass, resp.StatusDetail)
+	}
+	params, err := cfg.Params.Negotiate(resp.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		conn:       conn,
+		params:     params,
+		cfg:        cfg,
+		itt:        1,
+		cmdSN:      2,
+		expStatSN:  resp.StatSN,
+		pending:    make(map[uint32]*pendingCmd),
+		sem:        make(chan struct{}, cfg.QueueDepth),
+		readerDone: make(chan struct{}),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// Params returns the negotiated operational parameters.
+func (s *Session) Params() iscsi.Params { return s.params }
+
+// Conn returns the underlying connection.
+func (s *Session) Conn() net.Conn { return s.conn }
+
+// localPort extracts the TCP source port from the connection, if available.
+func localPort(conn net.Conn) int {
+	addr := conn.LocalAddr()
+	if addr == nil {
+		return 0
+	}
+	_, portStr, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return 0
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return 0
+	}
+	return port
+}
+
+// readLoop demultiplexes target PDUs to their outstanding commands.
+func (s *Session) readLoop() {
+	defer close(s.readerDone)
+	for {
+		pdu, err := iscsi.ReadPDU(s.conn)
+		if err != nil {
+			s.failAll(err)
+			return
+		}
+		switch pdu.Op() {
+		case iscsi.OpSCSIDataIn:
+			din, err := iscsi.ParseDataIn(pdu)
+			if err != nil {
+				s.failAll(err)
+				return
+			}
+			s.handleDataIn(din)
+		case iscsi.OpSCSIResponse:
+			resp, err := iscsi.ParseSCSIResponse(pdu)
+			if err != nil {
+				s.failAll(err)
+				return
+			}
+			s.handleResponse(resp)
+		case iscsi.OpR2T:
+			r2t, err := iscsi.ParseR2T(pdu)
+			if err != nil {
+				s.failAll(err)
+				return
+			}
+			s.mu.Lock()
+			p := s.pending[r2t.ITT]
+			s.mu.Unlock()
+			if p != nil && p.r2t != nil {
+				p.r2t <- r2t
+			}
+		case iscsi.OpNopIn:
+			n, err := iscsi.ParseNopIn(pdu)
+			if err != nil {
+				s.failAll(err)
+				return
+			}
+			s.completeNop(n)
+		case iscsi.OpTextResp:
+			s.mu.Lock()
+			p := s.pending[pdu.ITT()]
+			if p != nil {
+				p.buf = append([]byte(nil), pdu.Data...)
+				p.filled = len(pdu.Data)
+				delete(s.pending, pdu.ITT())
+			}
+			s.mu.Unlock()
+			if p != nil {
+				close(p.done)
+			}
+		case iscsi.OpLogoutResp:
+			s.failAll(ErrSessionClosed)
+			return
+		case iscsi.OpReject:
+			rej, _ := iscsi.ParseReject(pdu)
+			s.failAll(fmt.Errorf("initiator: target rejected PDU (reason 0x%02x)", rej.Reason))
+			return
+		default:
+			s.failAll(fmt.Errorf("initiator: unexpected PDU %v", pdu.Op()))
+			return
+		}
+	}
+}
+
+func (s *Session) handleDataIn(din *iscsi.DataIn) {
+	s.mu.Lock()
+	p := s.pending[din.ITT]
+	if p == nil {
+		s.mu.Unlock()
+		return
+	}
+	off := int(din.BufferOffset)
+	if off+len(din.Data) <= len(p.buf) {
+		copy(p.buf[off:], din.Data)
+		p.filled += len(din.Data)
+	}
+	if din.StatusPresent && din.Final {
+		p.status = din.Status
+		if din.StatSN+1 > s.expStatSN {
+			s.expStatSN = din.StatSN + 1
+		}
+		delete(s.pending, din.ITT)
+		s.mu.Unlock()
+		close(p.done)
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *Session) handleResponse(resp *iscsi.SCSIResponse) {
+	s.mu.Lock()
+	p := s.pending[resp.ITT]
+	if p == nil {
+		s.mu.Unlock()
+		return
+	}
+	p.status = resp.Status
+	if len(resp.Sense) > 0 {
+		if sense, err := scsi.DecodeSense(resp.Sense); err == nil {
+			p.sense = sense
+		}
+	}
+	if resp.StatSN+1 > s.expStatSN {
+		s.expStatSN = resp.StatSN + 1
+	}
+	delete(s.pending, resp.ITT)
+	s.mu.Unlock()
+	close(p.done)
+}
+
+func (s *Session) completeNop(n *iscsi.NopIn) {
+	s.mu.Lock()
+	p := s.pending[n.ITT]
+	if p != nil {
+		delete(s.pending, n.ITT)
+	}
+	s.mu.Unlock()
+	if p != nil {
+		close(p.done)
+	}
+}
+
+func (s *Session) failAll(err error) {
+	s.mu.Lock()
+	if s.closedErr == nil {
+		s.closedErr = err
+	}
+	pend := s.pending
+	s.pending = make(map[uint32]*pendingCmd)
+	s.mu.Unlock()
+	for _, p := range pend {
+		p.err = err
+		close(p.done)
+	}
+}
+
+// register allocates a task tag and tracks the command.
+func (s *Session) register(p *pendingCmd) (itt, cmdSN, expStatSN uint32, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closedErr != nil {
+		return 0, 0, 0, s.closedErr
+	}
+	s.itt++
+	s.cmdSN++
+	itt = s.itt
+	s.pending[itt] = p
+	return itt, s.cmdSN, s.expStatSN, nil
+}
+
+func (s *Session) sendPDU(p *iscsi.PDU) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err := p.WriteTo(s.conn)
+	return err
+}
+
+func (s *Session) unregister(itt uint32) {
+	s.mu.Lock()
+	delete(s.pending, itt)
+	s.mu.Unlock()
+}
+
+// Read reads blocks*BlockSize bytes at lba. blockSize is the device block
+// size (learned via Capacity).
+func (s *Session) Read(lba uint64, blocks uint32, blockSize int) ([]byte, error) {
+	cdb := scsi.NewRead(lba, blocks)
+	if _, err := cdb.Encode(); err != nil {
+		return nil, err
+	}
+	n := int(blocks) * blockSize
+	data, err := s.execRead(cdb, n)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// execRead issues a read-direction command expecting n data bytes.
+func (s *Session) execRead(cdb *scsi.CDB, n int) ([]byte, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	p := &pendingCmd{buf: make([]byte, n), done: make(chan struct{})}
+	itt, cmdSN, expStatSN, err := s.register(p)
+	if err != nil {
+		return nil, err
+	}
+	cmd := &iscsi.SCSICommand{
+		Final:                      true,
+		Read:                       n > 0,
+		ITT:                        itt,
+		ExpectedDataTransferLength: uint32(n),
+		CmdSN:                      cmdSN,
+		ExpStatSN:                  expStatSN,
+	}
+	copy(cmd.CDB[:], cdb.Raw)
+	if err := s.sendPDU(cmd.Encode()); err != nil {
+		s.unregister(itt)
+		return nil, err
+	}
+	<-p.done
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.sense != nil {
+		return nil, p.sense
+	}
+	if p.status != byte(scsi.StatusGood) {
+		return nil, fmt.Errorf("initiator: %v", scsi.Status(p.status))
+	}
+	return p.buf[:p.filled], nil
+}
+
+// Write writes data at lba. len(data) must be a multiple of blockSize.
+func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
+	if blockSize <= 0 || len(data)%blockSize != 0 {
+		return fmt.Errorf("initiator: write length %d is not a multiple of block size %d", len(data), blockSize)
+	}
+	cdb := scsi.NewWrite(lba, uint32(len(data)/blockSize))
+	if _, err := cdb.Encode(); err != nil {
+		return err
+	}
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	p := &pendingCmd{done: make(chan struct{}), r2t: make(chan *iscsi.R2T, 4)}
+	itt, cmdSN, expStatSN, err := s.register(p)
+	if err != nil {
+		return err
+	}
+
+	// Immediate (unsolicited) data up to FirstBurstLength.
+	immediate := 0
+	if s.params.ImmediateData && !s.params.InitialR2T {
+		immediate = len(data)
+		if immediate > s.params.FirstBurstLength {
+			immediate = s.params.FirstBurstLength
+		}
+		if immediate > s.params.MaxRecvDataSegmentLength {
+			immediate = s.params.MaxRecvDataSegmentLength
+		}
+	}
+	cmd := &iscsi.SCSICommand{
+		Final:                      true,
+		Write:                      true,
+		ITT:                        itt,
+		ExpectedDataTransferLength: uint32(len(data)),
+		CmdSN:                      cmdSN,
+		ExpStatSN:                  expStatSN,
+		Data:                       data[:immediate],
+	}
+	copy(cmd.CDB[:], cdb.Raw)
+	if err := s.sendPDU(cmd.Encode()); err != nil {
+		s.unregister(itt)
+		return err
+	}
+
+	// Serve R2Ts until the transfer is fully solicited.
+	sent := immediate
+	for sent < len(data) {
+		var r2t *iscsi.R2T
+		select {
+		case r2t = <-p.r2t:
+		case <-p.done:
+			if p.err != nil {
+				return p.err
+			}
+			return fmt.Errorf("initiator: write completed before data transfer (status %v)", scsi.Status(p.status))
+		}
+		if err := s.sendBurst(itt, r2t, data); err != nil {
+			s.unregister(itt)
+			return err
+		}
+		sent = int(r2t.BufferOffset) + int(r2t.DesiredLength)
+	}
+
+	<-p.done
+	if p.err != nil {
+		return p.err
+	}
+	if p.sense != nil {
+		return p.sense
+	}
+	if p.status != byte(scsi.StatusGood) {
+		return fmt.Errorf("initiator: %v", scsi.Status(p.status))
+	}
+	return nil
+}
+
+// sendBurst answers one R2T with Data-Out PDUs chunked to the negotiated
+// segment length.
+func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte) error {
+	start := int(r2t.BufferOffset)
+	end := start + int(r2t.DesiredLength)
+	if end > len(data) {
+		return fmt.Errorf("initiator: R2T solicits bytes [%d,%d) beyond transfer of %d", start, end, len(data))
+	}
+	maxSeg := s.params.MaxRecvDataSegmentLength
+	if maxSeg <= 0 {
+		maxSeg = 8192
+	}
+	var dataSN uint32
+	for off := start; off < end; {
+		segEnd := off + maxSeg
+		if segEnd > end {
+			segEnd = end
+		}
+		dout := &iscsi.DataOut{
+			Final:        segEnd == end,
+			ITT:          itt,
+			TTT:          r2t.TTT,
+			DataSN:       dataSN,
+			BufferOffset: uint32(off),
+			Data:         data[off:segEnd],
+		}
+		if err := s.sendPDU(dout.Encode()); err != nil {
+			return err
+		}
+		dataSN++
+		off = segEnd
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package initiator
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/iscsi"
+)
+
+// fakeTarget answers the login on the server side of a pipe so unit tests
+// exercise the initiator without the full target package (which has its own
+// integration tests against this one).
+func fakeTarget(t *testing.T, conn net.Conn, statusClass byte) {
+	t.Helper()
+	go func() {
+		pdu, err := iscsi.ReadPDU(conn)
+		if err != nil {
+			return
+		}
+		req, err := iscsi.ParseLoginRequest(pdu)
+		if err != nil {
+			return
+		}
+		resp := &iscsi.LoginResponse{
+			Transit:     true,
+			CSG:         iscsi.StageOperational,
+			NSG:         iscsi.StageFullFeature,
+			ISID:        req.ISID,
+			ITT:         req.ITT,
+			StatSN:      1,
+			ExpCmdSN:    req.CmdSN + 1,
+			MaxCmdSN:    req.CmdSN + 32,
+			StatusClass: statusClass,
+			Pairs:       iscsi.DefaultParams().Pairs(),
+		}
+		_, _ = resp.Encode().WriteTo(conn)
+	}()
+}
+
+func TestLoginExposesSourcePortAndVM(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+
+	pairsCh := make(chan map[string]string, 1)
+	go func() {
+		pdu, err := iscsi.ReadPDU(server)
+		if err != nil {
+			return
+		}
+		req, _ := iscsi.ParseLoginRequest(pdu)
+		pairsCh <- req.Pairs
+		resp := &iscsi.LoginResponse{
+			Transit: true, CSG: iscsi.StageOperational, NSG: iscsi.StageFullFeature,
+			ISID: req.ISID, ITT: req.ITT, StatSN: 1,
+			ExpCmdSN: req.CmdSN + 1, MaxCmdSN: req.CmdSN + 32,
+			Pairs: iscsi.DefaultParams().Pairs(),
+		}
+		_, _ = resp.Encode().WriteTo(server)
+	}()
+
+	sess, err := Login(client, Config{
+		InitiatorIQN: "iqn.x:vm1", TargetIQN: "iqn.x:vol1", AttachedVM: "vm1",
+	})
+	if err != nil {
+		t.Fatalf("Login: %v", err)
+	}
+	defer sess.Close()
+	pairs := <-pairsCh
+	if pairs[iscsi.KeyInitiatorName] != "iqn.x:vm1" || pairs[iscsi.KeyTargetName] != "iqn.x:vol1" {
+		t.Errorf("names not sent: %v", pairs)
+	}
+	if pairs[iscsi.KeyAttachedVM] != "vm1" {
+		t.Errorf("AttachedVM not sent: %v", pairs)
+	}
+	// net.Pipe addresses carry no port, so the StorM key is absent here;
+	// fabric connections carry it (covered by the splice tests).
+	if sess.Params().MaxRecvDataSegmentLength <= 0 {
+		t.Error("params not negotiated")
+	}
+}
+
+func TestLoginFailureStatus(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fakeTarget(t, server, iscsi.LoginStatusInitiatorErr)
+	if _, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"}); err == nil {
+		t.Fatal("login succeeded against error status")
+	}
+}
+
+func TestLoginConnectionDrop(t *testing.T) {
+	client, server := net.Pipe()
+	go func() {
+		_, _ = iscsi.ReadPDU(server)
+		server.Close()
+	}()
+	if _, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"}); err == nil {
+		t.Fatal("login succeeded on dropped connection")
+	}
+}
+
+func TestOperationsFailAfterConnClose(t *testing.T) {
+	client, server := net.Pipe()
+	fakeTarget(t, server, iscsi.LoginStatusSuccess)
+	sess, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"})
+	if err != nil {
+		t.Fatalf("Login: %v", err)
+	}
+	server.Close()
+	if _, err := sess.Read(0, 1, 512); err == nil {
+		t.Error("Read succeeded on dead session")
+	}
+	if err := sess.Write(0, make([]byte, 512), 512); err == nil {
+		t.Error("Write succeeded on dead session")
+	}
+	_ = sess.Close()
+}
+
+func TestWriteValidatesAlignment(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fakeTarget(t, server, iscsi.LoginStatusSuccess)
+	sess, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"})
+	if err != nil {
+		t.Fatalf("Login: %v", err)
+	}
+	defer sess.Close()
+	if err := sess.Write(0, make([]byte, 100), 512); err == nil {
+		t.Error("unaligned Write accepted")
+	}
+	if err := sess.Write(0, nil, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}

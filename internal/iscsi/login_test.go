@@ -1,0 +1,214 @@
+package iscsi
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoginRequestRoundTrip(t *testing.T) {
+	give := &LoginRequest{
+		Transit:   true,
+		CSG:       StageOperational,
+		NSG:       StageFullFeature,
+		ISID:      [6]byte{0x80, 1, 2, 3, 4, 5},
+		TSIH:      0,
+		ITT:       1,
+		CID:       0,
+		CmdSN:     1,
+		ExpStatSN: 0,
+		Pairs: map[string]string{
+			KeyInitiatorName: "iqn.2016-04.edu.purdue.storm:vm1",
+			KeyTargetName:    "iqn.2016-04.edu.purdue.storm:vol1",
+			KeySourcePort:    "40123",
+			KeySessionType:   "Normal",
+		},
+	}
+	got, err := ParseLoginRequest(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseLoginRequest: %v", err)
+	}
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip:\n got  %+v\n want %+v", got, give)
+	}
+}
+
+func TestLoginResponseRoundTrip(t *testing.T) {
+	give := &LoginResponse{
+		Transit:     true,
+		CSG:         StageOperational,
+		NSG:         StageFullFeature,
+		ISID:        [6]byte{0x80, 0, 0, 0, 0, 1},
+		TSIH:        77,
+		ITT:         1,
+		StatSN:      1,
+		ExpCmdSN:    2,
+		MaxCmdSN:    65,
+		StatusClass: LoginStatusSuccess,
+		Pairs:       DefaultParams().Pairs(),
+	}
+	got, err := ParseLoginResponse(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseLoginResponse: %v", err)
+	}
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip:\n got  %+v\n want %+v", got, give)
+	}
+}
+
+func TestLoginResponseEmptyPairs(t *testing.T) {
+	give := &LoginResponse{StatusClass: LoginStatusInitiatorErr}
+	got, err := ParseLoginResponse(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseLoginResponse: %v", err)
+	}
+	if len(got.Pairs) != 0 {
+		t.Errorf("Pairs = %v, want empty", got.Pairs)
+	}
+}
+
+func TestEncodePairsDeterministic(t *testing.T) {
+	p := map[string]string{"b": "2", "a": "1", "c": "3"}
+	first := string(EncodePairs(p))
+	for i := 0; i < 10; i++ {
+		if got := string(EncodePairs(p)); got != first {
+			t.Fatal("EncodePairs is not deterministic")
+		}
+	}
+	if first != "a=1\x00b=2\x00c=3\x00" {
+		t.Errorf("EncodePairs = %q, want sorted NUL-separated form", first)
+	}
+}
+
+func TestDecodePairsMalformed(t *testing.T) {
+	if _, err := DecodePairs([]byte("novalue\x00")); err == nil {
+		t.Error("DecodePairs without '=': want error")
+	}
+}
+
+func TestDecodePairsTrailingGarbage(t *testing.T) {
+	// A final pair without NUL terminator must still parse.
+	got, err := DecodePairs([]byte("a=1\x00b=2"))
+	if err != nil {
+		t.Fatalf("DecodePairs: %v", err)
+	}
+	want := map[string]string{"a": "1", "b": "2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DecodePairs = %v, want %v", got, want)
+	}
+}
+
+func TestPairsRoundTripProperty(t *testing.T) {
+	f := func(keys, values []string) bool {
+		pairs := make(map[string]string)
+		for i, k := range keys {
+			if k == "" || containsAny(k, "=\x00") {
+				continue
+			}
+			v := ""
+			if i < len(values) {
+				v = values[i]
+			}
+			if containsAny(v, "\x00") {
+				continue
+			}
+			pairs[k] = v
+		}
+		got, err := DecodePairs(EncodePairs(pairs))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, pairs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsAny(s, chars string) bool {
+	for _, c := range chars {
+		for _, r := range s {
+			if r == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestParamsNegotiate(t *testing.T) {
+	local := DefaultParams()
+	offered := map[string]string{
+		KeyMaxRecvDSL:    "8192",
+		KeyFirstBurst:    "16384",
+		KeyMaxBurst:      "32768",
+		KeyImmediateData: "No",
+		KeyInitialR2T:    "Yes",
+	}
+	got, err := local.Negotiate(offered)
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	if got.MaxRecvDataSegmentLength != 8192 {
+		t.Errorf("MaxRecvDSL = %d, want 8192", got.MaxRecvDataSegmentLength)
+	}
+	if got.FirstBurstLength != 16384 || got.MaxBurstLength != 32768 {
+		t.Errorf("bursts = %d/%d, want 16384/32768", got.FirstBurstLength, got.MaxBurstLength)
+	}
+	if got.ImmediateData {
+		t.Error("ImmediateData should AND to false")
+	}
+	if !got.InitialR2T {
+		t.Error("InitialR2T should OR to true")
+	}
+}
+
+func TestParamsNegotiateClampsFirstBurst(t *testing.T) {
+	local := Params{
+		MaxRecvDataSegmentLength: 1 << 20,
+		FirstBurstLength:         1 << 20,
+		MaxBurstLength:           1 << 20,
+	}
+	got, err := local.Negotiate(map[string]string{KeyMaxBurst: "4096"})
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	if got.FirstBurstLength > got.MaxBurstLength {
+		t.Errorf("FirstBurstLength %d > MaxBurstLength %d", got.FirstBurstLength, got.MaxBurstLength)
+	}
+}
+
+func TestParamsNegotiateRejectsGarbage(t *testing.T) {
+	local := DefaultParams()
+	for _, bad := range []map[string]string{
+		{KeyMaxRecvDSL: "zero"},
+		{KeyMaxRecvDSL: "-5"},
+		{KeyFirstBurst: ""},
+		{KeyMaxBurst: "0"},
+	} {
+		if _, err := local.Negotiate(bad); err == nil {
+			t.Errorf("Negotiate(%v): want error", bad)
+		}
+	}
+}
+
+func TestParamsNegotiateEmptyOfferKeepsLocal(t *testing.T) {
+	local := DefaultParams()
+	got, err := local.Negotiate(nil)
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	if got != local {
+		t.Errorf("Negotiate(nil) = %+v, want unchanged %+v", got, local)
+	}
+}
+
+func TestDefaultParamsPairs(t *testing.T) {
+	pairs := DefaultParams().Pairs()
+	if pairs[KeyImmediateData] != "Yes" || pairs[KeyInitialR2T] != "No" {
+		t.Errorf("default pairs wrong: %v", pairs)
+	}
+	if pairs[KeyHeaderDigest] != "None" || pairs[KeyDataDigest] != "None" {
+		t.Error("digests must be None")
+	}
+}

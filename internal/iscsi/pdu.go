@@ -1,0 +1,226 @@
+// Package iscsi implements the subset of the iSCSI protocol (RFC 7143) that
+// carries block storage traffic between the StorM initiator, middle-boxes,
+// and target: login/logout negotiation, SCSI command/response, Data-In,
+// Data-Out, R2T flow control, and NOP keepalives.
+//
+// PDUs use the standard 48-byte basic header segment (BHS) followed by an
+// optional data segment padded to a four-byte boundary. Header and data
+// digests are not negotiated (DataDigest=None,HeaderDigest=None), matching
+// the paper's prototype configuration. Middle-boxes rely on this package to
+// decapsulate and re-encapsulate storage packets exactly as the prototype
+// reuses Open-iSCSI's parsing logic.
+package iscsi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// BHSLen is the length of the basic header segment.
+const BHSLen = 48
+
+// Opcode identifies the PDU type. Initiator opcodes are 0x00-0x1F, target
+// opcodes 0x20-0x3F.
+type Opcode byte
+
+// Initiator opcodes.
+const (
+	OpNopOut       Opcode = 0x00
+	OpSCSICommand  Opcode = 0x01
+	OpTaskMgmtReq  Opcode = 0x02
+	OpLoginReq     Opcode = 0x03
+	OpTextReq      Opcode = 0x04
+	OpSCSIDataOut  Opcode = 0x05
+	OpLogoutReq    Opcode = 0x06
+	OpSNACKRequest Opcode = 0x10
+)
+
+// Target opcodes.
+const (
+	OpNopIn        Opcode = 0x20
+	OpSCSIResponse Opcode = 0x21
+	OpTaskMgmtResp Opcode = 0x22
+	OpLoginResp    Opcode = 0x23
+	OpTextResp     Opcode = 0x24
+	OpSCSIDataIn   Opcode = 0x25
+	OpLogoutResp   Opcode = 0x26
+	OpR2T          Opcode = 0x31
+	OpReject       Opcode = 0x3F
+)
+
+// String renders the opcode name.
+func (o Opcode) String() string {
+	switch o {
+	case OpNopOut:
+		return "NOP-Out"
+	case OpSCSICommand:
+		return "SCSI-Command"
+	case OpTaskMgmtReq:
+		return "TaskMgmt-Req"
+	case OpLoginReq:
+		return "Login-Req"
+	case OpTextReq:
+		return "Text-Req"
+	case OpSCSIDataOut:
+		return "Data-Out"
+	case OpLogoutReq:
+		return "Logout-Req"
+	case OpNopIn:
+		return "NOP-In"
+	case OpSCSIResponse:
+		return "SCSI-Response"
+	case OpTaskMgmtResp:
+		return "TaskMgmt-Resp"
+	case OpLoginResp:
+		return "Login-Resp"
+	case OpTextResp:
+		return "Text-Resp"
+	case OpSCSIDataIn:
+		return "Data-In"
+	case OpLogoutResp:
+		return "Logout-Resp"
+	case OpR2T:
+		return "R2T"
+	case OpReject:
+		return "Reject"
+	default:
+		return fmt.Sprintf("Opcode(0x%02x)", byte(o))
+	}
+}
+
+// FromTarget reports whether the opcode originates at the target side.
+func (o Opcode) FromTarget() bool { return o >= 0x20 }
+
+// MaxDataSegment is the largest data segment this implementation accepts,
+// guarding against corrupt length fields (the 24-bit wire maximum).
+const MaxDataSegment = 1<<24 - 1
+
+// PDU is a raw protocol data unit: the fixed basic header segment plus the
+// (possibly empty) data segment. Typed views (SCSICommand, DataIn, ...) parse
+// and build PDUs; forwarding paths can relay PDUs without interpretation.
+type PDU struct {
+	BHS  [BHSLen]byte
+	Data []byte
+}
+
+// Op returns the PDU opcode (with the immediate-delivery bit masked off).
+func (p *PDU) Op() Opcode { return Opcode(p.BHS[0] & 0x3F) }
+
+// Immediate reports whether the immediate-delivery bit is set.
+func (p *PDU) Immediate() bool { return p.BHS[0]&0x40 != 0 }
+
+// SetOp stores the opcode, preserving the immediate bit.
+func (p *PDU) SetOp(op Opcode) { p.BHS[0] = p.BHS[0]&0x40 | byte(op) }
+
+// SetImmediate sets or clears the immediate-delivery bit.
+func (p *PDU) SetImmediate(v bool) {
+	if v {
+		p.BHS[0] |= 0x40
+	} else {
+		p.BHS[0] &^= 0x40
+	}
+}
+
+// Final reports the F bit (bit 7 of byte 1).
+func (p *PDU) Final() bool { return p.BHS[1]&0x80 != 0 }
+
+// ITT returns the initiator task tag.
+func (p *PDU) ITT() uint32 { return binary.BigEndian.Uint32(p.BHS[16:20]) }
+
+// SetITT stores the initiator task tag.
+func (p *PDU) SetITT(v uint32) { binary.BigEndian.PutUint32(p.BHS[16:20], v) }
+
+// DataSegmentLength returns the 24-bit data segment length from the BHS.
+func (p *PDU) DataSegmentLength() int {
+	return int(p.BHS[5])<<16 | int(p.BHS[6])<<8 | int(p.BHS[7])
+}
+
+// setDataSegment stores data in the PDU and updates the BHS length field.
+func (p *PDU) setDataSegment(data []byte) {
+	p.Data = data
+	n := len(data)
+	p.BHS[5] = byte(n >> 16)
+	p.BHS[6] = byte(n >> 8)
+	p.BHS[7] = byte(n)
+}
+
+// WireLen returns the total encoded length including data padding.
+func (p *PDU) WireLen() int { return BHSLen + pad4(len(p.Data)) }
+
+// WriteTo serializes the PDU. It implements io.WriterTo.
+func (p *PDU) WriteTo(w io.Writer) (int64, error) {
+	if len(p.Data) > MaxDataSegment {
+		return 0, fmt.Errorf("iscsi: data segment %d exceeds protocol maximum", len(p.Data))
+	}
+	buf := make([]byte, p.WireLen())
+	copy(buf, p.BHS[:])
+	copy(buf[BHSLen:], p.Data)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// Bytes returns the full wire encoding of the PDU.
+func (p *PDU) Bytes() []byte {
+	buf := make([]byte, p.WireLen())
+	copy(buf, p.BHS[:])
+	copy(buf[BHSLen:], p.Data)
+	return buf
+}
+
+// ReadPDU reads one PDU from the stream.
+func ReadPDU(r io.Reader) (*PDU, error) {
+	var p PDU
+	if _, err := io.ReadFull(r, p.BHS[:]); err != nil {
+		return nil, err
+	}
+	if ahs := p.BHS[4]; ahs != 0 {
+		return nil, fmt.Errorf("iscsi: additional header segments unsupported (TotalAHSLength=%d)", ahs)
+	}
+	n := p.DataSegmentLength()
+	if n > MaxDataSegment {
+		return nil, fmt.Errorf("iscsi: data segment length %d exceeds protocol maximum", n)
+	}
+	if n > 0 {
+		buf := make([]byte, pad4(n))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("iscsi: read data segment: %w", err)
+		}
+		p.Data = buf[:n]
+	}
+	return &p, nil
+}
+
+// DecodePDU parses a PDU from a contiguous buffer, returning the PDU and the
+// number of bytes consumed.
+func DecodePDU(b []byte) (*PDU, int, error) {
+	if len(b) < BHSLen {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	var p PDU
+	copy(p.BHS[:], b[:BHSLen])
+	n := p.DataSegmentLength()
+	total := BHSLen + pad4(n)
+	if len(b) < total {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	if n > 0 {
+		p.Data = append([]byte(nil), b[BHSLen:BHSLen+n]...)
+	}
+	return &p, total, nil
+}
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// LUN packs a logical unit number into the 8-byte BHS representation using
+// the flat addressing method for LUNs below 16384.
+func LUN(lun uint16) [8]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint16(b[0:2], lun&0x3FFF)
+	return b
+}
+
+// ParseLUN extracts a flat-addressed LUN from its 8-byte representation.
+func ParseLUN(b [8]byte) uint16 {
+	return binary.BigEndian.Uint16(b[0:2]) & 0x3FFF
+}

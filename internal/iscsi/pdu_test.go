@@ -1,0 +1,368 @@
+package iscsi
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPDUWireRoundTrip(t *testing.T) {
+	cmd := &SCSICommand{
+		Final:                      true,
+		Write:                      true,
+		LUN:                        3,
+		ITT:                        42,
+		ExpectedDataTransferLength: 4096,
+		CmdSN:                      7,
+		ExpStatSN:                  9,
+		Data:                       bytes.Repeat([]byte{0xAB}, 101), // non-multiple of 4 to exercise padding
+	}
+	var buf bytes.Buffer
+	p := cmd.Encode()
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if buf.Len() != BHSLen+104 {
+		t.Errorf("wire length = %d, want %d (padded)", buf.Len(), BHSLen+104)
+	}
+	got, err := ReadPDU(&buf)
+	if err != nil {
+		t.Fatalf("ReadPDU: %v", err)
+	}
+	if got.Op() != OpSCSICommand {
+		t.Errorf("Op() = %v, want SCSI-Command", got.Op())
+	}
+	parsed, err := ParseSCSICommand(got)
+	if err != nil {
+		t.Fatalf("ParseSCSICommand: %v", err)
+	}
+	if !bytes.Equal(parsed.Data, cmd.Data) {
+		t.Error("data segment corrupted through round trip")
+	}
+	if parsed.ITT != 42 || parsed.LUN != 3 || parsed.CmdSN != 7 {
+		t.Errorf("fields lost: %+v", parsed)
+	}
+}
+
+func TestReadPDUStream(t *testing.T) {
+	// Several PDUs back to back must parse cleanly from a stream.
+	var buf bytes.Buffer
+	pdus := []*PDU{
+		(&NopOut{ITT: 1, CmdSN: 1}).Encode(),
+		(&SCSICommand{ITT: 2, Read: true, Final: true}).Encode(),
+		(&DataIn{ITT: 2, Final: true, Data: []byte("payload!")}).Encode(),
+	}
+	for _, p := range pdus {
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+	}
+	for i, want := range pdus {
+		got, err := ReadPDU(&buf)
+		if err != nil {
+			t.Fatalf("ReadPDU #%d: %v", i, err)
+		}
+		if got.Op() != want.Op() {
+			t.Errorf("PDU #%d op = %v, want %v", i, got.Op(), want.Op())
+		}
+	}
+	if _, err := ReadPDU(&buf); err != io.EOF {
+		t.Errorf("ReadPDU on empty stream: err = %v, want EOF", err)
+	}
+}
+
+func TestReadPDUTruncated(t *testing.T) {
+	full := (&DataIn{ITT: 9, Data: []byte("0123456789")}).Encode().Bytes()
+	for _, cut := range []int{1, BHSLen - 1, BHSLen + 1, len(full) - 1} {
+		if _, err := ReadPDU(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("ReadPDU(truncated at %d): want error", cut)
+		}
+	}
+}
+
+func TestReadPDURejectsAHS(t *testing.T) {
+	p := (&NopOut{ITT: 1}).Encode()
+	raw := p.Bytes()
+	raw[4] = 2 // TotalAHSLength
+	if _, err := ReadPDU(bytes.NewReader(raw)); err == nil {
+		t.Error("ReadPDU with AHS: want error")
+	}
+}
+
+func TestDecodePDU(t *testing.T) {
+	p := (&DataOut{ITT: 5, Data: []byte("abc")}).Encode()
+	raw := p.Bytes()
+	got, n, err := DecodePDU(raw)
+	if err != nil {
+		t.Fatalf("DecodePDU: %v", err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d bytes, want %d", n, len(raw))
+	}
+	if got.Op() != OpSCSIDataOut || !bytes.Equal(got.Data, []byte("abc")) {
+		t.Errorf("DecodePDU mismatch: op=%v data=%q", got.Op(), got.Data)
+	}
+	if _, _, err := DecodePDU(raw[:10]); err != io.ErrUnexpectedEOF {
+		t.Errorf("DecodePDU(short) err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodePDUCopiesData(t *testing.T) {
+	raw := (&DataOut{ITT: 5, Data: []byte("abc")}).Encode().Bytes()
+	got, _, err := DecodePDU(raw)
+	if err != nil {
+		t.Fatalf("DecodePDU: %v", err)
+	}
+	raw[BHSLen] = 'X'
+	if got.Data[0] == 'X' {
+		t.Error("DecodePDU aliases the input buffer")
+	}
+}
+
+func TestImmediateBit(t *testing.T) {
+	var p PDU
+	p.SetOp(OpSCSICommand)
+	p.SetImmediate(true)
+	if !p.Immediate() || p.Op() != OpSCSICommand {
+		t.Error("immediate bit handling broken")
+	}
+	p.SetImmediate(false)
+	if p.Immediate() {
+		t.Error("SetImmediate(false) did not clear the bit")
+	}
+	p.SetImmediate(true)
+	p.SetOp(OpNopOut)
+	if !p.Immediate() {
+		t.Error("SetOp cleared the immediate bit")
+	}
+}
+
+func TestLUNRoundTrip(t *testing.T) {
+	f := func(l uint16) bool {
+		l &= 0x3FFF
+		return ParseLUN(LUN(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for _, op := range []Opcode{
+		OpNopOut, OpSCSICommand, OpTaskMgmtReq, OpLoginReq, OpTextReq,
+		OpSCSIDataOut, OpLogoutReq, OpNopIn, OpSCSIResponse, OpTaskMgmtResp,
+		OpLoginResp, OpTextResp, OpSCSIDataIn, OpLogoutResp, OpR2T, OpReject,
+	} {
+		if s := op.String(); s == "" || s[0] == 'O' && s != "Opcode(0x11)" {
+			continue
+		}
+	}
+	if got := Opcode(0x11).String(); got != "Opcode(0x11)" {
+		t.Errorf("unknown opcode String() = %q", got)
+	}
+	if OpNopOut.FromTarget() || !OpSCSIResponse.FromTarget() {
+		t.Error("FromTarget classification wrong")
+	}
+}
+
+func TestSCSIResponseRoundTrip(t *testing.T) {
+	give := &SCSIResponse{
+		ITT:           11,
+		Response:      RespCompleted,
+		Status:        0x02,
+		StatSN:        100,
+		ExpCmdSN:      101,
+		MaxCmdSN:      164,
+		ResidualCount: 512,
+		Underflow:     true,
+		Sense:         []byte{0x70, 0, 5, 0, 0, 0, 0, 10, 0, 0, 0, 0, 0x24, 0},
+	}
+	got, err := ParseSCSIResponse(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseSCSIResponse: %v", err)
+	}
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip:\n got  %+v\n want %+v", got, give)
+	}
+}
+
+func TestSCSIResponseBadSenseLength(t *testing.T) {
+	p := (&SCSIResponse{ITT: 1}).Encode()
+	p.setDataSegment([]byte{0xFF, 0xFF, 0x00}) // claims 65535 sense bytes
+	if _, err := ParseSCSIResponse(p); err == nil {
+		t.Error("want error for sense length exceeding data segment")
+	}
+}
+
+func TestDataInRoundTrip(t *testing.T) {
+	give := &DataIn{
+		Final:         true,
+		StatusPresent: true,
+		Status:        0,
+		LUN:           2,
+		ITT:           77,
+		TTT:           0xFFFFFFFF,
+		StatSN:        5,
+		ExpCmdSN:      6,
+		MaxCmdSN:      70,
+		DataSN:        3,
+		BufferOffset:  8192,
+		Data:          []byte("block data"),
+	}
+	got, err := ParseDataIn(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseDataIn: %v", err)
+	}
+	if !reflect.DeepEqual(got, give) {
+		t.Errorf("round trip:\n got  %+v\n want %+v", got, give)
+	}
+}
+
+func TestDataOutRoundTrip(t *testing.T) {
+	give := &DataOut{
+		Final:        true,
+		LUN:          1,
+		ITT:          10,
+		TTT:          20,
+		ExpStatSN:    30,
+		DataSN:       2,
+		BufferOffset: 65536,
+		Data:         bytes.Repeat([]byte{7}, 4096),
+	}
+	got, err := ParseDataOut(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseDataOut: %v", err)
+	}
+	if !reflect.DeepEqual(got, give) {
+		t.Error("DataOut round trip mismatch")
+	}
+}
+
+func TestR2TRoundTrip(t *testing.T) {
+	give := &R2T{
+		LUN:           4,
+		ITT:           9,
+		TTT:           13,
+		StatSN:        1,
+		ExpCmdSN:      2,
+		MaxCmdSN:      66,
+		R2TSN:         0,
+		BufferOffset:  128 * 1024,
+		DesiredLength: 64 * 1024,
+	}
+	got, err := ParseR2T(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseR2T: %v", err)
+	}
+	if *got != *give {
+		t.Errorf("round trip: got %+v, want %+v", got, give)
+	}
+}
+
+func TestNopRoundTrips(t *testing.T) {
+	out := &NopOut{ITT: 1, TTT: 0xFFFFFFFF, CmdSN: 2, ExpStatSN: 3, Data: []byte("ping")}
+	gotOut, err := ParseNopOut(roundTrip(t, out.Encode()))
+	if err != nil {
+		t.Fatalf("ParseNopOut: %v", err)
+	}
+	if !reflect.DeepEqual(gotOut, out) {
+		t.Errorf("NopOut round trip: got %+v, want %+v", gotOut, out)
+	}
+	in := &NopIn{ITT: 1, TTT: 5, StatSN: 2, ExpCmdSN: 3, MaxCmdSN: 60, Data: []byte("pong")}
+	gotIn, err := ParseNopIn(roundTrip(t, in.Encode()))
+	if err != nil {
+		t.Fatalf("ParseNopIn: %v", err)
+	}
+	if !reflect.DeepEqual(gotIn, in) {
+		t.Errorf("NopIn round trip: got %+v, want %+v", gotIn, in)
+	}
+}
+
+func TestLogoutRoundTrips(t *testing.T) {
+	req := &LogoutRequest{Reason: 1, ITT: 2, CID: 3, CmdSN: 4, ExpStatSN: 5}
+	gotReq, err := ParseLogoutRequest(roundTrip(t, req.Encode()))
+	if err != nil {
+		t.Fatalf("ParseLogoutRequest: %v", err)
+	}
+	if *gotReq != *req {
+		t.Errorf("LogoutRequest round trip: got %+v, want %+v", gotReq, req)
+	}
+	resp := &LogoutResponse{Response: 0, ITT: 2, StatSN: 6, ExpCmdSN: 5, MaxCmdSN: 69}
+	gotResp, err := ParseLogoutResponse(roundTrip(t, resp.Encode()))
+	if err != nil {
+		t.Fatalf("ParseLogoutResponse: %v", err)
+	}
+	if *gotResp != *resp {
+		t.Errorf("LogoutResponse round trip: got %+v, want %+v", gotResp, resp)
+	}
+}
+
+func TestRejectRoundTrip(t *testing.T) {
+	hdr := make([]byte, BHSLen)
+	hdr[0] = byte(OpSCSICommand)
+	give := &Reject{Reason: RejectInvalidPDUField, StatSN: 8, Header: hdr}
+	got, err := ParseReject(roundTrip(t, give.Encode()))
+	if err != nil {
+		t.Fatalf("ParseReject: %v", err)
+	}
+	if got.Reason != give.Reason || !bytes.Equal(got.Header, give.Header) {
+		t.Error("Reject round trip mismatch")
+	}
+}
+
+func TestParseWrongOpcode(t *testing.T) {
+	nop := (&NopOut{}).Encode()
+	if _, err := ParseSCSICommand(nop); err == nil {
+		t.Error("ParseSCSICommand(NopOut): want error")
+	}
+	if _, err := ParseDataIn(nop); err == nil {
+		t.Error("ParseDataIn(NopOut): want error")
+	}
+	if _, err := ParseR2T(nop); err == nil {
+		t.Error("ParseR2T(NopOut): want error")
+	}
+	if _, err := ParseLoginRequest(nop); err == nil {
+		t.Error("ParseLoginRequest(NopOut): want error")
+	}
+}
+
+func TestPDUDataSegmentProperty(t *testing.T) {
+	// Property: any payload survives encode/decode through a stream.
+	f := func(data []byte, itt uint32) bool {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		d := &DataIn{ITT: itt, Data: data}
+		var buf bytes.Buffer
+		if _, err := d.Encode().WriteTo(&buf); err != nil {
+			return false
+		}
+		p, err := ReadPDU(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := ParseDataIn(p)
+		if err != nil {
+			return false
+		}
+		return got.ITT == itt && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundTrip(t *testing.T, p *PDU) *PDU {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadPDU(&buf)
+	if err != nil {
+		t.Fatalf("ReadPDU: %v", err)
+	}
+	return got
+}

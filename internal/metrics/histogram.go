@@ -1,0 +1,164 @@
+// Package metrics provides the measurement primitives used across the StorM
+// test bed: latency histograms with percentile queries, throughput meters,
+// and per-host simulated CPU accounting (used for the Figure 10 breakdown).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records a set of duration samples and answers aggregate queries.
+// The zero value is ready to use. All methods are safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum returns the total of all recorded samples.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean of the samples, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest sample, or zero when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank interpolation. It returns zero when the histogram is empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return h.samples[lo] + time.Duration(frac*float64(h.samples[hi]-h.samples[lo]))
+}
+
+// Stddev returns the sample standard deviation, or zero for fewer than two
+// samples.
+func (h *Histogram) Stddev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(h.sum) / float64(n)
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.sum, h.min, h.max = 0, 0, 0
+	h.sorted = false
+}
+
+// Snapshot returns a point-in-time summary of the histogram.
+func (h *Histogram) Snapshot() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		P50:    h.Percentile(50),
+		P95:    h.Percentile(95),
+		P99:    h.Percentile(99),
+		Stddev: h.Stddev(),
+	}
+}
+
+// Summary is a point-in-time aggregate of a Histogram.
+type Summary struct {
+	Count  int
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Stddev time.Duration
+}
+
+// String renders the summary in a single human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
+}

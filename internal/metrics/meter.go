@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter counts discrete events and bytes over a wall-clock interval and
+// reports rates. The zero value is not ready for use; call NewMeter.
+type Meter struct {
+	start time.Time
+	ops   atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewMeter returns a meter whose interval starts now.
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// Record adds one operation of n bytes.
+func (m *Meter) Record(n int) {
+	m.ops.Add(1)
+	m.bytes.Add(int64(n))
+}
+
+// Ops returns the total operation count.
+func (m *Meter) Ops() int64 { return m.ops.Load() }
+
+// Bytes returns the total byte count.
+func (m *Meter) Bytes() int64 { return m.bytes.Load() }
+
+// Elapsed returns the time since the meter was created.
+func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
+
+// OpsPerSec returns the average operation rate since creation.
+func (m *Meter) OpsPerSec() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.ops.Load()) / el
+}
+
+// BytesPerSec returns the average byte rate since creation.
+func (m *Meter) BytesPerSec() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.bytes.Load()) / el
+}
+
+// CPUAccount tracks simulated CPU busy-time per named component on a host.
+// The Figure 10 breakdown divides busy time by wall time to obtain a
+// utilization percentage per host. All methods are safe for concurrent use.
+type CPUAccount struct {
+	mu    sync.Mutex
+	busy  map[string]time.Duration
+	start time.Time
+}
+
+// NewCPUAccount returns an account whose observation window starts now.
+func NewCPUAccount() *CPUAccount {
+	return &CPUAccount{busy: make(map[string]time.Duration), start: time.Now()}
+}
+
+// Charge adds d of busy time to the named component.
+func (a *CPUAccount) Charge(component string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.busy[component] += d
+	a.mu.Unlock()
+}
+
+// Busy returns the accumulated busy time for the named component.
+func (a *CPUAccount) Busy(component string) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.busy[component]
+}
+
+// TotalBusy returns the busy time summed over all components.
+func (a *CPUAccount) TotalBusy() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var t time.Duration
+	for _, d := range a.busy {
+		t += d
+	}
+	return t
+}
+
+// Utilization returns busy/wall for the named component over the window
+// [start, now], as a fraction in [0, +inf).
+func (a *CPUAccount) Utilization(component string) float64 {
+	wall := time.Since(a.start)
+	if wall <= 0 {
+		return 0
+	}
+	return float64(a.Busy(component)) / float64(wall)
+}
+
+// Components returns a copy of the per-component busy-time map.
+func (a *CPUAccount) Components() map[string]time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]time.Duration, len(a.busy))
+	for k, v := range a.busy {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all accumulated busy time and restarts the window.
+func (a *CPUAccount) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.busy = make(map[string]time.Duration)
+	a.start = time.Now()
+}

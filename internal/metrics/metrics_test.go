@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Count(); got != 0 {
+		t.Errorf("Count() = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("Mean() = %v, want 0", got)
+	}
+	if got := h.Percentile(50); got != 0 {
+		t.Errorf("Percentile(50) = %v, want 0", got)
+	}
+	if got := h.Stddev(); got != 0 {
+		t.Errorf("Stddev() = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{10, 20, 30, 40, 50} {
+		h.Observe(d * time.Millisecond)
+	}
+	if got, want := h.Count(), 5; got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+	if got, want := h.Mean(), 30*time.Millisecond; got != want {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	if got, want := h.Min(), 10*time.Millisecond; got != want {
+		t.Errorf("Min() = %v, want %v", got, want)
+	}
+	if got, want := h.Max(), 50*time.Millisecond; got != want {
+		t.Errorf("Max() = %v, want %v", got, want)
+	}
+	if got, want := h.Percentile(50), 30*time.Millisecond; got != want {
+		t.Errorf("Percentile(50) = %v, want %v", got, want)
+	}
+	if got, want := h.Percentile(0), 10*time.Millisecond; got != want {
+		t.Errorf("Percentile(0) = %v, want %v", got, want)
+	}
+	if got, want := h.Percentile(100), 50*time.Millisecond; got != want {
+		t.Errorf("Percentile(100) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(100 * time.Millisecond)
+	if got, want := h.Percentile(50), 50*time.Millisecond; got != want {
+		t.Errorf("Percentile(50) = %v, want %v", got, want)
+	}
+	if got, want := h.Percentile(25), 25*time.Millisecond; got != want {
+		t.Errorf("Percentile(25) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	// Observing after a percentile query must re-sort correctly.
+	var h Histogram
+	h.Observe(30 * time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+	_ = h.Percentile(50)
+	h.Observe(20 * time.Millisecond)
+	if got, want := h.Percentile(50), 20*time.Millisecond; got != want {
+		t.Errorf("Percentile(50) = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Errorf("after Reset: count=%d sum=%v max=%v, want zeros", h.Count(), h.Sum(), h.Max())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 100
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), goroutines*perG; got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	// Property: percentiles are non-decreasing in p, and bounded by min/max.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v) * time.Microsecond)
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			if cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMeanWithinBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v) * time.Microsecond)
+		}
+		m := h.Mean()
+		return m >= h.Min() && m <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramStddevConstant(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	if got := h.Stddev(); got != 0 {
+		t.Errorf("Stddev of constant samples = %v, want 0", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Errorf("Snapshot().Count = %d, want 1", s.Count)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String() is empty")
+	}
+}
+
+func TestMeterRates(t *testing.T) {
+	m := NewMeter()
+	for i := 0; i < 10; i++ {
+		m.Record(4096)
+	}
+	if got, want := m.Ops(), int64(10); got != want {
+		t.Errorf("Ops() = %d, want %d", got, want)
+	}
+	if got, want := m.Bytes(), int64(40960); got != want {
+		t.Errorf("Bytes() = %d, want %d", got, want)
+	}
+	if m.OpsPerSec() <= 0 {
+		t.Errorf("OpsPerSec() = %v, want > 0", m.OpsPerSec())
+	}
+	if m.BytesPerSec() <= 0 {
+		t.Errorf("BytesPerSec() = %v, want > 0", m.BytesPerSec())
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Record(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Ops(), int64(4000); got != want {
+		t.Errorf("Ops() = %d, want %d", got, want)
+	}
+}
+
+func TestCPUAccountChargeAndQuery(t *testing.T) {
+	a := NewCPUAccount()
+	a.Charge("cipher", 10*time.Millisecond)
+	a.Charge("cipher", 5*time.Millisecond)
+	a.Charge("io", 2*time.Millisecond)
+	if got, want := a.Busy("cipher"), 15*time.Millisecond; got != want {
+		t.Errorf("Busy(cipher) = %v, want %v", got, want)
+	}
+	if got, want := a.TotalBusy(), 17*time.Millisecond; got != want {
+		t.Errorf("TotalBusy() = %v, want %v", got, want)
+	}
+	comps := a.Components()
+	if len(comps) != 2 {
+		t.Errorf("Components() has %d entries, want 2", len(comps))
+	}
+	// Mutating the copy must not affect the account.
+	comps["cipher"] = 0
+	if got := a.Busy("cipher"); got != 15*time.Millisecond {
+		t.Errorf("Busy(cipher) after mutating copy = %v, want 15ms", got)
+	}
+}
+
+func TestCPUAccountNegativeAndZeroCharge(t *testing.T) {
+	a := NewCPUAccount()
+	a.Charge("x", 0)
+	a.Charge("x", -time.Second)
+	if got := a.Busy("x"); got != 0 {
+		t.Errorf("Busy(x) = %v, want 0", got)
+	}
+}
+
+func TestCPUAccountUtilization(t *testing.T) {
+	a := NewCPUAccount()
+	a.Charge("x", time.Hour) // enormous vs. wall time
+	if u := a.Utilization("x"); u <= 1 {
+		t.Errorf("Utilization = %v, want > 1 for overloaded component", u)
+	}
+	a.Reset()
+	if got := a.TotalBusy(); got != 0 {
+		t.Errorf("TotalBusy after Reset = %v, want 0", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package middlebox implements StorM's middle-box runtime (Section III-B):
+// the packet interception API offered to tenant-defined storage services.
+// A Relay terminates the spliced storage connection inside the middle-box
+// VM as a pseudo-target, executes intercepted commands against a backend
+// device reached through a pseudo-client connection to the next hop, and —
+// in active-relay mode — acknowledges writes immediately after journaling
+// them to non-volatile memory, hiding service processing and downstream
+// forwarding latency from the data source.
+//
+// Tenant services plug in as blockdev.Device decorators around the backend
+// (exactly the "read and write interfaces to the storage service
+// processes" the paper describes), so encryption, monitoring, and
+// replication compose by nesting.
+package middlebox
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrJournalFull reports that the non-volatile buffer cannot accept more
+// unacknowledged write data; the relay falls back to synchronous completion
+// until space frees up.
+var ErrJournalFull = errors.New("middlebox: journal full")
+
+// EntryState tracks a journaled write through its lifecycle.
+type EntryState int
+
+// Journal entry states.
+const (
+	// StateAcked: the initiator has been acknowledged; the data lives only
+	// in the journal.
+	StateAcked EntryState = iota + 1
+	// StateApplied: the write reached the backend (next hop acknowledged).
+	StateApplied
+	// StateFailed: the backend rejected the write after acknowledgement.
+	StateFailed
+)
+
+// Entry is one journaled write.
+type Entry struct {
+	Seq      uint64
+	LBA      uint64
+	Data     []byte
+	State    EntryState
+	ApplyErr error
+}
+
+// Journal is the middle-box's non-volatile write buffer: a copy of every
+// early-acknowledged packet is kept until delivered and acknowledged by the
+// next hop (Section III-B's consistency mechanism for the split
+// connections). The in-memory implementation stands in for NVRAM; Capacity
+// bounds outstanding bytes.
+type Journal struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+	nextSeq  uint64
+	entries  map[uint64]*Entry
+	failures []error
+}
+
+// NewJournal creates a journal holding up to capacity bytes of
+// unacknowledged write data (0 means unbounded).
+func NewJournal(capacity int) *Journal {
+	return &Journal{capacity: capacity, entries: make(map[uint64]*Entry)}
+}
+
+// Append records a write before it is acknowledged to the source. The data
+// is copied (NVRAM persistence). It fails with ErrJournalFull when capacity
+// would be exceeded.
+func (j *Journal) Append(lba uint64, data []byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.capacity > 0 && j.used+len(data) > j.capacity {
+		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, j.used, j.capacity)
+	}
+	j.nextSeq++
+	e := &Entry{
+		Seq:   j.nextSeq,
+		LBA:   lba,
+		Data:  append([]byte(nil), data...),
+		State: StateAcked,
+	}
+	j.entries[e.Seq] = e
+	j.used += len(data)
+	return e.Seq, nil
+}
+
+// Complete marks the entry applied (applyErr nil) or failed, releasing its
+// space on success.
+func (j *Journal) Complete(seq uint64, applyErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[seq]
+	if !ok {
+		return
+	}
+	if applyErr != nil {
+		e.State = StateFailed
+		e.ApplyErr = applyErr
+		j.failures = append(j.failures, fmt.Errorf("middlebox: journal seq %d (lba %d): %w", seq, e.LBA, applyErr))
+		return
+	}
+	e.State = StateApplied
+	j.used -= len(e.Data)
+	delete(j.entries, seq)
+}
+
+// Pending returns the number of journaled-but-unapplied entries.
+func (j *Journal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.State == StateAcked {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedBytes returns the bytes held by unapplied entries.
+func (j *Journal) UsedBytes() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.used
+}
+
+// Failures returns backend apply errors recorded after early
+// acknowledgement — the data-loss surface existing fault-tolerance
+// machinery must cover (Section III-B).
+func (j *Journal) Failures() []error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]error(nil), j.failures...)
+}

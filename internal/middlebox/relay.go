@@ -1,0 +1,278 @@
+package middlebox
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/initiator"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/target"
+)
+
+// Mode selects the relay's interception strategy (Section III-B).
+type Mode int
+
+// Relay modes.
+const (
+	// Passive hooks every packet on the kernel forwarding path into user
+	// space and completes commands synchronously — simple but costly.
+	Passive Mode = iota + 1
+	// Active splits the connection in two, acknowledges the source
+	// immediately after journaling, and forwards asynchronously.
+	Active
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case Passive:
+		return "passive-relay"
+	case Active:
+		return "active-relay"
+	default:
+		return "relay(?)"
+	}
+}
+
+// CostModel captures the interception costs of the two designs: the
+// passive relay pays a kernel-to-user copy per packet (one hook callback
+// and syscall each), while the active relay reads through the kernel TCP
+// stack, which packs several packets per copy.
+type CostModel struct {
+	// PassivePerPacket is the per-MTU-packet hook + copy cost.
+	PassivePerPacket time.Duration
+	// ActivePerBatch is the per-batch copy cost through the TCP stack.
+	ActivePerBatch time.Duration
+	// MTU is the packet size used for passive accounting.
+	MTU int
+	// BatchSize is the TCP-stack copy granularity for active accounting.
+	BatchSize int
+}
+
+// DefaultJournalCapacity bounds the active relay's NVRAM buffer when the
+// configuration leaves it zero: enough to hide backend latency, small
+// enough that sustained overload falls back to write-through (the physical
+// NVRAM is finite).
+const DefaultJournalCapacity = 4 << 20
+
+// DefaultCostModel mirrors the calibration in EXPERIMENTS.md.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PassivePerPacket: 4 * time.Microsecond,
+		ActivePerBatch:   8 * time.Microsecond,
+		MTU:              8 * 1024,
+		BatchSize:        64 * 1024,
+	}
+}
+
+// interceptCost returns the modelled cost of moving n payload bytes
+// between the wire and the service process.
+func (c CostModel) interceptCost(mode Mode, n int) time.Duration {
+	if n <= 0 {
+		n = 1
+	}
+	switch mode {
+	case Passive:
+		mtu := c.MTU
+		if mtu <= 0 {
+			mtu = 8 * 1024
+		}
+		packets := (n + mtu - 1) / mtu
+		return time.Duration(packets) * c.PassivePerPacket
+	case Active:
+		batch := c.BatchSize
+		if batch <= 0 {
+			batch = 64 * 1024
+		}
+		batches := (n + batch - 1) / batch
+		return time.Duration(batches) * c.ActivePerBatch
+	default:
+		return 0
+	}
+}
+
+// ServiceFactory wraps a backend device with one tenant service. Factories
+// compose in order: the first factory is closest to the backend.
+type ServiceFactory func(backend blockdev.Device) (blockdev.Device, error)
+
+// Config assembles a relay.
+type Config struct {
+	// Name is the middle-box's station name (diagnostics).
+	Name string
+	// Mode selects passive or active interception.
+	Mode Mode
+	// Dial opens the pseudo-client connection toward the next hop.
+	// When nil, the relay requires front connections to carry netsim
+	// route metadata and dials through Endpoint.
+	Dial func(next netsim.Addr) (net.Conn, error)
+	// Endpoint dials onward through the fabric when Dial is nil.
+	Endpoint *netsim.Endpoint
+	// NextHop overrides the front connection's route metadata.
+	NextHop netsim.Addr
+	// Services are the tenant service decorators, backend-first.
+	Services []ServiceFactory
+	// JournalCapacity bounds the active relay's NVRAM buffer in bytes
+	// (0 = unbounded).
+	JournalCapacity int
+	// Cost is the interception cost model (DefaultCostModel when zero).
+	Cost CostModel
+	// CPU optionally receives the relay's processing charges.
+	CPU *metrics.CPUAccount
+	// Logger receives diagnostics.
+	Logger *log.Logger
+}
+
+// Relay is a middle-box's storage relay: pseudo-server toward the source,
+// pseudo-client toward the next hop, with the tenant's service chain in
+// between.
+type Relay struct {
+	cfg Config
+	srv *target.Server
+
+	journals chan *Journal // journals created for active sessions
+}
+
+// NewRelay builds a relay from the configuration.
+func NewRelay(cfg Config) (*Relay, error) {
+	if cfg.Mode != Passive && cfg.Mode != Active {
+		return nil, fmt.Errorf("middlebox: invalid mode %d", cfg.Mode)
+	}
+	if cfg.Dial == nil && cfg.Endpoint == nil {
+		return nil, errors.New("middlebox: relay needs Dial or Endpoint")
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	r := &Relay{cfg: cfg, journals: make(chan *Journal, 64)}
+	r.srv = target.NewServer(
+		target.WithResolver(r.resolve),
+		target.WithLogger(cfg.Logger),
+	)
+	return r, nil
+}
+
+// Serve accepts front connections on ln until it closes.
+func (r *Relay) Serve(ln net.Listener) { r.srv.Serve(ln) }
+
+// Close stops the relay and drains sessions.
+func (r *Relay) Close() { r.srv.Close() }
+
+// Journals returns a channel delivering the journal of each active-mode
+// session as it is created (for observability and tests).
+func (r *Relay) Journals() <-chan *Journal { return r.journals }
+
+// resolve is the pseudo-server's device resolver: it dials the next hop,
+// logs in with the front session's target name, and stacks the service
+// chain plus mode-specific decorators on the backend device.
+func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error) {
+	next := r.cfg.NextHop
+	if next.IsZero() {
+		nc, ok := conn.(*netsim.Conn)
+		if !ok || nc.Route() == nil || nc.Route().NextHop.IsZero() {
+			return nil, false, errors.New("middlebox: front connection has no next-hop metadata")
+		}
+		next = nc.Route().NextHop
+	}
+
+	var (
+		backConn net.Conn
+		err      error
+	)
+	if r.cfg.Dial != nil {
+		backConn, err = r.cfg.Dial(next)
+	} else {
+		backConn, err = r.cfg.Endpoint.DialAddr(next)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("middlebox: dial next hop %v: %w", next, err)
+	}
+	sess, err := initiator.Login(backConn, initiator.Config{
+		InitiatorIQN: "iqn.2016-04.edu.purdue.storm:mb:" + r.cfg.Name,
+		TargetIQN:    iqn,
+		// The relay aggregates a whole session's traffic onto its
+		// pseudo-client connection; it needs the full command window.
+		QueueDepth: 64,
+	})
+	if err != nil {
+		_ = backConn.Close()
+		return nil, false, fmt.Errorf("middlebox: backend login: %w", err)
+	}
+	dev, err := initiator.OpenDevice(sess)
+	if err != nil {
+		_ = sess.Close()
+		return nil, false, err
+	}
+
+	var stack blockdev.Device = dev
+	for _, f := range r.cfg.Services {
+		stack, err = f(stack)
+		if err != nil {
+			_ = sess.Close()
+			return nil, false, fmt.Errorf("middlebox: build service chain: %w", err)
+		}
+	}
+	if r.cfg.Mode == Active {
+		capacity := r.cfg.JournalCapacity
+		if capacity == 0 {
+			capacity = DefaultJournalCapacity
+		}
+		j := NewJournal(capacity)
+		select {
+		case r.journals <- j:
+		default:
+		}
+		stack = NewWriteBack(stack, j)
+	}
+	stack = newInterceptDevice(stack, r.cfg.Mode, r.cfg.Cost, r.cfg.CPU)
+	return stack, true, nil
+}
+
+// interceptDevice charges the mode's interception cost (and CPU) per
+// medium access, modelling the packet copy path into the service process.
+type interceptDevice struct {
+	dev  blockdev.Device
+	mode Mode
+	cost CostModel
+	cpu  *metrics.CPUAccount
+}
+
+var _ blockdev.Device = (*interceptDevice)(nil)
+
+func newInterceptDevice(dev blockdev.Device, mode Mode, cost CostModel, cpu *metrics.CPUAccount) *interceptDevice {
+	return &interceptDevice{dev: dev, mode: mode, cost: cost, cpu: cpu}
+}
+
+func (d *interceptDevice) charge(n int) {
+	c := d.cost.interceptCost(d.mode, n)
+	if c <= 0 {
+		return
+	}
+	simtime.Sleep(c)
+	if d.cpu != nil {
+		d.cpu.Charge("intercept", c)
+	}
+}
+
+func (d *interceptDevice) BlockSize() int { return d.dev.BlockSize() }
+
+func (d *interceptDevice) Blocks() uint64 { return d.dev.Blocks() }
+
+func (d *interceptDevice) ReadAt(p []byte, lba uint64) error {
+	d.charge(len(p))
+	return d.dev.ReadAt(p, lba)
+}
+
+func (d *interceptDevice) WriteAt(p []byte, lba uint64) error {
+	d.charge(len(p))
+	return d.dev.WriteAt(p, lba)
+}
+
+func (d *interceptDevice) Flush() error { return d.dev.Flush() }
+
+func (d *interceptDevice) Close() error { return d.dev.Close() }

@@ -1,0 +1,260 @@
+package middlebox
+
+import (
+	"sync"
+
+	"repro/internal/blockdev"
+)
+
+// applyParallelism bounds concurrent backend applies. The relay forwards
+// journaled writes as fast as the pseudo-client connection accepts them,
+// like the prototype's kernel TCP stack; overlapping writes stay ordered.
+const applyParallelism = 16
+
+// WriteBackDevice implements the active-relay acknowledgement semantics as
+// a device decorator: WriteAt journals the data to the non-volatile buffer
+// and returns immediately (the pseudo-server then acknowledges the source),
+// while background appliers push journaled writes to the backend. Writes to
+// overlapping extents apply in arrival order; disjoint writes apply in
+// parallel, matching the pipelining of the split TCP connections. Reads of
+// ranges with pending writes wait for those writes to land, preserving
+// read-your-writes consistency. Flush drains the journal before syncing the
+// backend.
+type WriteBackDevice struct {
+	dev     blockdev.Device
+	journal *Journal
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*wbItem // not yet dispatched, in arrival order
+	inflight []*wbItem // dispatched, not yet completed
+	closed   bool
+	applyErr error // sticky: first backend failure stops early-acking
+	wg       sync.WaitGroup
+}
+
+type wbItem struct {
+	seq    uint64
+	lba    uint64
+	blocks uint64
+	data   []byte
+}
+
+func itemsOverlap(a, b *wbItem) bool {
+	return a.lba < b.lba+b.blocks && b.lba < a.lba+a.blocks
+}
+
+var _ blockdev.Device = (*WriteBackDevice)(nil)
+
+// NewWriteBack wraps dev with active-relay write-back semantics using the
+// given journal.
+func NewWriteBack(dev blockdev.Device, journal *Journal) *WriteBackDevice {
+	w := &WriteBackDevice{dev: dev, journal: journal}
+	w.cond = sync.NewCond(&w.mu)
+	for i := 0; i < applyParallelism; i++ {
+		w.wg.Add(1)
+		go w.applyLoop()
+	}
+	return w
+}
+
+// Journal returns the backing journal.
+func (w *WriteBackDevice) Journal() *Journal { return w.journal }
+
+// BlockSize implements blockdev.Device.
+func (w *WriteBackDevice) BlockSize() int { return w.dev.BlockSize() }
+
+// Blocks implements blockdev.Device.
+func (w *WriteBackDevice) Blocks() uint64 { return w.dev.Blocks() }
+
+// WriteAt journals the write and returns without waiting for the backend.
+// When the journal is full or a previous apply failed, it falls back to a
+// synchronous write (after draining, to preserve ordering).
+func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
+	if len(p) == 0 || len(p)%w.dev.BlockSize() != 0 {
+		return blockdev.ErrBadLength
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return blockdev.ErrClosed
+	}
+	if w.applyErr != nil {
+		err := w.applyErr
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+
+	// Backpressure: when the NVRAM buffer is full, wait for appliers to
+	// free space rather than collapsing the pipeline with a full drain —
+	// the source then sees ack latency equal to one backend drain
+	// interval, exactly the split-connection flow control of the paper.
+	seq, err := w.journal.Append(lba, p)
+	for err != nil {
+		w.mu.Lock()
+		if w.closed || w.applyErr != nil {
+			ferr := w.applyErr
+			w.mu.Unlock()
+			if ferr != nil {
+				return ferr
+			}
+			return blockdev.ErrClosed
+		}
+		if len(w.queue) == 0 && len(w.inflight) == 0 {
+			// Nothing in flight and still no room: the write exceeds the
+			// buffer entirely; write through synchronously.
+			w.mu.Unlock()
+			return w.dev.WriteAt(p, lba)
+		}
+		w.cond.Wait()
+		w.mu.Unlock()
+		seq, err = w.journal.Append(lba, p)
+	}
+	item := &wbItem{
+		seq:    seq,
+		lba:    lba,
+		blocks: uint64(len(p) / w.dev.BlockSize()),
+		data:   p,
+	}
+	w.mu.Lock()
+	w.queue = append(w.queue, item)
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	return nil
+}
+
+// ReadAt waits for pending writes overlapping the extent, then reads from
+// the backend.
+func (w *WriteBackDevice) ReadAt(p []byte, lba uint64) error {
+	if len(p) == 0 || len(p)%w.dev.BlockSize() != 0 {
+		return blockdev.ErrBadLength
+	}
+	probe := &wbItem{lba: lba, blocks: uint64(len(p) / w.dev.BlockSize())}
+	w.mu.Lock()
+	for w.overlapsLocked(probe) && !w.closed {
+		w.cond.Wait()
+	}
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return blockdev.ErrClosed
+	}
+	return w.dev.ReadAt(p, lba)
+}
+
+// Flush drains all journaled writes and flushes the backend.
+func (w *WriteBackDevice) Flush() error {
+	w.drain()
+	w.mu.Lock()
+	err := w.applyErr
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.dev.Flush()
+}
+
+// Close drains outstanding writes, stops the appliers, and closes the
+// backend.
+func (w *WriteBackDevice) Close() error {
+	w.drain()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	w.wg.Wait()
+	return w.dev.Close()
+}
+
+// Pending returns the number of journaled-but-unapplied writes.
+func (w *WriteBackDevice) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.queue) + len(w.inflight)
+}
+
+// drain blocks until every queued write has been applied.
+func (w *WriteBackDevice) drain() {
+	w.mu.Lock()
+	for (len(w.queue) > 0 || len(w.inflight) > 0) && !w.closed {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+func (w *WriteBackDevice) overlapsLocked(probe *wbItem) bool {
+	for _, it := range w.inflight {
+		if itemsOverlap(it, probe) {
+			return true
+		}
+	}
+	for _, it := range w.queue {
+		if itemsOverlap(it, probe) {
+			return true
+		}
+	}
+	return false
+}
+
+// nextDispatchableLocked returns the index of the first queued item not
+// overlapping any in-flight item or earlier queued item (which would have
+// to apply first), or -1.
+func (w *WriteBackDevice) nextDispatchableLocked() int {
+scan:
+	for i, it := range w.queue {
+		for _, inf := range w.inflight {
+			if itemsOverlap(it, inf) {
+				continue scan
+			}
+		}
+		for _, prev := range w.queue[:i] {
+			if itemsOverlap(it, prev) {
+				continue scan
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// applyLoop is one of the parallel appliers.
+func (w *WriteBackDevice) applyLoop() {
+	defer w.wg.Done()
+	for {
+		w.mu.Lock()
+		idx := w.nextDispatchableLocked()
+		for idx < 0 && !w.closed {
+			w.cond.Wait()
+			idx = w.nextDispatchableLocked()
+		}
+		if idx < 0 && w.closed {
+			w.mu.Unlock()
+			return
+		}
+		item := w.queue[idx]
+		w.queue = append(w.queue[:idx], w.queue[idx+1:]...)
+		w.inflight = append(w.inflight, item)
+		w.mu.Unlock()
+
+		err := w.dev.WriteAt(item.data, item.lba)
+		w.journal.Complete(item.seq, err)
+
+		w.mu.Lock()
+		for i, inf := range w.inflight {
+			if inf == item {
+				w.inflight = append(w.inflight[:i], w.inflight[i+1:]...)
+				break
+			}
+		}
+		if err != nil && w.applyErr == nil {
+			w.applyErr = err
+		}
+		w.mu.Unlock()
+		w.cond.Broadcast()
+	}
+}

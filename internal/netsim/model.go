@@ -1,0 +1,120 @@
+package netsim
+
+import "time"
+
+// HopKind classifies a traversal station on a route; each kind has its own
+// per-packet processing cost in the Model.
+type HopKind int
+
+// Hop kinds.
+const (
+	// HopVirtio is the hypervisor<->guest packet copy at a VM boundary. The
+	// paper identifies this single-threaded copy as the dominant routing
+	// cost ("the intra-host packet transfer contributes more to the routing
+	// overhead than the inter-host packet transfer").
+	HopVirtio HopKind = iota + 1
+	// HopWire is an inter-host physical link traversal.
+	HopWire
+	// HopSwitch is a virtual switch (OVS) table lookup and forward.
+	HopSwitch
+	// HopForward is kernel IP forwarding inside a middle-box VM that is on
+	// the path but not terminating the connection (the MB-FWD case).
+	HopForward
+	// HopBridge is an intra-host software bridge between two endpoints on
+	// the same physical host.
+	HopBridge
+)
+
+// String renders the hop kind.
+func (k HopKind) String() string {
+	switch k {
+	case HopVirtio:
+		return "virtio"
+	case HopWire:
+		return "wire"
+	case HopSwitch:
+		return "switch"
+	case HopForward:
+		return "forward"
+	case HopBridge:
+		return "bridge"
+	default:
+		return "hop(?)"
+	}
+}
+
+// Hop is one traversal station on a route. Host names the physical host
+// charged for the processing cost (empty for wire legs).
+type Hop struct {
+	Kind HopKind
+	Host string
+}
+
+// Model holds the fabric's latency and cost constants. The defaults are
+// scaled-down analogues of the paper's 1 GbE testbed chosen so that the
+// benchmark suite completes in seconds while preserving the relative shape
+// of every figure; see EXPERIMENTS.md for the calibration notes.
+type Model struct {
+	// MTU is the frame size connections are chunked into for cost
+	// accounting (a jumbo-frame analogue; larger values speed simulation).
+	MTU int
+	// Bandwidth is the per-link serialization rate in bytes/second.
+	Bandwidth int64
+	// Latency is the propagation delay per hop kind.
+	Latency map[HopKind]time.Duration
+	// PerPacket is the per-frame processing cost per hop kind; these costs
+	// accumulate across hops without pipelining, modelling the synchronous
+	// single-threaded packet copying the paper blames for routing overhead.
+	PerPacket map[HopKind]time.Duration
+}
+
+// DefaultModel returns the calibrated fabric constants.
+func DefaultModel() Model {
+	return Model{
+		MTU:       8 * 1024,
+		Bandwidth: 1 << 30, // ~1 GiB/s serialization
+		Latency: map[HopKind]time.Duration{
+			HopVirtio:  8 * time.Microsecond,
+			HopWire:    60 * time.Microsecond,
+			HopSwitch:  4 * time.Microsecond,
+			HopForward: 10 * time.Microsecond,
+			HopBridge:  15 * time.Microsecond,
+		},
+		PerPacket: map[HopKind]time.Duration{
+			HopVirtio:  22 * time.Microsecond,
+			HopWire:    2 * time.Microsecond,
+			HopSwitch:  2 * time.Microsecond,
+			HopForward: 8 * time.Microsecond,
+			HopBridge:  10 * time.Microsecond,
+		},
+	}
+}
+
+// PathCost summarizes the modelled cost of one route direction.
+type PathCost struct {
+	// Propagation is the fixed one-way delay added to every frame.
+	Propagation time.Duration
+	// PerFrame is the additional spacing between consecutive frames
+	// (processing at every station plus serialization of MTU bytes).
+	PerFrame time.Duration
+	// PerByte is the serialization cost per payload byte.
+	PerByte time.Duration
+}
+
+// Cost computes the path cost of traversing hops under the model.
+func (m Model) Cost(hops []Hop) PathCost {
+	var c PathCost
+	for _, h := range hops {
+		c.Propagation += m.Latency[h.Kind]
+		c.PerFrame += m.PerPacket[h.Kind]
+	}
+	if m.Bandwidth > 0 {
+		c.PerByte = time.Duration(float64(time.Second) / float64(m.Bandwidth))
+	}
+	return c
+}
+
+// FrameDelay returns the pacing cost of one frame of n payload bytes.
+func (c PathCost) FrameDelay(n int) time.Duration {
+	return c.PerFrame + time.Duration(n)*c.PerByte
+}

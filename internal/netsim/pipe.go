@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned by reads that exceed the configured deadline.
+// It matches os.ErrDeadlineExceeded so net.Conn callers behave normally.
+var ErrTimeout = os.ErrDeadlineExceeded
+
+// errClosedPipe reports use of a closed connection.
+var errClosedPipe = errors.New("netsim: connection closed")
+
+// frame is a unit of in-flight data with its modelled arrival time.
+type frame struct {
+	at   time.Time
+	data []byte
+}
+
+// framePipe is one direction of a simulated connection: a queue of frames
+// that become readable at their modelled arrival times. Writers never block
+// (the peer's TCP window is assumed open); readers block until data arrives.
+type framePipe struct {
+	mu          sync.Mutex
+	cost        PathCost
+	mtu         int
+	frames      []frame
+	lastArrival time.Time
+	closed      bool
+	closeErr    error
+	deadline    time.Time
+
+	wake    chan struct{} // buffered(1): new data / close / deadline change
+	charge  func(time.Duration)
+	bytesIn int64
+}
+
+func newFramePipe(cost PathCost, mtu int, charge func(time.Duration)) *framePipe {
+	if mtu <= 0 {
+		mtu = 64 * 1024
+	}
+	return &framePipe{cost: cost, mtu: mtu, wake: make(chan struct{}, 1), charge: charge}
+}
+
+func (p *framePipe) signal() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// write enqueues b, chunked into MTU frames, computing each frame's arrival
+// per the path cost model: frames are paced by the accumulated per-hop
+// processing plus serialization, then delayed by the propagation time.
+func (p *framePipe) write(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		err := p.closeErr
+		if err == nil || err == io.EOF {
+			err = errClosedPipe
+		}
+		return 0, err
+	}
+	now := time.Now()
+	if p.lastArrival.Before(now) {
+		p.lastArrival = now
+	}
+	var processing time.Duration
+	for off := 0; off < len(b); off += p.mtu {
+		end := off + p.mtu
+		if end > len(b) {
+			end = len(b)
+		}
+		chunk := append([]byte(nil), b[off:end]...)
+		delay := p.cost.FrameDelay(len(chunk))
+		processing += delay
+		p.lastArrival = p.lastArrival.Add(delay)
+		p.frames = append(p.frames, frame{at: p.lastArrival.Add(p.cost.Propagation), data: chunk})
+	}
+	p.bytesIn += int64(len(b))
+	p.mu.Unlock()
+	if p.charge != nil {
+		p.charge(processing)
+	}
+	p.signal()
+	return len(b), nil
+}
+
+// read copies available bytes into b, blocking until the head frame's
+// arrival time, new data, close, or the read deadline.
+func (p *framePipe) read(b []byte) (int, error) {
+	for {
+		p.mu.Lock()
+		if !p.deadline.IsZero() && !time.Now().Before(p.deadline) {
+			p.mu.Unlock()
+			return 0, ErrTimeout
+		}
+		if len(p.frames) > 0 {
+			now := time.Now()
+			head := &p.frames[0]
+			if !head.at.After(now) {
+				n := 0
+				// Drain as many arrived frames as fit.
+				for n < len(b) && len(p.frames) > 0 && !p.frames[0].at.After(now) {
+					c := copy(b[n:], p.frames[0].data)
+					n += c
+					if c == len(p.frames[0].data) {
+						p.frames[0].data = nil
+						p.frames = p.frames[1:]
+					} else {
+						p.frames[0].data = p.frames[0].data[c:]
+					}
+				}
+				p.mu.Unlock()
+				return n, nil
+			}
+			wait := head.at.Sub(now)
+			deadline := p.deadline
+			p.mu.Unlock()
+			if err := p.sleep(wait, deadline); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if p.closed {
+			err := p.closeErr
+			p.mu.Unlock()
+			if err == nil {
+				err = io.EOF
+			}
+			return 0, err
+		}
+		deadline := p.deadline
+		p.mu.Unlock()
+		if err := p.waitForWake(deadline); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// sleep waits for d, bounded by the deadline, interruptible by wake-ups.
+// The final stretch spins (yielding) for microsecond precision: container
+// kernels round timer sleeps up to a coarse tick that would otherwise
+// swamp the modelled path costs.
+func (p *framePipe) sleep(d time.Duration, deadline time.Time) error {
+	if !deadline.IsZero() {
+		until := time.Until(deadline)
+		if until <= 0 {
+			return ErrTimeout
+		}
+		if until < d {
+			d = until
+		}
+	}
+	const coarse = 2 * time.Millisecond
+	target := time.Now().Add(d)
+	if d > coarse {
+		t := time.NewTimer(d - coarse)
+		select {
+		case <-t.C:
+		case <-p.wake:
+			t.Stop()
+			return nil
+		}
+	}
+	for time.Now().Before(target) {
+		select {
+		case <-p.wake:
+			return nil
+		default:
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// waitForWake blocks until new data, close, or deadline.
+func (p *framePipe) waitForWake(deadline time.Time) error {
+	if deadline.IsZero() {
+		<-p.wake
+		return nil
+	}
+	until := time.Until(deadline)
+	if until <= 0 {
+		return ErrTimeout
+	}
+	t := time.NewTimer(until)
+	defer t.Stop()
+	select {
+	case <-p.wake:
+		return nil
+	case <-t.C:
+		return ErrTimeout
+	}
+}
+
+// close marks the pipe closed. Pending frames remain readable; err (or EOF)
+// is reported once drained.
+func (p *framePipe) close(err error) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.closeErr = err
+	}
+	p.mu.Unlock()
+	p.signal()
+}
+
+func (p *framePipe) setDeadline(t time.Time) {
+	p.mu.Lock()
+	p.deadline = t
+	p.mu.Unlock()
+	p.signal()
+}
+
+func (p *framePipe) bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesIn
+}

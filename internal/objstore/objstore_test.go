@@ -1,0 +1,225 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockdev"
+	"repro/internal/extfs"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	disk, err := blockdev.NewMemDisk(512, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := extfs.Mkfs(disk, extfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(fs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestBucketLifecycle(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateBucket("photos"); err != nil {
+		t.Fatalf("CreateBucket: %v", err)
+	}
+	if err := s.CreateBucket("photos"); !errors.Is(err, ErrBucketExists) {
+		t.Errorf("duplicate bucket err = %v", err)
+	}
+	buckets, err := s.ListBuckets()
+	if err != nil || len(buckets) != 1 || buckets[0] != "photos" {
+		t.Errorf("ListBuckets = %v, %v", buckets, err)
+	}
+	if err := s.DeleteBucket("photos"); err != nil {
+		t.Fatalf("DeleteBucket: %v", err)
+	}
+	if err := s.DeleteBucket("photos"); !errors.Is(err, ErrNoBucket) {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("object payload with some bytes")
+	etag, err := s.Put("b", "reports/q3.txt", want)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if len(etag) != 64 {
+		t.Errorf("etag = %q", etag)
+	}
+	got, gotTag, err := s.Get("b", "reports/q3.txt")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, want) || gotTag != etag {
+		t.Error("Get returned wrong content or etag")
+	}
+	info, err := s.Head("b", "reports/q3.txt")
+	if err != nil || info.Size != uint64(len(want)) || info.ETag != etag {
+		t.Errorf("Head = %+v, %v", info, err)
+	}
+	if err := s.Delete("b", "reports/q3.txt"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, _, err := s.Get("b", "reports/q3.txt"); !errors.Is(err, ErrNoObject) {
+		t.Errorf("Get after Delete err = %v", err)
+	}
+}
+
+func TestBucketRequiredForPut(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Put("ghost", "k", []byte("x")); !errors.Is(err, ErrNoBucket) {
+		t.Errorf("Put to missing bucket err = %v", err)
+	}
+	if _, _, err := s.Get("ghost", "k"); !errors.Is(err, ErrNoBucket) {
+		t.Errorf("Get from missing bucket err = %v", err)
+	}
+	if _, err := s.List("ghost", ""); !errors.Is(err, ErrNoBucket) {
+		t.Errorf("List of missing bucket err = %v", err)
+	}
+}
+
+func TestOverwriteChangesETag(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	tag1, err := s.Put("b", "k", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag2, err := s.Put("b", "k", []byte("v2 longer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag1 == tag2 {
+		t.Error("etag unchanged across overwrite")
+	}
+	got, _, err := s.Get("b", "k")
+	if err != nil || string(got) != "v2 longer" {
+		t.Errorf("Get = %q, %v", got, err)
+	}
+}
+
+func TestListWithPrefix(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"logs/a", "logs/b", "data/x"} {
+		if _, err := s.Put("b", k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.List("b", "logs/")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(got) != 2 || got[0].Key != "logs/a" || got[1].Key != "logs/b" {
+		t.Errorf("List = %+v", got)
+	}
+	all, err := s.List("b", "")
+	if err != nil || len(all) != 3 {
+		t.Errorf("List all = %d, %v", len(all), err)
+	}
+	// A non-empty bucket cannot be deleted.
+	if err := s.DeleteBucket("b"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("DeleteBucket(non-empty) err = %v", err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateBucket("a/b"); !errors.Is(err, ErrBadName) {
+		t.Errorf("bucket with slash err = %v", err)
+	}
+	if err := s.CreateBucket(""); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty bucket err = %v", err)
+	}
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", "", []byte("x")); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty key err = %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := newStore(t)
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a content byte behind the store's back.
+	if err := s.fs.WriteAt(root+"/b/k", []byte{'X'}, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("b", "k"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Get of corrupted object err = %v", err)
+	}
+}
+
+func TestObjectModelProperty(t *testing.T) {
+	type op struct {
+		Key  uint8
+		Data []byte
+		Del  bool
+	}
+	f := func(ops []op) bool {
+		s := newStore(&testing.T{})
+		if err := s.CreateBucket("b"); err != nil {
+			return false
+		}
+		model := make(map[string][]byte)
+		for _, o := range ops {
+			key := fmt.Sprintf("key-%d", o.Key%10)
+			if o.Del {
+				err := s.Delete("b", key)
+				_, existed := model[key]
+				if existed != (err == nil) {
+					return false
+				}
+				delete(model, key)
+				continue
+			}
+			data := o.Data
+			if len(data) > 8192 {
+				data = data[:8192]
+			}
+			if _, err := s.Put("b", key, data); err != nil {
+				return false
+			}
+			model[key] = append([]byte(nil), data...)
+		}
+		for key, want := range model {
+			got, _, err := s.Get("b", key)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		list, err := s.List("b", "")
+		if err != nil || len(list) != len(model) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package policy implements StorM's tenant policy interface (Section
+// III-D): the declarative description tenants submit to the provider
+// naming which VMs and volumes use middle-box services, what each
+// middle-box runs and with which virtual resources, and how middle-boxes
+// are chained per volume. The platform (internal/core) parses and deploys
+// these policies.
+package policy
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ServiceType names a middle-box service.
+type ServiceType string
+
+// Supported service types. TypeForward is a pass-through middle-box (the
+// MB-FWD configuration used in the evaluation).
+const (
+	TypeMonitor     ServiceType = "access-monitor"
+	TypeEncryption  ServiceType = "encryption"
+	TypeReplication ServiceType = "replication"
+	TypeForward     ServiceType = "forward"
+)
+
+// Mode selects the relay design for a middle-box.
+type Mode string
+
+// Relay modes. ModeForward is implied by TypeForward.
+const (
+	ModeActive  Mode = "active"
+	ModePassive Mode = "passive"
+	ModeForward Mode = "forward"
+)
+
+// MiddleBoxSpec declares one middle-box VM.
+type MiddleBoxSpec struct {
+	Name string      `json:"name"`
+	Type ServiceType `json:"type"`
+	// Host optionally pins placement.
+	Host string `json:"host,omitempty"`
+	// Mode selects active or passive relaying (active by default).
+	Mode Mode `json:"mode,omitempty"`
+	// VCPUs and MemoryMB size the middle-box VM.
+	VCPUs    int `json:"vcpus,omitempty"`
+	MemoryMB int `json:"memoryMB,omitempty"`
+	// Params carries service-specific settings:
+	//   encryption:  "key" (64 hex chars)
+	//   replication: "replicas" (total copies, >= 2)
+	//   access-monitor: "watch" (comma-separated path prefixes)
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// VolumeBinding routes one VM's volume through a chain of middle-boxes.
+type VolumeBinding struct {
+	VM     string `json:"vm"`
+	Volume string `json:"volume"`
+	// Chain lists middle-box names in traversal order.
+	Chain []string `json:"chain"`
+	// IngressHost / EgressHost optionally pin the gateway pair (defaults:
+	// ingress co-located with the VM, egress chosen by the platform).
+	IngressHost string `json:"ingressHost,omitempty"`
+	EgressHost  string `json:"egressHost,omitempty"`
+}
+
+// Policy is a tenant's full middle-box deployment request.
+type Policy struct {
+	Tenant      string          `json:"tenant"`
+	MiddleBoxes []MiddleBoxSpec `json:"middleboxes"`
+	Volumes     []VolumeBinding `json:"volumes"`
+}
+
+// Parse decodes a JSON policy and validates it.
+func Parse(data []byte) (*Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("policy: parse: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Encode renders the policy as JSON.
+func (p *Policy) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Validate checks structural and service-specific constraints.
+func (p *Policy) Validate() error {
+	if p.Tenant == "" {
+		return fmt.Errorf("policy: tenant name required")
+	}
+	mbs := make(map[string]*MiddleBoxSpec, len(p.MiddleBoxes))
+	for i := range p.MiddleBoxes {
+		mb := &p.MiddleBoxes[i]
+		if mb.Name == "" {
+			return fmt.Errorf("policy: middle-box %d missing name", i)
+		}
+		if _, dup := mbs[mb.Name]; dup {
+			return fmt.Errorf("policy: duplicate middle-box %q", mb.Name)
+		}
+		mbs[mb.Name] = mb
+		switch mb.Type {
+		case TypeMonitor, TypeForward:
+		case TypeEncryption:
+			key := mb.Params["key"]
+			raw, err := hex.DecodeString(key)
+			if err != nil || len(raw) != 32 {
+				return fmt.Errorf("policy: middle-box %q needs a 64-hex-char AES-256 key", mb.Name)
+			}
+		case TypeReplication:
+			n, err := strconv.Atoi(mb.Params["replicas"])
+			if err != nil || n < 2 || n > 8 {
+				return fmt.Errorf("policy: middle-box %q needs replicas in [2,8]", mb.Name)
+			}
+		default:
+			return fmt.Errorf("policy: middle-box %q has unknown type %q", mb.Name, mb.Type)
+		}
+		switch mb.Mode {
+		case "", ModeActive, ModePassive:
+		case ModeForward:
+			if mb.Type != TypeForward {
+				return fmt.Errorf("policy: middle-box %q: forward mode requires forward type", mb.Name)
+			}
+		default:
+			return fmt.Errorf("policy: middle-box %q has unknown mode %q", mb.Name, mb.Mode)
+		}
+		if mb.Type == TypeForward && mb.Mode != "" && mb.Mode != ModeForward {
+			return fmt.Errorf("policy: middle-box %q: forward type cannot run a relay", mb.Name)
+		}
+	}
+	if len(p.Volumes) == 0 {
+		return fmt.Errorf("policy: at least one volume binding required")
+	}
+	monitorUse := make(map[string]int)
+	for i, vb := range p.Volumes {
+		if vb.VM == "" || vb.Volume == "" {
+			return fmt.Errorf("policy: volume binding %d missing vm or volume", i)
+		}
+		for _, name := range vb.Chain {
+			mb, ok := mbs[name]
+			if !ok {
+				return fmt.Errorf("policy: volume %q chains unknown middle-box %q", vb.Volume, name)
+			}
+			if mb.Type == TypeMonitor {
+				monitorUse[name]++
+			}
+		}
+	}
+	// A monitor reconstructs one file system; it serves exactly one volume.
+	for name, uses := range monitorUse {
+		if uses > 1 {
+			return fmt.Errorf("policy: monitor middle-box %q chained by %d volumes; monitors serve one volume", name, uses)
+		}
+	}
+	return nil
+}
+
+// EffectiveMode resolves the relay mode for a spec.
+func (m *MiddleBoxSpec) EffectiveMode() Mode {
+	if m.Type == TypeForward {
+		return ModeForward
+	}
+	if m.Mode == "" {
+		return ModeActive
+	}
+	return m.Mode
+}
+
+// Key decodes the encryption key parameter.
+func (m *MiddleBoxSpec) Key() ([]byte, error) {
+	raw, err := hex.DecodeString(m.Params["key"])
+	if err != nil {
+		return nil, fmt.Errorf("policy: middle-box %q key: %w", m.Name, err)
+	}
+	return raw, nil
+}
+
+// Replicas returns the replication factor parameter.
+func (m *MiddleBoxSpec) Replicas() int {
+	n, _ := strconv.Atoi(m.Params["replicas"])
+	return n
+}

@@ -1,0 +1,114 @@
+package scsi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SenseKey classifies a CHECK CONDITION outcome (SPC-4 table 54).
+type SenseKey byte
+
+// Sense keys used by the target.
+const (
+	SenseNone           SenseKey = 0x0
+	SenseRecoveredError SenseKey = 0x1
+	SenseNotReady       SenseKey = 0x2
+	SenseMediumError    SenseKey = 0x3
+	SenseHardwareError  SenseKey = 0x4
+	SenseIllegalRequest SenseKey = 0x5
+	SenseUnitAttention  SenseKey = 0x6
+	SenseAbortedCommand SenseKey = 0xB
+)
+
+// String renders the sense key name.
+func (k SenseKey) String() string {
+	switch k {
+	case SenseNone:
+		return "NO SENSE"
+	case SenseRecoveredError:
+		return "RECOVERED ERROR"
+	case SenseNotReady:
+		return "NOT READY"
+	case SenseMediumError:
+		return "MEDIUM ERROR"
+	case SenseHardwareError:
+		return "HARDWARE ERROR"
+	case SenseIllegalRequest:
+		return "ILLEGAL REQUEST"
+	case SenseUnitAttention:
+		return "UNIT ATTENTION"
+	case SenseAbortedCommand:
+		return "ABORTED COMMAND"
+	default:
+		return fmt.Sprintf("SENSE(0x%x)", byte(k))
+	}
+}
+
+// Additional sense code / qualifier pairs used by the target.
+const (
+	ASCInvalidFieldInCDB     = 0x24
+	ASCLBAOutOfRange         = 0x21
+	ASCInvalidOpcode         = 0x20
+	ASCWriteError            = 0x0C
+	ASCUnrecoveredReadError  = 0x11
+	ASCLogicalUnitNotSupport = 0x25
+)
+
+// Sense is a decoded fixed-format sense data block.
+type Sense struct {
+	Key  SenseKey
+	ASC  byte
+	ASCQ byte
+	// Info optionally carries the failing LBA.
+	Info uint32
+}
+
+// Error implements the error interface so a Sense can propagate as an error.
+func (s *Sense) Error() string {
+	return fmt.Sprintf("scsi: check condition: key=%v asc=0x%02x ascq=0x%02x", s.Key, s.ASC, s.ASCQ)
+}
+
+// Encode serializes the sense data in fixed format (response code 0x70),
+// 18 bytes long as produced by common Linux targets.
+func (s *Sense) Encode() []byte {
+	b := make([]byte, 18)
+	b[0] = 0x70 // current error, fixed format
+	b[2] = byte(s.Key) & 0x0F
+	binary.BigEndian.PutUint32(b[3:7], s.Info)
+	if s.Info != 0 {
+		b[0] |= 0x80 // information field valid
+	}
+	b[7] = 10 // additional sense length
+	b[12] = s.ASC
+	b[13] = s.ASCQ
+	return b
+}
+
+// DecodeSense parses fixed-format sense data.
+func DecodeSense(b []byte) (*Sense, error) {
+	if len(b) < 14 {
+		return nil, fmt.Errorf("scsi: sense data too short (%d bytes)", len(b))
+	}
+	if rc := b[0] & 0x7F; rc != 0x70 && rc != 0x71 {
+		return nil, fmt.Errorf("scsi: unsupported sense response code 0x%02x", rc)
+	}
+	s := &Sense{
+		Key:  SenseKey(b[2] & 0x0F),
+		ASC:  b[12],
+		ASCQ: b[13],
+	}
+	if b[0]&0x80 != 0 {
+		s.Info = binary.BigEndian.Uint32(b[3:7])
+	}
+	return s, nil
+}
+
+// IllegalRequest returns sense data for a malformed or unsupported command.
+func IllegalRequest(asc byte) *Sense {
+	return &Sense{Key: SenseIllegalRequest, ASC: asc}
+}
+
+// MediumError returns sense data for a failed medium access at the LBA.
+func MediumError(asc byte, lba uint32) *Sense {
+	return &Sense{Key: SenseMediumError, ASC: asc, Info: lba}
+}

@@ -1,0 +1,224 @@
+// Package sdn implements StorM's centralized SDN controller (Section III-A,
+// "SDN-enabled Flow Steering"). The controller owns the virtual switches on
+// every host and installs the per-chain flow rules of Figure 3: each rule
+// matches the storage flow plus the previous station (the source-MAC
+// analogue) and steers to the next middle-box. Chains can be mutated on
+// demand — middle-boxes added or removed on a live path — by atomically
+// replacing the chain's rules.
+package sdn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/vswitch"
+)
+
+// IngressStation is the station name of a chain's entry point (the ingress
+// storage gateway).
+const IngressStation = "ingress"
+
+// MBSpec describes one middle-box position in a chain.
+type MBSpec struct {
+	// Name is the middle-box's unique station name.
+	Name string
+	// Host is the physical host the middle-box VM runs on.
+	Host string
+	// Mode says whether the MB transparently forwards (MB-FWD) or
+	// terminates the connection at its relay.
+	Mode vswitch.Mode
+	// RelayAddr is the relay listener for ModeTerminate.
+	RelayAddr netsim.Addr
+}
+
+// Chain is a deployed forwarding chain for one storage flow selector.
+type Chain struct {
+	// ID uniquely names the chain (rule IDs are derived from it).
+	ID string
+	// Selector matches the steered flow as seen inside the instance
+	// network (after the ingress gateway's masquerading). The source port
+	// is typically wildcarded because each deployment owns its gateway
+	// pair.
+	Selector vswitch.Match
+	// IngressHost is the host of the ingress gateway, where the walk
+	// starts.
+	IngressHost string
+	// MBs is the ordered middle-box list.
+	MBs []MBSpec
+}
+
+// Step is one resolved steering step for a flow.
+type Step struct {
+	MB MBSpec
+}
+
+// Controller is the centralized SDN controller.
+type Controller struct {
+	mu       sync.Mutex
+	switches map[string]*vswitch.Switch
+	chains   map[string]*Chain
+}
+
+// NewController creates an empty controller.
+func NewController() *Controller {
+	return &Controller{
+		switches: make(map[string]*vswitch.Switch),
+		chains:   make(map[string]*Chain),
+	}
+}
+
+// SwitchFor returns (creating on demand) the virtual switch on host.
+func (c *Controller) SwitchFor(host string) *vswitch.Switch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.switchForLocked(host)
+}
+
+func (c *Controller) switchForLocked(host string) *vswitch.Switch {
+	sw, ok := c.switches[host]
+	if !ok {
+		sw = vswitch.New(host)
+		c.switches[host] = sw
+	}
+	return sw
+}
+
+// InstallChain deploys the chain's flow rules across the switches: the rule
+// steering to MB i lives on the switch of the previous station's host,
+// matching traffic coming from that station (Figure 3's forwarding units).
+func (c *Controller) InstallChain(ch *Chain) error {
+	if ch.ID == "" {
+		return fmt.Errorf("sdn: chain must have an ID")
+	}
+	if ch.IngressHost == "" {
+		return fmt.Errorf("sdn: chain %q missing ingress host", ch.ID)
+	}
+	for i, mb := range ch.MBs {
+		if mb.Name == "" || mb.Host == "" {
+			return fmt.Errorf("sdn: chain %q middle-box %d missing name or host", ch.ID, i)
+		}
+		if mb.Mode == vswitch.ModeTerminate && mb.RelayAddr.IsZero() {
+			return fmt.Errorf("sdn: chain %q middle-box %q terminates without a relay address", ch.ID, mb.Name)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.chains[ch.ID]; ok {
+		return fmt.Errorf("sdn: chain %q already installed", ch.ID)
+	}
+	if err := c.installRulesLocked(ch); err != nil {
+		c.removeRulesLocked(ch)
+		return err
+	}
+	cp := *ch
+	cp.MBs = append([]MBSpec(nil), ch.MBs...)
+	c.chains[ch.ID] = &cp
+	return nil
+}
+
+func (c *Controller) installRulesLocked(ch *Chain) error {
+	prevStation := IngressStation
+	prevHost := ch.IngressHost
+	for i, mb := range ch.MBs {
+		m := ch.Selector
+		m.FromStation = prevStation
+		rule := &vswitch.Rule{
+			ID:       fmt.Sprintf("%s/hop%d", ch.ID, i),
+			Priority: 100,
+			Match:    m,
+			Action: vswitch.Action{
+				Mode:          mb.Mode,
+				Station:       mb.Name,
+				Host:          mb.Host,
+				TerminateAddr: mb.RelayAddr,
+			},
+		}
+		if err := c.switchForLocked(prevHost).Install(rule); err != nil {
+			return err
+		}
+		prevStation = mb.Name
+		prevHost = mb.Host
+	}
+	return nil
+}
+
+func (c *Controller) removeRulesLocked(ch *Chain) {
+	prefix := ch.ID + "/"
+	for _, sw := range c.switches {
+		sw.RemovePrefix(prefix)
+	}
+}
+
+// RemoveChain tears down the chain's rules. Established connections are
+// unaffected (routes are resolved at connection setup).
+func (c *Controller) RemoveChain(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.chains[id]
+	if !ok {
+		return
+	}
+	c.removeRulesLocked(ch)
+	delete(c.chains, id)
+}
+
+// Chain returns a copy of the installed chain, or nil.
+func (c *Controller) Chain(id string) *Chain {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.chains[id]
+	if !ok {
+		return nil
+	}
+	cp := *ch
+	cp.MBs = append([]MBSpec(nil), ch.MBs...)
+	return &cp
+}
+
+// UpdateChain atomically replaces the chain's middle-box list — the
+// on-demand scaling path: new flows see the new chain immediately.
+func (c *Controller) UpdateChain(id string, mbs []MBSpec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.chains[id]
+	if !ok {
+		return fmt.Errorf("sdn: chain %q not installed", id)
+	}
+	c.removeRulesLocked(ch)
+	ch.MBs = append([]MBSpec(nil), mbs...)
+	if err := c.installRulesLocked(ch); err != nil {
+		// Roll back to a clean (empty) state rather than leave partial
+		// rules behind.
+		c.removeRulesLocked(ch)
+		return err
+	}
+	return nil
+}
+
+// Walk resolves the steering steps for a flow entering the instance network
+// at (startHost, startStation). It follows installed rules switch by switch
+// until no rule matches or a terminating middle-box is reached.
+func (c *Controller) Walk(flow netsim.Flow, startHost, startStation string) []Step {
+	var steps []Step
+	host, station := startHost, startStation
+	for i := 0; i < 64; i++ { // cycle guard
+		sw := c.SwitchFor(host)
+		rule := sw.Lookup(flow, station)
+		if rule == nil {
+			return steps
+		}
+		step := Step{MB: MBSpec{
+			Name:      rule.Action.Station,
+			Host:      rule.Action.Host,
+			Mode:      rule.Action.Mode,
+			RelayAddr: rule.Action.TerminateAddr,
+		}}
+		steps = append(steps, step)
+		if rule.Action.Mode == vswitch.ModeTerminate {
+			return steps
+		}
+		host, station = rule.Action.Host, rule.Action.Station
+	}
+	return steps
+}

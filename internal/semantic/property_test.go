@@ -1,0 +1,119 @@
+package semantic
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blockdev"
+	"repro/internal/extfs"
+)
+
+// TestReconstructionConsistencyProperty drives random file-operation
+// sequences through a monitored volume and checks the reconstructed
+// namespace events against ground truth: every file that exists at the end
+// was last seen as created (and not subsequently deleted), and vice versa.
+func TestReconstructionConsistencyProperty(t *testing.T) {
+	type op struct {
+		Kind byte // create, write, delete, rename
+		A, B uint8
+		Size uint16
+	}
+	f := func(ops []op) bool {
+		disk, err := blockdev.NewMemDisk(512, 65536)
+		if err != nil {
+			return false
+		}
+		fs, err := extfs.Mkfs(disk, extfs.Options{})
+		if err != nil {
+			return false
+		}
+		if err := fs.Mkdir("/d"); err != nil {
+			return false
+		}
+		view, err := fs.Dump()
+		if err != nil {
+			return false
+		}
+		r := New(view)
+		tap := &tapDevice{dev: disk, r: r}
+		fs2, err := extfs.Mount(tap)
+		if err != nil {
+			return false
+		}
+
+		name := func(n uint8) string { return fmt.Sprintf("/d/f%d", n%8) }
+		live := make(map[string]bool)
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0, 1: // create or overwrite
+				p := name(o.A)
+				if err := fs2.WriteFile(p, bytes.Repeat([]byte{1}, int(o.Size%4096)+1)); err != nil {
+					return false
+				}
+				live[p] = true
+			case 2: // delete
+				p := name(o.A)
+				err := fs2.Remove(p)
+				if live[p] != (err == nil) {
+					return false
+				}
+				delete(live, p)
+			case 3: // rename
+				src, dst := name(o.A), name(o.B)
+				if src == dst {
+					continue
+				}
+				err := fs2.Rename(src, dst)
+				switch {
+				case !live[src]:
+					if err == nil {
+						return false
+					}
+				case live[dst]:
+					if err == nil {
+						return false
+					}
+				default:
+					if err != nil {
+						return false
+					}
+					delete(live, src)
+					live[dst] = true
+				}
+			}
+		}
+
+		// Replay the reconstructed namespace events into a shadow set.
+		shadow := make(map[string]bool)
+		for _, e := range r.Events() {
+			switch e.Type {
+			case EvCreate:
+				shadow[e.Path] = true
+			case EvDelete:
+				delete(shadow, e.Path)
+			case EvRename:
+				delete(shadow, e.OldPath)
+				shadow[e.Path] = true
+			}
+		}
+		for p := range live {
+			if !shadow[p] {
+				return false
+			}
+		}
+		for p := range shadow {
+			if p == "/d" || p == "/" {
+				continue
+			}
+			if !live[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

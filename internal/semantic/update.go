@@ -1,0 +1,321 @@
+package semantic
+
+import (
+	"encoding/binary"
+	"strings"
+
+	"repro/internal/extfs"
+)
+
+// This file is the Update phase: intercepted metadata writes mutate the
+// reconstructor's live system view so subsequent data accesses resolve to
+// the right files.
+
+// ptrKind marks indirect pointer blocks owned by an inode.
+type ptrKind int
+
+const (
+	ptrL1 ptrKind = 1 // entries point at data blocks
+	ptrL2 ptrKind = 2 // entries point at L1 pointer blocks
+)
+
+// ensurePtrMaps lazily initializes the pointer-block tracking maps.
+func (r *Reconstructor) ensurePtrMaps() {
+	if r.ptrBlocks == nil {
+		r.ptrBlocks = make(map[uint64]ptrRef)
+	}
+	if r.dirShadow == nil {
+		r.dirShadow = make(map[uint64]map[string]uint32)
+		// Single-block directories from the initial view can be shadowed
+		// exactly; multi-block directories start empty and converge as
+		// their blocks are rewritten.
+		for ino, entries := range r.dirEntries {
+			m := r.inodes[ino]
+			if m == nil || len(m.blocks) != 1 {
+				continue
+			}
+			for blk := range m.blocks {
+				shadow := make(map[string]uint32, len(entries))
+				for name, child := range entries {
+					shadow[name] = child
+				}
+				r.dirShadow[blk] = shadow
+			}
+		}
+	}
+}
+
+type ptrRef struct {
+	ino  uint32
+	kind ptrKind
+}
+
+// learnSuperblock folds an intercepted superblock write into the view. A
+// structurally different superblock (fresh mkfs through the middle-box
+// chain) rebuilds the geometry; routine free-count updates are ignored.
+func (r *Reconstructor) learnSuperblock(data []byte) {
+	sb, err := extfs.DecodeSuperblock(data)
+	if err != nil {
+		return
+	}
+	structural := sb.BlockSize != r.sb.BlockSize ||
+		sb.BlocksCount != r.sb.BlocksCount ||
+		sb.GroupCount != uint32(len(r.geom)) ||
+		sb.InodesPerGroup != r.sb.InodesPerGroup
+	if !structural {
+		return
+	}
+	if sb.BlockSize == 0 || sb.BlockSize%512 != 0 {
+		return
+	}
+	devBlockSize := int(r.view.BlockSize) / max(r.view.SectorsPerBlock, 1)
+	if devBlockSize > 0 && int(sb.BlockSize)%devBlockSize == 0 {
+		r.view.SectorsPerBlock = int(sb.BlockSize) / devBlockSize
+	}
+	r.sb = sb
+	r.geom = sb.Geometry()
+	r.view.BlockSize = sb.BlockSize
+	r.view.BlocksCount = sb.BlocksCount
+	r.view.InodesPerGroup = sb.InodesPerGroup
+	r.view.Groups = r.geom
+	// A fresh file system invalidates all prior attribution state.
+	r.inodes = make(map[uint32]*inoMeta)
+	r.blockOwner = make(map[uint64]uint32)
+	r.dirEntries = make(map[uint32]map[string]uint32)
+	r.pendingData = make(map[uint64]pendingWrite)
+	r.orphaned = make(map[uint32]string)
+	r.ptrBlocks = make(map[uint64]ptrRef)
+	r.dirShadow = make(map[uint64]map[string]uint32)
+}
+
+// updateFromInodeTable diffs a written inode-table block against the live
+// view, detecting allocations, deletions, growth, and block mappings.
+func (r *Reconstructor) updateFromInodeTable(blk uint64, group uint32, data []byte) []Event {
+	r.ensurePtrMaps()
+	var evs []Event
+	perBlock := int(r.view.BlockSize) / extfs.InodeSize
+	tableStart := r.geom[group].InodeTable
+	blockIdx := blk - tableStart
+	baseIno := group*r.view.InodesPerGroup + uint32(blockIdx)*uint32(perBlock) + 1
+
+	for slot := 0; slot < perBlock && (slot+1)*extfs.InodeSize <= len(data); slot++ {
+		ino := baseIno + uint32(slot)
+		rec := extfs.DecodeInodeRecord(data[slot*extfs.InodeSize : (slot+1)*extfs.InodeSize])
+		old := r.inodes[ino]
+		switch {
+		case rec.Type == extfs.TypeFree:
+			if old != nil && old.typ != extfs.TypeFree {
+				p := old.path
+				if orphan, ok := r.orphaned[ino]; ok {
+					p = orphan
+				}
+				if p == "" {
+					p = "inode_?"
+				}
+				evs = append(evs, Event{Type: EvDelete, Path: p})
+				r.dropInode(ino)
+			}
+		default:
+			if old == nil {
+				old = &inoMeta{ino: ino, typ: rec.Type, blocks: make(map[uint64]bool)}
+				if ino == extfs.RootIno {
+					// The root directory has no naming dentry; its path is
+					// fixed by convention.
+					old.path = "/"
+				}
+				r.inodes[ino] = old
+				if rec.Type == extfs.TypeDir {
+					r.dirEntries[ino] = make(map[string]uint32)
+				}
+			}
+			old.typ = rec.Type
+			old.size = rec.Size
+			evs = append(evs, r.syncBlockMap(old, rec)...)
+		}
+	}
+	return evs
+}
+
+// syncBlockMap registers the inode's direct blocks and pointer blocks,
+// attributing any pending data writes.
+func (r *Reconstructor) syncBlockMap(m *inoMeta, rec extfs.InodeRecord) []Event {
+	var evs []Event
+	for _, b := range rec.Direct {
+		if b != 0 {
+			evs = append(evs, r.claimBlock(m, b)...)
+		}
+	}
+	if rec.Indirect != 0 {
+		r.ptrBlocks[rec.Indirect] = ptrRef{ino: m.ino, kind: ptrL1}
+	}
+	if rec.DoubleIndirect != 0 {
+		r.ptrBlocks[rec.DoubleIndirect] = ptrRef{ino: m.ino, kind: ptrL2}
+	}
+	return evs
+}
+
+// claimBlock maps a data block to its owner, emitting held writes. A block
+// freed by one file and reallocated to another transfers ownership here,
+// keeping attribution correct across reuse.
+func (r *Reconstructor) claimBlock(m *inoMeta, blk uint64) []Event {
+	if m.blocks[blk] {
+		return nil
+	}
+	if prev, ok := r.blockOwner[blk]; ok && prev != m.ino {
+		if old := r.inodes[prev]; old != nil {
+			delete(old.blocks, blk)
+		}
+	}
+	m.blocks[blk] = true
+	r.blockOwner[blk] = m.ino
+	pend, ok := r.pendingData[blk]
+	if !ok {
+		return nil
+	}
+	delete(r.pendingData, blk)
+	p := m.path
+	switch {
+	case p == "":
+		p = "inode_?"
+	case m.typ == extfs.TypeDir:
+		p = dirDot(p)
+	}
+	return []Event{{Type: EvWrite, Path: p, Size: pend.size}}
+}
+
+// dropInode removes all state for a freed inode.
+func (r *Reconstructor) dropInode(ino uint32) {
+	m := r.inodes[ino]
+	if m != nil {
+		for b := range m.blocks {
+			if r.blockOwner[b] == ino {
+				delete(r.blockOwner, b)
+			}
+		}
+	}
+	for b, ref := range r.ptrBlocks {
+		if ref.ino == ino {
+			delete(r.ptrBlocks, b)
+		}
+	}
+	delete(r.inodes, ino)
+	delete(r.dirEntries, ino)
+	delete(r.orphaned, ino)
+}
+
+// handlePtrBlock interprets a write to an indirect pointer block.
+func (r *Reconstructor) handlePtrBlock(blk uint64, data []byte) ([]Event, bool) {
+	r.ensurePtrMaps()
+	ref, ok := r.ptrBlocks[blk]
+	if !ok || data == nil {
+		return nil, ok
+	}
+	m := r.inodes[ref.ino]
+	if m == nil {
+		return nil, true
+	}
+	var evs []Event
+	for off := 0; off+extfs.PointerSize <= len(data); off += extfs.PointerSize {
+		ptr := binary.LittleEndian.Uint64(data[off : off+extfs.PointerSize])
+		if ptr == 0 {
+			continue
+		}
+		if ref.kind == ptrL2 {
+			r.ptrBlocks[ptr] = ptrRef{ino: ref.ino, kind: ptrL1}
+		} else {
+			evs = append(evs, r.claimBlock(m, ptr)...)
+		}
+	}
+	return evs, true
+}
+
+// updateFromDirBlock diffs a written directory block against its shadow,
+// recovering create, delete and rename operations.
+func (r *Reconstructor) updateFromDirBlock(dir *inoMeta, data []byte) []Event {
+	r.ensurePtrMaps()
+	ents, err := extfs.ParseDirBlock(data)
+	if err != nil {
+		return nil
+	}
+	// Locate the block this data belongs to: the caller resolved the block
+	// owner before calling us, so re-derive from the access path — instead
+	// the caller passes the block through dirShadowKey.
+	blk := r.currentDirBlock
+	newSet := make(map[string]uint32, len(ents))
+	for _, e := range ents {
+		if e.Name == "." || e.Name == ".." {
+			continue
+		}
+		newSet[e.Name] = e.Ino
+	}
+	oldSet := r.dirShadow[blk]
+
+	var evs []Event
+	// Additions (and renames).
+	for name, ino := range newSet {
+		if oldSet[name] == ino {
+			continue
+		}
+		child := r.inodes[ino]
+		if child == nil {
+			child = &inoMeta{ino: ino, typ: extfs.TypeFile, blocks: make(map[uint64]bool)}
+			r.inodes[ino] = child
+		}
+		newPath := joinPath(dir.path, name)
+		switch {
+		case child.path == "":
+			child.path = newPath
+			evs = append(evs, Event{Type: EvCreate, Path: newPath})
+			delete(r.orphaned, ino)
+		case child.path != newPath:
+			oldPath := child.path
+			r.repath(child, newPath)
+			evs = append(evs, Event{Type: EvRename, Path: newPath, OldPath: oldPath})
+			delete(r.orphaned, ino)
+		}
+		if r.dirEntries[dir.ino] == nil {
+			r.dirEntries[dir.ino] = make(map[string]uint32)
+		}
+		r.dirEntries[dir.ino][name] = ino
+	}
+	// Removals: mark orphaned; deletion is confirmed when the inode frees.
+	for name, ino := range oldSet {
+		if _, still := newSet[name]; still {
+			continue
+		}
+		delete(r.dirEntries[dir.ino], name)
+		child := r.inodes[ino]
+		removedPath := joinPath(dir.path, name)
+		if child != nil && child.path == removedPath {
+			r.orphaned[ino] = removedPath
+			child.path = ""
+		}
+	}
+	r.dirShadow[blk] = newSet
+	return evs
+}
+
+// repath renames an inode and, for directories, every descendant path.
+func (r *Reconstructor) repath(m *inoMeta, newPath string) {
+	oldPath := m.path
+	m.path = newPath
+	if m.typ != extfs.TypeDir {
+		return
+	}
+	prefix := oldPath + "/"
+	for _, other := range r.inodes {
+		if other != m && strings.HasPrefix(other.path, prefix) {
+			other.path = newPath + "/" + strings.TrimPrefix(other.path, prefix)
+		}
+	}
+}
+
+func joinPath(dir, name string) string {
+	if dir == "" {
+		return "?/" + name
+	}
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}

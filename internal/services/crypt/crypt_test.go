@@ -1,0 +1,195 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/metrics"
+)
+
+func testKey() []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	return key
+}
+
+func TestNewCipherKeyValidation(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 16)); err == nil {
+		t.Error("short key: want error")
+	}
+	if _, err := NewCipher(testKey()); err != nil {
+		t.Errorf("NewCipher: %v", err)
+	}
+}
+
+func TestCipherInvolutive(t *testing.T) {
+	c, err := NewCipher(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("secret! "), 64)
+	buf := append([]byte(nil), want...)
+	c.Transform(buf, 100, 512)
+	if bytes.Equal(buf, want) {
+		t.Fatal("Transform did not change the data")
+	}
+	c.Transform(buf, 100, 512)
+	if !bytes.Equal(buf, want) {
+		t.Error("double Transform is not identity")
+	}
+}
+
+func TestCipherSectorDependence(t *testing.T) {
+	c, err := NewCipher(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bytes.Repeat([]byte{0}, 512)
+	b := bytes.Repeat([]byte{0}, 512)
+	c.XORSector(a, 1)
+	c.XORSector(b, 2)
+	if bytes.Equal(a, b) {
+		t.Error("identical plaintext in different sectors encrypts identically (ESSIV broken)")
+	}
+}
+
+func TestCipherRoundTripProperty(t *testing.T) {
+	c, err := NewCipher(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte, sector uint64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		buf := append([]byte(nil), data...)
+		c.Transform(buf, sector, 512)
+		c.Transform(buf, sector, 512)
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceTransparency(t *testing.T) {
+	disk, err := blockdev.NewMemDisk(512, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(disk, testKey(), CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("plaintext"), 114)[:1024]
+	if err := dev.WriteAt(want, 8); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, 1024)
+	if err := dev.ReadAt(got, 8); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("decrypted data differs from plaintext")
+	}
+	// The backing device must hold ciphertext.
+	raw := make([]byte, 1024)
+	if err := disk.ReadAt(raw, 8); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw, want) {
+		t.Error("backing device holds plaintext")
+	}
+	if bytes.Contains(raw, []byte("plaintext")) {
+		t.Error("plaintext fragments leak to the backing device")
+	}
+}
+
+func TestDeviceDoesNotMutateCallerBuffer(t *testing.T) {
+	disk, _ := blockdev.NewMemDisk(512, 16)
+	dev, err := NewDevice(disk, testKey(), CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := bytes.Repeat([]byte{0x55}, 512)
+	orig := append([]byte(nil), buf...)
+	if err := dev.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Error("WriteAt mutated the caller's buffer")
+	}
+}
+
+func TestWrongKeyReadsGarbage(t *testing.T) {
+	disk, _ := blockdev.NewMemDisk(512, 16)
+	dev1, err := NewDevice(disk, testKey(), CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{1}, 512)
+	if err := dev1.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	otherKey := testKey()
+	otherKey[0] ^= 0xFF
+	dev2, err := NewDevice(disk, otherKey, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		t.Error("wrong key decrypted successfully")
+	}
+}
+
+func TestCostModelCharges(t *testing.T) {
+	cpu := metrics.NewCPUAccount()
+	m := CostModel{PerKiB: time.Millisecond, CPU: cpu}
+	start := time.Now()
+	m.charge(4096)
+	if el := time.Since(start); el < 3*time.Millisecond {
+		t.Errorf("charge slept %v, want ~4ms", el)
+	}
+	if cpu.Busy("cipher") < 3*time.Millisecond {
+		t.Errorf("CPU charged %v", cpu.Busy("cipher"))
+	}
+	// Named component.
+	m2 := CostModel{PerKiB: time.Millisecond, CPU: cpu, Component: "dm-crypt"}
+	m2.charge(1024)
+	if cpu.Busy("dm-crypt") == 0 {
+		t.Error("component name ignored")
+	}
+	// Zero model is free.
+	CostModel{}.charge(1 << 20)
+}
+
+func TestServiceFactory(t *testing.T) {
+	disk, _ := blockdev.NewMemDisk(512, 16)
+	f := Service(testKey(), CostModel{})
+	dev, err := f(disk)
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	if err := dev.WriteAt(make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Bad key fails at build time.
+	if _, err := Service([]byte("short"), CostModel{})(disk); err == nil {
+		t.Error("short key: want error")
+	}
+}

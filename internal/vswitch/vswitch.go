@@ -1,0 +1,203 @@
+// Package vswitch implements the SDN-enabled virtual switches of StorM's
+// forwarding plane (Figure 3). Each host runs one switch holding a
+// prioritized flow table. Rules match a storage flow's 4-tuple plus the
+// previous station (the analogue of the paper's source-MAC match) and steer
+// the flow to the next middle-box — either transparently (IP forwarding, the
+// MB-FWD mode) or by terminating the connection at the middle-box's relay.
+package vswitch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+)
+
+// Mode says how a steered middle-box handles the flow.
+type Mode int
+
+// Steering modes.
+const (
+	// ModeForward passes packets through the middle-box's kernel
+	// forwarding path without terminating the connection (MB-FWD).
+	ModeForward Mode = iota + 1
+	// ModeTerminate lands the connection on the middle-box's relay
+	// listener (passive/active relay).
+	ModeTerminate
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeForward:
+		return "forward"
+	case ModeTerminate:
+		return "terminate"
+	default:
+		return "mode(?)"
+	}
+}
+
+// Match selects flows at a switch. Zero fields are wildcards. FromStation
+// matches the station the packet came from (source-MAC analogue): the
+// previous middle-box name, or "" for "any".
+type Match struct {
+	SrcIP       string
+	SrcPort     int
+	DstIP       string
+	DstPort     int
+	FromStation string
+}
+
+// Matches reports whether the rule selects the flow arriving from station.
+func (m Match) Matches(f netsim.Flow, station string) bool {
+	if m.SrcIP != "" && m.SrcIP != f.SrcIP {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != f.SrcPort {
+		return false
+	}
+	if m.DstIP != "" && m.DstIP != f.DstIP {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != f.DstPort {
+		return false
+	}
+	if m.FromStation != "" && m.FromStation != station {
+		return false
+	}
+	return true
+}
+
+// Action is the rule's steering decision.
+type Action struct {
+	Mode Mode
+	// Station names the next middle-box (its host for forwarding mode).
+	Station string
+	// Host is the physical host the station runs on.
+	Host string
+	// TerminateAddr is the relay listener address for ModeTerminate.
+	TerminateAddr netsim.Addr
+}
+
+// Rule is a prioritized flow-table entry.
+type Rule struct {
+	ID       string
+	Priority int
+	Match    Match
+	Action   Action
+
+	packets atomic.Int64
+}
+
+// Packets returns the number of lookups this rule has matched.
+func (r *Rule) Packets() int64 { return r.packets.Load() }
+
+// String renders the rule.
+func (r *Rule) String() string {
+	return fmt.Sprintf("flow[%s p%d %+v -> %s@%s]", r.ID, r.Priority, r.Match, r.Action.Mode, r.Action.Station)
+}
+
+// Switch is one host's SDN-enabled virtual switch.
+type Switch struct {
+	host string
+
+	mu    sync.Mutex
+	rules []*Rule
+	seq   int
+	order map[string]int
+}
+
+// New creates a switch for the named host.
+func New(host string) *Switch {
+	return &Switch{host: host, order: make(map[string]int)}
+}
+
+// Host returns the host the switch runs on.
+func (s *Switch) Host() string { return s.host }
+
+// Install adds a rule. IDs must be unique per switch.
+func (s *Switch) Install(r *Rule) error {
+	if r.ID == "" {
+		return fmt.Errorf("vswitch: rule must have an ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.order[r.ID]; ok {
+		return fmt.Errorf("vswitch: duplicate rule ID %q on %s", r.ID, s.host)
+	}
+	s.order[r.ID] = s.seq
+	s.seq++
+	s.rules = append(s.rules, r)
+	sort.SliceStable(s.rules, func(i, j int) bool {
+		if s.rules[i].Priority != s.rules[j].Priority {
+			return s.rules[i].Priority > s.rules[j].Priority
+		}
+		return s.order[s.rules[i].ID] < s.order[s.rules[j].ID]
+	})
+	return nil
+}
+
+// Remove deletes a rule by ID (no-op when absent).
+func (s *Switch) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.rules {
+		if r.ID == id {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+			delete(s.order, id)
+			return
+		}
+	}
+}
+
+// RemovePrefix deletes every rule whose ID begins with prefix, used to tear
+// down a whole chain atomically.
+func (s *Switch) RemovePrefix(prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.rules[:0]
+	for _, r := range s.rules {
+		if len(r.ID) >= len(prefix) && r.ID[:len(prefix)] == prefix {
+			delete(s.order, r.ID)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.rules = kept
+}
+
+// Lookup finds the highest-priority rule matching the flow arriving from
+// station, bumping its packet counter. It returns nil when no rule matches
+// (normal L2/L3 forwarding applies).
+func (s *Switch) Lookup(f netsim.Flow, station string) *Rule {
+	s.mu.Lock()
+	rules := make([]*Rule, len(s.rules))
+	copy(rules, s.rules)
+	s.mu.Unlock()
+	for _, r := range rules {
+		if r.Match.Matches(f, station) {
+			r.packets.Add(1)
+			return r
+		}
+	}
+	return nil
+}
+
+// Rules returns a snapshot in evaluation order.
+func (s *Switch) Rules() []*Rule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Rule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// Len returns the number of installed rules.
+func (s *Switch) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rules)
+}

@@ -1,0 +1,170 @@
+package vswitch
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func storageFlow() netsim.Flow {
+	return netsim.Flow{
+		Net:     netsim.InstanceNet,
+		SrcIP:   "192.168.0.10",
+		SrcPort: 40001,
+		DstIP:   "192.168.0.20",
+		DstPort: 3260,
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	f := storageFlow()
+	tests := []struct {
+		name    string
+		give    Match
+		station string
+		want    bool
+	}{
+		{"wildcard", Match{}, "any", true},
+		{"four tuple", Match{SrcIP: f.SrcIP, SrcPort: f.SrcPort, DstIP: f.DstIP, DstPort: f.DstPort}, "", true},
+		{"from station", Match{FromStation: "mb1"}, "mb1", true},
+		{"wrong station", Match{FromStation: "mb1"}, "mb2", false},
+		{"wrong src port", Match{SrcPort: 1}, "", false},
+		{"wrong dst", Match{DstIP: "1.2.3.4"}, "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Matches(f, tt.station); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSwitchPriorityAndCounters(t *testing.T) {
+	s := New("compute1")
+	if s.Host() != "compute1" {
+		t.Errorf("Host() = %q", s.Host())
+	}
+	mustInstall(t, s, &Rule{ID: "catchall", Priority: 0, Match: Match{},
+		Action: Action{Mode: ModeForward, Station: "default"}})
+	mustInstall(t, s, &Rule{ID: "steer", Priority: 100, Match: Match{DstPort: 3260},
+		Action: Action{Mode: ModeForward, Station: "mb1", Host: "host4"}})
+
+	r := s.Lookup(storageFlow(), "")
+	if r == nil || r.ID != "steer" {
+		t.Fatalf("Lookup = %v, want steer rule", r)
+	}
+	if r.Packets() != 1 {
+		t.Errorf("Packets = %d, want 1", r.Packets())
+	}
+	other := storageFlow()
+	other.DstPort = 80
+	if r := s.Lookup(other, ""); r == nil || r.ID != "catchall" {
+		t.Errorf("Lookup(other) = %v, want catchall", r)
+	}
+}
+
+func TestSwitchChainByStation(t *testing.T) {
+	// The Figure 3 pattern: first rule matches traffic from the gateway and
+	// steers to MB1; the second matches traffic from MB1 and steers to MB2.
+	s := New("h")
+	mustInstall(t, s, &Rule{ID: "c1", Priority: 10,
+		Match:  Match{DstPort: 3260, FromStation: "ingress"},
+		Action: Action{Mode: ModeForward, Station: "mb1", Host: "h4"}})
+	mustInstall(t, s, &Rule{ID: "c2", Priority: 10,
+		Match:  Match{DstPort: 3260, FromStation: "mb1"},
+		Action: Action{Mode: ModeForward, Station: "mb2", Host: "h5"}})
+
+	f := storageFlow()
+	if r := s.Lookup(f, "ingress"); r == nil || r.Action.Station != "mb1" {
+		t.Errorf("from ingress: %v, want steer to mb1", r)
+	}
+	if r := s.Lookup(f, "mb1"); r == nil || r.Action.Station != "mb2" {
+		t.Errorf("from mb1: %v, want steer to mb2", r)
+	}
+	if r := s.Lookup(f, "mb2"); r != nil {
+		t.Errorf("from mb2: %v, want normal forwarding (nil)", r)
+	}
+}
+
+func TestSwitchRemove(t *testing.T) {
+	s := New("h")
+	mustInstall(t, s, &Rule{ID: "a", Match: Match{}})
+	s.Remove("a")
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after Remove", s.Len())
+	}
+	s.Remove("a") // no-op
+	if r := s.Lookup(storageFlow(), ""); r != nil {
+		t.Error("removed rule still matches")
+	}
+}
+
+func TestSwitchRemovePrefix(t *testing.T) {
+	s := New("h")
+	mustInstall(t, s, &Rule{ID: "chain1/hop0", Match: Match{}})
+	mustInstall(t, s, &Rule{ID: "chain1/hop1", Match: Match{}})
+	mustInstall(t, s, &Rule{ID: "chain2/hop0", Match: Match{}})
+	s.RemovePrefix("chain1/")
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if s.Rules()[0].ID != "chain2/hop0" {
+		t.Errorf("surviving rule = %v", s.Rules()[0])
+	}
+}
+
+func TestSwitchDuplicateAndEmptyID(t *testing.T) {
+	s := New("h")
+	mustInstall(t, s, &Rule{ID: "a", Match: Match{}})
+	if err := s.Install(&Rule{ID: "a", Match: Match{}}); err == nil {
+		t.Error("duplicate ID: want error")
+	}
+	if err := s.Install(&Rule{Match: Match{}}); err == nil {
+		t.Error("empty ID: want error")
+	}
+}
+
+func TestSwitchTieBreakByInsertion(t *testing.T) {
+	s := New("h")
+	mustInstall(t, s, &Rule{ID: "first", Priority: 7, Match: Match{}, Action: Action{Station: "x"}})
+	mustInstall(t, s, &Rule{ID: "second", Priority: 7, Match: Match{}, Action: Action{Station: "y"}})
+	if r := s.Lookup(storageFlow(), ""); r.ID != "first" {
+		t.Errorf("tie broken to %q, want first", r.ID)
+	}
+}
+
+func TestSwitchConcurrency(t *testing.T) {
+	s := New("h")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := string(rune('a'+g)) + "-rule"
+				_ = s.Install(&Rule{ID: id, Match: Match{}})
+				s.Lookup(storageFlow(), "")
+				s.Remove(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestModeString(t *testing.T) {
+	if ModeForward.String() != "forward" || ModeTerminate.String() != "terminate" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(0).String() != "mode(?)" {
+		t.Error("unknown mode String wrong")
+	}
+}
+
+func mustInstall(t *testing.T, s *Switch, r *Rule) {
+	t.Helper()
+	if err := s.Install(r); err != nil {
+		t.Fatalf("Install(%v): %v", r, err)
+	}
+}
