@@ -1,0 +1,31 @@
+# Pre-commit gate: `make check` runs the format/vet/build gate plus the
+# race-enabled tests of the packages with the hottest concurrency
+# (metrics, obs, middlebox, netsim). `make test` is the full suite.
+
+GO ?= go
+RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

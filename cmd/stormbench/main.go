@@ -11,16 +11,35 @@
 //	stormbench -table 1        # one table (1 or 3)
 //	stormbench -ablations      # the design-choice sweeps
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
+//	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// benchResults is the machine-readable mirror of the printed report: each
+// section holds the same rows the text tables render (per-workload
+// throughput plus full latency distributions), and Observability is the
+// obs registry snapshot accumulated across every run (per-stage latency
+// percentiles, counters, gauges).
+type benchResults struct {
+	FioOps              int                                  `json:"fio_ops"`
+	Routing             []experiments.RoutingRow             `json:"routing,omitempty"`
+	ProcessingBySize    []experiments.ProcessingRow          `json:"processing_by_size,omitempty"`
+	ProcessingByThreads []experiments.ProcessingRow          `json:"processing_by_threads,omitempty"`
+	CPUBreakdown        []experiments.CPURow                 `json:"cpu_breakdown,omitempty"`
+	Ablations           map[string][]experiments.AblationRow `json:"ablations,omitempty"`
+	Replication         *experiments.ReplicationRun          `json:"replication,omitempty"`
+	Observability       obs.Snapshot                         `json:"observability"`
+}
 
 func main() {
 	var (
@@ -29,17 +48,29 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run only the ablation sweeps")
 		ops       = flag.Int("ops", 150, "fio operations per data point")
 		repDur    = flag.Duration("repdur", 3*time.Second, "replication run duration")
+		jsonPath  = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*fig, *table, *ablations, *ops, *repDur); err != nil {
+	if err := run(*fig, *table, *ablations, *ops, *repDur, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) error {
+func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration, jsonPath string) error {
 	opts := experiments.Options{FioOps: ops}
 	all := fig == 0 && table == 0 && !ablationsOnly
+	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
+	if jsonPath != "" {
+		defer func() {
+			results.Observability = obs.Default().Snapshot()
+			if err := writeResults(jsonPath, results); err != nil {
+				fmt.Fprintln(os.Stderr, "stormbench: write results:", err)
+			} else {
+				fmt.Printf("\nresults written to %s\n", jsonPath)
+			}
+		}()
+	}
 
 	section := func(title string) {
 		fmt.Printf("\n================ %s ================\n", title)
@@ -50,21 +81,25 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 			section("Ablations (design choices)")
 			if rows, err := experiments.AblationGatewayPlacement(ops); err == nil {
 				fmt.Print(experiments.FormatAblation("gateway placement (16K, 1 thread)", rows))
+				results.Ablations["gateway_placement"] = rows
 			} else {
 				fmt.Println("gateway placement failed:", err)
 			}
 			if rows, err := experiments.AblationChainLength(ops); err == nil {
 				fmt.Print(experiments.FormatAblation("chain length (forward MBs on path)", rows))
+				results.Ablations["chain_length"] = rows
 			} else {
 				fmt.Println("chain length failed:", err)
 			}
 			if rows, err := experiments.AblationJournalCapacity(ops / 2); err == nil {
 				fmt.Print(experiments.FormatAblation("active-relay journal capacity (write-heavy)", rows))
+				results.Ablations["journal_capacity"] = rows
 			} else {
 				fmt.Println("journal capacity failed:", err)
 			}
 			if rows, err := experiments.AblationReplicaFactor(repDur / 3); err == nil {
 				fmt.Print(experiments.FormatAblation("replication factor (OLTP TPS)", rows))
+				results.Ablations["replica_factor"] = rows
 			} else {
 				fmt.Println("replica factor failed:", err)
 			}
@@ -82,6 +117,7 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 			return err
 		}
 		fmt.Print(experiments.FormatRoutingTable(rows))
+		results.Routing = rows
 	}
 
 	if all || fig == 5 || fig == 8 {
@@ -92,6 +128,7 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 			return err
 		}
 		fmt.Print(experiments.FormatProcessingTable(rows, false))
+		results.ProcessingBySize = rows
 	}
 
 	if all || fig == 6 || fig == 9 {
@@ -102,6 +139,7 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 			return err
 		}
 		fmt.Print(experiments.FormatProcessingTable(rows, true))
+		results.ProcessingByThreads = rows
 	}
 
 	if all || fig == 10 {
@@ -112,6 +150,7 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 			return err
 		}
 		fmt.Print(experiments.FormatCPUTable(rows))
+		results.CPUBreakdown = rows
 	}
 
 	if all || fig == 11 {
@@ -132,6 +171,7 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 			return err
 		}
 		fmt.Print(experiments.FormatReplicationRun(rep))
+		results.Replication = rep
 	}
 
 	if all || table == 1 {
@@ -152,4 +192,13 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration) erro
 		fmt.Print(experiments.FormatMalware(steps, log))
 	}
 	return nil
+}
+
+// writeResults marshals the collected rows to path.
+func writeResults(path string, r *benchResults) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -14,9 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 
 	storm "repro"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -34,17 +39,28 @@ const demoPolicy = `{
 
 func main() {
 	var (
-		policyPath = flag.String("policy", "", "tenant policy JSON file (default: built-in demo)")
-		hosts      = flag.Int("hosts", 4, "number of compute hosts")
+		policyPath  = flag.String("policy", "", "tenant policy JSON file (default: built-in demo)")
+		hosts       = flag.Int("hosts", 4, "number of compute hosts")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
 	)
 	flag.Parse()
-	if err := run(*policyPath, *hosts); err != nil {
+	if err := run(*policyPath, *hosts, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "stormd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(policyPath string, hosts int) error {
+func run(policyPath string, hosts int, metricsAddr string) error {
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, obs.Default().Handler()) }()
+		fmt.Printf("metrics: http://%s/metrics (text) and /metrics.json\n", ln.Addr())
+	}
+
 	data := []byte(demoPolicy)
 	if policyPath != "" {
 		var err error
@@ -136,5 +152,64 @@ func run(policyPath string, hosts int) error {
 			fmt.Printf("  %-10s alive=%v reads=%d writes=%d\n", s.Name, s.Alive, s.Reads, s.Writes)
 		}
 	}
+
+	printObservability(obs.Default().Snapshot())
 	return platform.Teardown(pol.Tenant)
+}
+
+// printObservability renders the end-to-end trace report: per-stage latency
+// histograms (the paper's Figure 7/10 breakdown, measured live), then the
+// registry's counters, gauges, and recent structured events.
+func printObservability(snap obs.Snapshot) {
+	fmt.Println("\nper-stage latency (end-to-end trace):")
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, obs.StagePrefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := snap.Histograms[name]
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-32s n=%-6d p50=%-10v p95=%-10v p99=%-10v mean=%v\n",
+			strings.TrimPrefix(name, obs.StagePrefix), s.Count, s.P50, s.P95, s.P99, s.Mean)
+	}
+
+	if len(snap.Counters) > 0 {
+		fmt.Println("\ncounters:")
+		cnames := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			cnames = append(cnames, name)
+		}
+		sort.Strings(cnames)
+		for _, name := range cnames {
+			fmt.Printf("  %-32s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("\ngauges:")
+		gnames := make([]string, 0, len(snap.Gauges))
+		for name := range snap.Gauges {
+			gnames = append(gnames, name)
+		}
+		sort.Strings(gnames)
+		for _, name := range gnames {
+			g := snap.Gauges[name]
+			fmt.Printf("  %-32s %d (high-water %d)\n", name, g.Value, g.High)
+		}
+	}
+	if len(snap.Events) > 0 {
+		const tail = 10
+		evs := snap.Events
+		if len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		fmt.Printf("\nevents (last %d of %d):\n", len(evs), len(snap.Events))
+		for _, e := range evs {
+			fmt.Printf("  %s [%s] %s\n", e.Time.Format("15:04:05.000"), e.Kind, e.Msg)
+		}
+	}
 }

@@ -2,6 +2,8 @@ package blockdev
 
 import (
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // CacheDisk is a write-through block cache over a Device — the analogue of
@@ -17,6 +19,9 @@ type CacheDisk struct {
 	maxBlks int
 	hits    int64
 	misses  int64
+
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
 }
 
 var _ Device = (*CacheDisk)(nil)
@@ -28,10 +33,23 @@ func NewCacheDisk(dev Device, capacityBytes int) *CacheDisk {
 		maxBlks = 1
 	}
 	return &CacheDisk{
-		dev:     dev,
-		blocks:  make(map[uint64][]byte),
-		maxBlks: maxBlks,
+		dev:       dev,
+		blocks:    make(map[uint64][]byte),
+		maxBlks:   maxBlks,
+		obsHits:   obs.Default().Counter("blockcache.hits"),
+		obsMisses: obs.Default().Counter("blockcache.misses"),
 	}
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any read.
+func (d *CacheDisk) HitRatio() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := d.hits + d.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(d.hits) / float64(total)
 }
 
 // Hits returns the number of block reads served from the cache.
@@ -76,10 +94,12 @@ func (d *CacheDisk) ReadAt(p []byte, lba uint64) error {
 		}
 		d.hits += int64(n)
 		d.mu.Unlock()
+		d.obsHits.Add(int64(n))
 		return nil
 	}
 	d.misses += int64(n)
 	d.mu.Unlock()
+	d.obsMisses.Add(int64(n))
 
 	if err := d.dev.ReadAt(p, lba); err != nil {
 		return err

@@ -1,0 +1,64 @@
+package blockdev
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ObservedDisk wraps a Device and records the latency of every ReadAt and
+// WriteAt into stage-labelled histograms ("stage.<stage>.read" and
+// "stage.<stage>.write"). It is the generic per-stage probe of the
+// observability spine: relays wrap their whole service stack in one so the
+// histogram captures service time plus downstream forwarding.
+type ObservedDisk struct {
+	dev        Device
+	read, wrte obs.Timer
+}
+
+var _ Device = (*ObservedDisk)(nil)
+
+// NewObservedDisk wraps dev with stage-latency probes registered in reg.
+// A nil registry disables tracing by returning dev unwrapped.
+func NewObservedDisk(dev Device, reg *obs.Registry, stage string) Device {
+	if reg == nil {
+		return dev
+	}
+	return &ObservedDisk{
+		dev:  dev,
+		read: reg.Timer(obs.StagePrefix + stage + ".read"),
+		wrte: reg.Timer(obs.StagePrefix + stage + ".write"),
+	}
+}
+
+// BlockSize implements Device.
+func (d *ObservedDisk) BlockSize() int { return d.dev.BlockSize() }
+
+// Blocks implements Device.
+func (d *ObservedDisk) Blocks() uint64 { return d.dev.Blocks() }
+
+// ReadAt implements Device, timing the read.
+func (d *ObservedDisk) ReadAt(p []byte, lba uint64) error {
+	t0 := time.Now()
+	err := d.dev.ReadAt(p, lba)
+	if err == nil {
+		d.read.Since(t0)
+	}
+	return err
+}
+
+// WriteAt implements Device, timing the write.
+func (d *ObservedDisk) WriteAt(p []byte, lba uint64) error {
+	t0 := time.Now()
+	err := d.dev.WriteAt(p, lba)
+	if err == nil {
+		d.wrte.Since(t0)
+	}
+	return err
+}
+
+// Flush implements Device.
+func (d *ObservedDisk) Flush() error { return d.dev.Flush() }
+
+// Close implements Device.
+func (d *ObservedDisk) Close() error { return d.dev.Close() }

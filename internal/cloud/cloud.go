@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/middlebox"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sdn"
 	"repro/internal/splice"
 	"repro/internal/target"
@@ -250,6 +251,7 @@ func (c *Cloud) loginAndOpen(ep *netsim.Endpoint, vmName, iqn string) (*initiato
 		InitiatorIQN: "iqn.2016-04.edu.purdue.storm:init:" + vmName,
 		TargetIQN:    iqn,
 		AttachedVM:   vmName,
+		Obs:          obs.Default(),
 	})
 	if err != nil {
 		_ = conn.Close()
@@ -328,6 +330,7 @@ func (c *Cloud) LaunchMiddleBox(spec MBSpec) (*MiddleBox, error) {
 		Services:        services,
 		JournalCapacity: spec.JournalCapacity,
 		CPU:             h.CPU(),
+		Obs:             obs.Default(),
 	})
 	if err != nil {
 		return nil, err

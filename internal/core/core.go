@@ -19,6 +19,7 @@ import (
 	"repro/internal/extfs"
 	"repro/internal/initiator"
 	"repro/internal/middlebox"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sdn"
 	"repro/internal/services/crypt"
@@ -357,6 +358,7 @@ func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs m
 			InitiatorIQN: "iqn.2016-04.edu.purdue.storm:init:" + vb.VM,
 			TargetIQN:    vol.IQN,
 			AttachedVM:   vb.VM,
+			Obs:          obs.Default(),
 		})
 		if err != nil {
 			_ = conn.Close()

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -22,6 +23,11 @@ type RoutingRow struct {
 	MBFwdIOPS     float64
 	LegacyLatency time.Duration
 	MBFwdLatency  time.Duration
+	// LegacyLat / MBFwdLat are the full latency distributions (percentiles
+	// for machine-readable output); the *Latency fields above keep the means
+	// for the text tables.
+	LegacyLat metrics.Summary
+	MBFwdLat  metrics.Summary
 }
 
 // NormIOPS returns MB-FWD IOPS normalized to LEGACY (Figure 4's bars).
@@ -95,6 +101,8 @@ func RoutingOverhead(opts Options) ([]RoutingRow, error) {
 			MBFwdIOPS:     fwd.IOPS,
 			LegacyLatency: leg.Latency.Mean,
 			MBFwdLatency:  fwd.Latency.Mean,
+			LegacyLat:     leg.Latency,
+			MBFwdLat:      fwd.Latency,
 		})
 	}
 	return rows, nil
@@ -114,6 +122,11 @@ type ProcessingRow struct {
 	FwdLatency     time.Duration
 	PassiveLatency time.Duration
 	ActiveLatency  time.Duration
+
+	// Full latency distributions for machine-readable output.
+	FwdLat     metrics.Summary
+	PassiveLat metrics.Summary
+	ActiveLat  metrics.Summary
 }
 
 // Norm returns the scenario's IOPS normalized to MB-FWD.
@@ -198,6 +211,9 @@ func processingPoint(size, threads, idx int, opts Options) (*ProcessingRow, erro
 		FwdLatency:     fwd.Latency.Mean,
 		PassiveLatency: pas.Latency.Mean,
 		ActiveLatency:  act.Latency.Mean,
+		FwdLat:         fwd.Latency,
+		PassiveLat:     pas.Latency,
+		ActiveLat:      act.Latency,
 	}, nil
 }
 

@@ -10,8 +10,10 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/iscsi"
+	"repro/internal/obs"
 	"repro/internal/scsi"
 )
 
@@ -36,6 +38,13 @@ type Config struct {
 	// QueueDepth bounds locally outstanding commands (default 32,
 	// Open-iSCSI's node.session.queue_depth).
 	QueueDepth int
+	// Obs optionally records per-command latency spans into the registry
+	// under "stage.<Stage>.read" / "stage.<Stage>.write". Nil disables
+	// tracing (no histogram work on the hot path).
+	Obs *obs.Registry
+	// Stage labels this session's spans (obs.StageInitiator when empty);
+	// a relay's pseudo-client session uses its relay.forward stage.
+	Stage string
 }
 
 // pendingCmd tracks one outstanding command.
@@ -69,6 +78,9 @@ type Session struct {
 
 	sem        chan struct{}
 	readerDone chan struct{}
+
+	readTimer  obs.Timer
+	writeTimer obs.Timer
 }
 
 // Login establishes a session over conn. The local TCP source port is
@@ -129,6 +141,14 @@ func Login(conn net.Conn, cfg Config) (*Session, error) {
 		pending:    make(map[uint32]*pendingCmd),
 		sem:        make(chan struct{}, cfg.QueueDepth),
 		readerDone: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		stage := cfg.Stage
+		if stage == "" {
+			stage = obs.StageInitiator
+		}
+		s.readTimer = cfg.Obs.Timer(obs.StagePrefix + stage + ".read")
+		s.writeTimer = cfg.Obs.Timer(obs.StagePrefix + stage + ".write")
 	}
 	go s.readLoop()
 	return s, nil
@@ -333,9 +353,16 @@ func (s *Session) Read(lba uint64, blocks uint32, blockSize int) ([]byte, error)
 		return nil, err
 	}
 	n := int(blocks) * blockSize
+	var t0 time.Time
+	if s.readTimer.Enabled() {
+		t0 = time.Now()
+	}
 	data, err := s.execRead(cdb, n)
 	if err != nil {
 		return nil, err
+	}
+	if s.readTimer.Enabled() {
+		s.readTimer.Since(t0)
 	}
 	return data, nil
 }
@@ -383,6 +410,11 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 	cdb := scsi.NewWrite(lba, uint32(len(data)/blockSize))
 	if _, err := cdb.Encode(); err != nil {
 		return err
+	}
+	var t0 time.Time
+	if s.writeTimer.Enabled() {
+		t0 = time.Now()
+		defer func() { s.writeTimer.Since(t0) }()
 	}
 
 	s.sem <- struct{}{}

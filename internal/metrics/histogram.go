@@ -80,6 +80,23 @@ func (h *Histogram) Max() time.Duration {
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.percentileLocked(p)
+}
+
+// Quantiles returns the given percentiles (0-100) under a single lock and
+// sort — the one helper every caller should use instead of per-caller
+// percentile math.
+func (h *Histogram) Quantiles(ps ...float64) []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		out[i] = h.percentileLocked(p)
+	}
+	return out
+}
+
+func (h *Histogram) percentileLocked(p float64) time.Duration {
 	n := len(h.samples)
 	if n == 0 {
 		return 0
@@ -131,23 +148,36 @@ func (h *Histogram) Reset() {
 	h.sorted = false
 }
 
-// Snapshot returns a point-in-time summary of the histogram.
+// Snapshot returns a point-in-time summary of the histogram, computed
+// under a single lock (one sort, one pass).
 func (h *Histogram) Snapshot() Summary {
-	return Summary{
-		Count:  h.Count(),
-		Mean:   h.Mean(),
-		Min:    h.Min(),
-		Max:    h.Max(),
-		P50:    h.Percentile(50),
-		P95:    h.Percentile(95),
-		P99:    h.Percentile(99),
-		Stddev: h.Stddev(),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	s := Summary{Count: n, Sum: h.sum, Min: h.min, Max: h.max}
+	if n == 0 {
+		return s
 	}
+	s.Mean = h.sum / time.Duration(n)
+	s.P50 = h.percentileLocked(50)
+	s.P95 = h.percentileLocked(95)
+	s.P99 = h.percentileLocked(99)
+	if n >= 2 {
+		mean := float64(h.sum) / float64(n)
+		var ss float64
+		for _, sample := range h.samples {
+			d := float64(sample) - mean
+			ss += d * d
+		}
+		s.Stddev = time.Duration(math.Sqrt(ss / float64(n-1)))
+	}
+	return s
 }
 
 // Summary is a point-in-time aggregate of a Histogram.
 type Summary struct {
 	Count  int
+	Sum    time.Duration
 	Mean   time.Duration
 	Min    time.Duration
 	Max    time.Duration

@@ -34,22 +34,30 @@ func (m *Meter) Bytes() int64 { return m.bytes.Load() }
 // Elapsed returns the time since the meter was created.
 func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
 
-// OpsPerSec returns the average operation rate since creation.
+// OpsPerSec returns the average operation rate since creation, or zero
+// for a zero-length (or never-started) window.
 func (m *Meter) OpsPerSec() float64 {
-	el := m.Elapsed().Seconds()
-	if el <= 0 {
-		return 0
-	}
-	return float64(m.ops.Load()) / el
+	return rate(float64(m.ops.Load()), m.start)
 }
 
-// BytesPerSec returns the average byte rate since creation.
+// BytesPerSec returns the average byte rate since creation, or zero for a
+// zero-length (or never-started) window.
 func (m *Meter) BytesPerSec() float64 {
-	el := m.Elapsed().Seconds()
+	return rate(float64(m.bytes.Load()), m.start)
+}
+
+// rate is the shared zero-length-window guard for every rate method in
+// this package: a zero start time or non-positive elapsed window yields 0
+// rather than Inf/NaN.
+func rate(total float64, start time.Time) float64 {
+	if start.IsZero() {
+		return 0
+	}
+	el := time.Since(start).Seconds()
 	if el <= 0 {
 		return 0
 	}
-	return float64(m.bytes.Load()) / el
+	return total / el
 }
 
 // CPUAccount tracks simulated CPU busy-time per named component on a host.
@@ -72,6 +80,9 @@ func (a *CPUAccount) Charge(component string, d time.Duration) {
 		return
 	}
 	a.mu.Lock()
+	if a.busy == nil {
+		a.busy = make(map[string]time.Duration)
+	}
 	a.busy[component] += d
 	a.mu.Unlock()
 }
@@ -95,13 +106,10 @@ func (a *CPUAccount) TotalBusy() time.Duration {
 }
 
 // Utilization returns busy/wall for the named component over the window
-// [start, now], as a fraction in [0, +inf).
+// [start, now], as a fraction in [0, +inf). A zero-length (or
+// never-started) window yields 0.
 func (a *CPUAccount) Utilization(component string) float64 {
-	wall := time.Since(a.start)
-	if wall <= 0 {
-		return 0
-	}
-	return float64(a.Busy(component)) / float64(wall)
+	return rate(float64(a.Busy(component)), a.start) / float64(time.Second)
 }
 
 // Components returns a copy of the per-component busy-time map.

@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrJournalFull reports that the non-volatile buffer cannot accept more
@@ -59,12 +61,18 @@ type Journal struct {
 	nextSeq  uint64
 	entries  map[uint64]*Entry
 	failures []error
+
+	usedGauge *obs.Gauge
 }
 
 // NewJournal creates a journal holding up to capacity bytes of
 // unacknowledged write data (0 means unbounded).
 func NewJournal(capacity int) *Journal {
-	return &Journal{capacity: capacity, entries: make(map[uint64]*Entry)}
+	return &Journal{
+		capacity:  capacity,
+		entries:   make(map[uint64]*Entry),
+		usedGauge: obs.Default().Gauge("journal.used_bytes"),
+	}
 }
 
 // Append records a write before it is acknowledged to the source. The data
@@ -74,6 +82,7 @@ func (j *Journal) Append(lba uint64, data []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.capacity > 0 && j.used+len(data) > j.capacity {
+		obs.Default().Eventf("journal", "full: %d bytes used of %d, falling back to write-through", j.used, j.capacity)
 		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, j.used, j.capacity)
 	}
 	j.nextSeq++
@@ -85,6 +94,7 @@ func (j *Journal) Append(lba uint64, data []byte) (uint64, error) {
 	}
 	j.entries[e.Seq] = e
 	j.used += len(data)
+	j.usedGauge.Add(int64(len(data)))
 	return e.Seq, nil
 }
 
@@ -105,6 +115,7 @@ func (j *Journal) Complete(seq uint64, applyErr error) {
 	}
 	e.State = StateApplied
 	j.used -= len(e.Data)
+	j.usedGauge.Add(-int64(len(e.Data)))
 	delete(j.entries, seq)
 }
 

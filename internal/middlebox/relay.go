@@ -11,6 +11,7 @@ import (
 	"repro/internal/initiator"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/target"
 )
@@ -124,6 +125,11 @@ type Config struct {
 	Cost CostModel
 	// CPU optionally receives the relay's processing charges.
 	CPU *metrics.CPUAccount
+	// Obs optionally receives per-stage trace spans: the whole relay
+	// service path under "stage.relay.<name>.service" and the downstream
+	// forwarding leg under "stage.relay.<name>.forward". Nil disables
+	// tracing.
+	Obs *obs.Registry
 	// Logger receives diagnostics.
 	Logger *log.Logger
 }
@@ -198,6 +204,8 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		// The relay aggregates a whole session's traffic onto its
 		// pseudo-client connection; it needs the full command window.
 		QueueDepth: 64,
+		Obs:        r.cfg.Obs,
+		Stage:      obs.RelayForwardStage(r.cfg.Name),
 	})
 	if err != nil {
 		_ = backConn.Close()
@@ -230,6 +238,9 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		stack = NewWriteBack(stack, j)
 	}
 	stack = newInterceptDevice(stack, r.cfg.Mode, r.cfg.Cost, r.cfg.CPU)
+	// The outermost probe times the whole relay service path: interception,
+	// tenant services, journaling, and the downstream forward.
+	stack = blockdev.NewObservedDisk(stack, r.cfg.Obs, obs.RelayServiceStage(r.cfg.Name))
 	return stack, true, nil
 }
 

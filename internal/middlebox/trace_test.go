@@ -1,0 +1,124 @@
+package middlebox
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/initiator"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/target"
+)
+
+// TestTraceSpansAcrossTwoMiddleBoxChain verifies end-to-end trace
+// propagation: a command issued by the initiator through a two-middle-box
+// chain must leave per-stage latency observations at every station —
+// initiator, each relay's service and forward legs, and the back-end
+// target.
+func TestTraceSpansAcrossTwoMiddleBoxChain(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	disk, err := blockdev.NewMemDisk(512, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsrv := target.NewServer(target.WithObs(reg, obs.StageTarget))
+	const iqn = "iqn.2016-04.edu.purdue.storm:vol1"
+	if err := tsrv.AddTarget(iqn, disk); err != nil {
+		t.Fatal(err)
+	}
+
+	relay2, err := NewRelay(Config{
+		Name: "mb2",
+		Mode: Active,
+		Dial: func(netsim.Addr) (net.Conn, error) {
+			c, s := net.Pipe()
+			go tsrv.Serve(newOneShotListener(s))
+			return c, nil
+		},
+		NextHop: netsim.Addr{Net: netsim.StorageNet, IP: "10.0.0.100", Port: 3260},
+		Cost:    CostModel{MTU: 8192, BatchSize: 65536},
+		Obs:     reg,
+	})
+	if err != nil {
+		t.Fatalf("NewRelay mb2: %v", err)
+	}
+	relay1, err := NewRelay(Config{
+		Name: "mb1",
+		Mode: Passive,
+		Dial: func(netsim.Addr) (net.Conn, error) {
+			c, s := net.Pipe()
+			go relay2.Serve(newOneShotListener(s))
+			return c, nil
+		},
+		NextHop: netsim.Addr{Net: netsim.InstanceNet, IP: "192.168.20.2", Port: 3260},
+		Cost:    CostModel{MTU: 8192, BatchSize: 65536},
+		Obs:     reg,
+	})
+	if err != nil {
+		t.Fatalf("NewRelay mb1: %v", err)
+	}
+
+	front, back := net.Pipe()
+	go relay1.Serve(newOneShotListener(back))
+	t.Cleanup(func() {
+		relay1.Close()
+		relay2.Close()
+		tsrv.Close()
+	})
+
+	sess, err := initiator.Login(front, initiator.Config{
+		InitiatorIQN: "iqn.vm1",
+		TargetIQN:    iqn,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatalf("Login through chain: %v", err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+
+	want := bytes.Repeat([]byte{0xC4}, 4096)
+	if err := sess.Write(16, want, 512); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := sess.Read(16, 8, 512)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("chain corrupted data")
+	}
+
+	// Collect the distinct stages that recorded at least one span,
+	// stripping the .read/.write/.ctl suffix.
+	snap := reg.Snapshot()
+	stages := make(map[string]bool)
+	for name, s := range snap.Histograms {
+		if s.Count == 0 || !strings.HasPrefix(name, obs.StagePrefix) {
+			continue
+		}
+		stage := strings.TrimPrefix(name, obs.StagePrefix)
+		for _, suffix := range []string{".read", ".write", ".ctl"} {
+			stage = strings.TrimSuffix(stage, suffix)
+		}
+		stages[stage] = true
+	}
+	for _, stage := range []string{
+		obs.StageInitiator,
+		obs.RelayServiceStage("mb1"),
+		obs.RelayForwardStage("mb1"),
+		obs.RelayServiceStage("mb2"),
+		obs.RelayForwardStage("mb2"),
+		obs.StageTarget,
+	} {
+		if !stages[stage] {
+			t.Errorf("stage %q recorded no spans (got %v)", stage, stages)
+		}
+	}
+	if len(stages) < 5 {
+		t.Errorf("only %d distinct stages traced, want >= 5: %v", len(stages), stages)
+	}
+}

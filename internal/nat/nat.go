@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Match selects flows. Zero-valued fields are wildcards.
@@ -96,11 +97,16 @@ type Table struct {
 	rules []*Rule
 	seq   int
 	order map[string]int
+
+	rewrites *obs.Counter
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{order: make(map[string]int)}
+	return &Table{
+		order:    make(map[string]int),
+		rewrites: obs.Default().Counter("nat.rewrites"),
+	}
 }
 
 // Add inserts a rule. The ID must be unique within the table.
@@ -170,7 +176,12 @@ func (t *Table) Apply(f netsim.Flow) (netsim.Flow, *Rule, bool) {
 	for _, r := range rules {
 		if r.Match.Matches(f) {
 			r.hits.Add(1)
-			return r.Action.Apply(f), r, true
+			t.rewrites.Inc()
+			out := r.Action.Apply(f)
+			obs.Default().Eventf("nat", "rule %s rewrote %s:%d->%s:%d to %s:%d->%s:%d",
+				r.ID, f.SrcIP, f.SrcPort, f.DstIP, f.DstPort,
+				out.SrcIP, out.SrcPort, out.DstIP, out.DstPort)
+			return out, r, true
 		}
 	}
 	return f, nil, false

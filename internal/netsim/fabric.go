@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Common fabric errors.
@@ -198,24 +199,46 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 
 	chargeFor := func(hops []Hop) func(time.Duration) {
 		// Charge per-direction processing to the hosts on the path,
-		// proportionally to their share of the per-frame cost.
+		// proportionally to their share of the per-frame cost. The host
+		// lookups, fractions, and stage timers are resolved once here so the
+		// per-frame closure stays cheap. Stage-tagged hops also record their
+		// share into per-stage latency histograms.
+		var sum time.Duration
+		for _, h := range hops {
+			if h.Host != "" {
+				sum += f.model.PerPacket[h.Kind]
+			}
+		}
+		if sum <= 0 {
+			return func(time.Duration) {}
+		}
+		type hopCharge struct {
+			host  *Host
+			timer obs.Timer
+			frac  float64
+		}
+		charges := make([]hopCharge, 0, len(hops))
+		for _, h := range hops {
+			if h.Host == "" {
+				continue
+			}
+			hc := hopCharge{
+				host: f.Host(h.Host),
+				frac: float64(f.model.PerPacket[h.Kind]) / float64(sum),
+			}
+			if h.Stage != "" {
+				hc.timer = obs.Default().Timer(obs.StagePrefix + h.Stage)
+			}
+			charges = append(charges, hc)
+		}
 		return func(total time.Duration) {
-			var sum time.Duration
-			for _, h := range hops {
-				if h.Host != "" {
-					sum += f.model.PerPacket[h.Kind]
+			for _, hc := range charges {
+				share := time.Duration(float64(total) * hc.frac)
+				if hc.host != nil {
+					hc.host.cpu.Charge("net", share)
 				}
-			}
-			if sum <= 0 {
-				return
-			}
-			for _, h := range hops {
-				if h.Host == "" {
-					continue
-				}
-				share := time.Duration(float64(total) * float64(f.model.PerPacket[h.Kind]) / float64(sum))
-				if host := f.Host(h.Host); host != nil {
-					host.cpu.Charge("net", share)
+				if hc.timer.Enabled() {
+					hc.timer.Observe(share)
 				}
 			}
 		}

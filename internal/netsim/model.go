@@ -44,10 +44,15 @@ func (k HopKind) String() string {
 }
 
 // Hop is one traversal station on a route. Host names the physical host
-// charged for the processing cost (empty for wire legs).
+// charged for the processing cost (empty for wire legs). Stage optionally
+// labels the hop for the observability spine: a non-empty Stage routes the
+// hop's share of each frame's delay into the "stage.<Stage>" latency
+// histogram of the default obs registry (splice tags its gateway and
+// MB-FWD hops this way).
 type Hop struct {
-	Kind HopKind
-	Host string
+	Kind  HopKind
+	Host  string
+	Stage string
 }
 
 // Model holds the fabric's latency and cost constants. The defaults are

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event is one structured log entry (NAT rewrite, SDN chain walk, journal
+// high-water, ...). Events live in a bounded ring so always-on logging
+// cannot grow without bound.
+type Event struct {
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg"`
+}
+
+// maxEvents bounds the per-registry event ring.
+const maxEvents = 512
+
+// Eventf appends a structured event of the given kind; the oldest event
+// is dropped once the ring is full. No-op on a nil registry.
+func (r *Registry) Eventf(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	if len(r.events) < maxEvents {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.evNext] = ev
+	r.evNext = (r.evNext + 1) % maxEvents
+}
+
+// Events returns the buffered events in arrival order.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.evNext:]...)
+	out = append(out, r.events[:r.evNext]...)
+	return out
+}

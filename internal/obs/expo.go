@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// GaugeSnapshot is a gauge's point-in-time value and high-water mark.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	High  int64 `json:"high"`
+}
+
+// Snapshot is a point-in-time copy of every metric and event in a
+// Registry, suitable for JSON encoding (durations encode as nanoseconds).
+type Snapshot struct {
+	Counters   map[string]int64           `json:"counters"`
+	Gauges     map[string]GaugeSnapshot   `json:"gauges"`
+	Histograms map[string]metrics.Summary `json:"histograms"`
+	Events     []Event                    `json:"events,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnapshot),
+		Histograms: make(map[string]metrics.Summary),
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*metrics.Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = GaugeSnapshot{Value: g.Value(), High: g.High()}
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.Snapshot()
+	}
+	snap.Events = r.Events()
+	return snap
+}
+
+// WriteJSON writes an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText writes the registry in the Prometheus text exposition format:
+// counters and gauges as single samples, histograms as summaries with
+// p50/p95/p99 quantiles in seconds. Names are prefixed "storm_" and
+// sanitized; output is sorted for determinism.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		g := snap.Gauges[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n%s_high %d\n", pn, pn, g.Value, pn, g.High); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_seconds"
+		s := snap.Histograms[name]
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
+			pn,
+			pn, s.P50.Seconds(),
+			pn, s.P95.Seconds(),
+			pn, s.P99.Seconds(),
+			pn, s.Sum.Seconds(),
+			pn, s.Count)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted registry name to a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("storm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the registry over HTTP: "/metrics" (Prometheus text),
+// "/metrics.json" (JSON snapshot), and "/" (a short index).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "storm metrics: /metrics (Prometheus text), /metrics.json (JSON snapshot)")
+	})
+	return mux
+}

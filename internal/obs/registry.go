@@ -1,0 +1,247 @@
+// Package obs is the process-wide observability spine of the StorM test
+// bed: a registry of named counters, gauges, and latency histograms
+// (reusing metrics.Histogram), per-command stage spans along the
+// VM → gateway → middle-box chain → target data path, a bounded
+// structured-event log, and Prometheus-style text / JSON exposition.
+//
+// Hot paths hold on to the *Counter / *Gauge / Timer handles returned by
+// the registry — after the one-time get-or-create, updates are a single
+// atomic operation (counters, gauges) or one histogram observation.
+// Counter and Gauge methods are nil-safe so instrumentation points can be
+// wired unconditionally and disabled by passing a nil registry.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Counter is a monotonically increasing event count. A nil *Counter is a
+// valid no-op receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level that also remembers its high-water mark
+// (e.g. journal occupancy). A nil *Gauge is a valid no-op receiver.
+type Gauge struct {
+	v    atomic.Int64
+	high atomic.Int64
+}
+
+// Set stores v and raises the high-water mark if needed.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// Add moves the level by d (negative to lower it) and returns the new
+// value, raising the high-water mark if needed.
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	v := g.v.Add(d)
+	g.raise(v)
+	return v
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		h := g.high.Load()
+		if v <= h || g.high.CompareAndSwap(h, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// High returns the highest level ever set.
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.high.Load()
+}
+
+// Timer is a nil-safe handle on a registry latency histogram; the zero
+// value discards observations.
+type Timer struct {
+	h *metrics.Histogram
+}
+
+// Observe records one latency sample.
+func (t Timer) Observe(d time.Duration) {
+	if t.h != nil {
+		t.h.Observe(d)
+	}
+}
+
+// Since records the latency elapsed since t0.
+func (t Timer) Since(t0 time.Time) {
+	if t.h != nil {
+		t.h.Observe(time.Since(t0))
+	}
+}
+
+// Enabled reports whether observations are recorded.
+func (t Timer) Enabled() bool { return t.h != nil }
+
+// Registry is a set of named metrics. All methods are safe for concurrent
+// use; a nil *Registry returns nil (no-op) handles.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*metrics.Histogram
+
+	evMu   sync.Mutex
+	events []Event
+	evNext int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*metrics.Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the wired-in
+// instrumentation (cloud, splice, relays, caches) reports into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named latency histogram,
+// or nil on a nil registry.
+func (r *Registry) Histogram(name string) *metrics.Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = new(metrics.Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Timer returns a nil-safe handle on the named latency histogram.
+func (r *Registry) Timer(name string) Timer {
+	return Timer{h: r.Histogram(name)}
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset discards every metric and event (tests; registry handles held by
+// callers keep working but point at values no longer exposed).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.hists = make(map[string]*metrics.Histogram)
+	r.mu.Unlock()
+	r.evMu.Lock()
+	r.events = nil
+	r.evNext = 0
+	r.evMu.Unlock()
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "time"
+
+// Stage names along the paper's data path (Figures 7 and 10 break the
+// end-to-end latency and CPU time down over exactly these hops). Each
+// stage records into the registry histogram "stage.<stage>" (optionally
+// suffixed ".read"/".write"/".ctl" by direction-aware instrumentation).
+const (
+	// StageInitiator is the VM-side iSCSI session: command issue to
+	// completion, the whole end-to-end latency.
+	StageInitiator = "initiator"
+	// StageGatewayIngress is the splice plane's ingress storage gateway
+	// (NAT capture and redirection into the instance network).
+	StageGatewayIngress = "gateway.ingress"
+	// StageGatewayEgress is the egress storage gateway back onto the
+	// storage network towards the volume service.
+	StageGatewayEgress = "gateway.egress"
+	// StageMBForward is a transparent MB-FWD hop (passive middle-box
+	// forwarding without terminating the connection).
+	StageMBForward = "mbfwd"
+	// StageTarget is the back-end iSCSI target: command receipt to status
+	// sent, including medium service time.
+	StageTarget = "target"
+)
+
+// StagePrefix prefixes every stage histogram name in a Registry.
+const StagePrefix = "stage."
+
+// RelayServiceStage names a relay's service-chain span (passive hook or
+// active journal-ack processing, inclusive of the downstream forward).
+func RelayServiceStage(relay string) string {
+	if relay == "" {
+		return "relay.service"
+	}
+	return "relay." + relay + ".service"
+}
+
+// RelayForwardStage names a relay's downstream-forward span (the
+// pseudo-client session towards the next station or the target).
+func RelayForwardStage(relay string) string {
+	if relay == "" {
+		return "relay.forward"
+	}
+	return "relay." + relay + ".forward"
+}
+
+// Span measures one stage of one command; obtain with StartSpan, finish
+// with End. The zero Span is a no-op.
+type Span struct {
+	t     Timer
+	start time.Time
+}
+
+// StartSpan opens a span recording into "stage.<stage>". On a nil
+// registry the span is a no-op.
+func (r *Registry) StartSpan(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{t: r.Timer(StagePrefix + stage), start: time.Now()}
+}
+
+// End records the span's elapsed time into its stage histogram.
+func (s Span) End() {
+	if s.t.h != nil {
+		s.t.h.Observe(time.Since(s.start))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/vswitch"
 )
 
@@ -58,13 +59,18 @@ type Controller struct {
 	mu       sync.Mutex
 	switches map[string]*vswitch.Switch
 	chains   map[string]*Chain
+
+	lookupHits   *obs.Counter
+	lookupMisses *obs.Counter
 }
 
 // NewController creates an empty controller.
 func NewController() *Controller {
 	return &Controller{
-		switches: make(map[string]*vswitch.Switch),
-		chains:   make(map[string]*Chain),
+		switches:     make(map[string]*vswitch.Switch),
+		chains:       make(map[string]*Chain),
+		lookupHits:   obs.Default().Counter("sdn.flow_lookup.hits"),
+		lookupMisses: obs.Default().Counter("sdn.flow_lookup.misses"),
 	}
 }
 
@@ -206,8 +212,10 @@ func (c *Controller) Walk(flow netsim.Flow, startHost, startStation string) []St
 		sw := c.SwitchFor(host)
 		rule := sw.Lookup(flow, station)
 		if rule == nil {
+			c.lookupMisses.Inc()
 			return steps
 		}
+		c.lookupHits.Inc()
 		step := Step{MB: MBSpec{
 			Name:      rule.Action.Station,
 			Host:      rule.Action.Host,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sdn"
 	"repro/internal/vswitch"
 )
@@ -44,7 +45,7 @@ func (p *Plane) Route(f *netsim.Fabric, src *netsim.Endpoint, srcAddr, dst netsi
 
 	// VM -> ingress gateway host, plus the gateway's routing work.
 	hops := netsim.PathHops(f, src.Host().Name(), src.Guest(), dep.Ingress.Host, false)
-	hops = append(hops, netsim.Hop{Kind: netsim.HopForward, Host: dep.Ingress.Host})
+	hops = append(hops, netsim.Hop{Kind: netsim.HopForward, Host: dep.Ingress.Host, Stage: obs.StageGatewayIngress})
 	return p.walkChain(dep, srcAddr, dst, dep.Ingress.Host, sdn.IngressStation, hops)
 }
 
@@ -81,7 +82,13 @@ func (p *Plane) walkChain(dep *Deployment, srcAddr, dialedDst netsim.Addr, host,
 			if st.MB.Host != cur {
 				hops = append(hops, netsim.Hop{Kind: netsim.HopWire})
 			}
-			hops = append(hops, netsim.ForwardHops(st.MB.Host)...)
+			fwd := netsim.ForwardHops(st.MB.Host)
+			for i := range fwd {
+				if fwd[i].Kind == netsim.HopForward {
+					fwd[i].Stage = obs.StageMBForward
+				}
+			}
+			hops = append(hops, fwd...)
 			cur = st.MB.Host
 		case vswitch.ModeTerminate:
 			if st.MB.Host != cur {
@@ -108,7 +115,7 @@ func (p *Plane) walkChain(dep *Deployment, srcAddr, dialedDst netsim.Addr, host,
 			netsim.Hop{Kind: netsim.HopWire},
 			netsim.Hop{Kind: netsim.HopSwitch, Host: dep.Egress.Host})
 	}
-	hops = append(hops, netsim.Hop{Kind: netsim.HopForward, Host: dep.Egress.Host})
+	hops = append(hops, netsim.Hop{Kind: netsim.HopForward, Host: dep.Egress.Host, Stage: obs.StageGatewayEgress})
 	targetHost := p.fabric.HostByIP(netsim.StorageNet, dep.TargetAddr.IP)
 	if targetHost == nil {
 		return nil, fmt.Errorf("splice: deployment %q target %v is on no host", dep.ID, dep.TargetAddr)

@@ -1,0 +1,547 @@
+package target
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blockdev"
+	"repro/internal/iscsi"
+	"repro/internal/scsi"
+)
+
+// maxTransfer bounds a single command's data transfer so a corrupt
+// ExpectedDataTransferLength cannot allocate unbounded memory.
+const maxTransfer = 64 << 20
+
+// transfer tracks one in-progress R2T-solicited write.
+type transfer struct {
+	mu  sync.Mutex
+	buf []byte
+	// burst is signaled when the Final Data-Out of a solicited burst
+	// arrives.
+	burst chan struct{}
+}
+
+// session is one logged-in connection.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	params iscsi.Params
+	dev    blockdev.Device
+	ownDev bool
+	iqn    string
+
+	sendMu sync.Mutex
+	statSN atomic.Uint32
+
+	lastCmdSN atomic.Uint32
+
+	xferMu sync.Mutex
+	xfers  map[uint32]*transfer
+
+	cmdWG sync.WaitGroup
+	// done is closed when the session ends, releasing command goroutines
+	// blocked on data solicitation.
+	done chan struct{}
+}
+
+// serveConn runs one connection: login, full-feature phase, teardown.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	ss, err := s.login(conn)
+	if err != nil {
+		s.logf("target: login on %v failed: %v", conn.RemoteAddr(), err)
+		return
+	}
+	ss.run()
+	ss.cleanup()
+}
+
+// login performs the single-round login exchange the initiator drives.
+func (s *Server) login(conn net.Conn) (*session, error) {
+	pdu, err := iscsi.ReadPDU(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read login: %w", err)
+	}
+	req, err := iscsi.ParseLoginRequest(pdu)
+	if err != nil {
+		return nil, err
+	}
+	iqn := req.Pairs[iscsi.KeyTargetName]
+	reject := func(cause error) (*session, error) {
+		resp := &iscsi.LoginResponse{
+			Transit:     true,
+			CSG:         iscsi.StageOperational,
+			NSG:         iscsi.StageFullFeature,
+			ISID:        req.ISID,
+			ITT:         req.ITT,
+			StatSN:      1,
+			ExpCmdSN:    req.CmdSN + 1,
+			MaxCmdSN:    req.CmdSN + 1,
+			StatusClass: iscsi.LoginStatusInitiatorErr,
+		}
+		if _, werr := resp.Encode().WriteTo(conn); werr != nil && cause == nil {
+			cause = werr
+		}
+		return nil, cause
+	}
+	dev, owned, err := s.lookup(iqn, conn)
+	if err != nil {
+		return reject(err)
+	}
+	params, err := s.params.Negotiate(req.Pairs)
+	if err != nil {
+		if owned {
+			_ = dev.Close()
+		}
+		return reject(err)
+	}
+	resp := &iscsi.LoginResponse{
+		Transit:     true,
+		CSG:         iscsi.StageOperational,
+		NSG:         iscsi.StageFullFeature,
+		ISID:        req.ISID,
+		TSIH:        1,
+		ITT:         req.ITT,
+		StatSN:      1,
+		ExpCmdSN:    req.CmdSN + 1,
+		MaxCmdSN:    req.CmdSN + 65,
+		StatusClass: iscsi.LoginStatusSuccess,
+		Pairs:       params.Pairs(),
+	}
+	if _, err := resp.Encode().WriteTo(conn); err != nil {
+		if owned {
+			_ = dev.Close()
+		}
+		return nil, fmt.Errorf("send login response: %w", err)
+	}
+	if s.loginHook != nil {
+		info := LoginInfo{
+			TargetIQN:    iqn,
+			InitiatorIQN: req.Pairs[iscsi.KeyInitiatorName],
+			AttachedVM:   req.Pairs[iscsi.KeyAttachedVM],
+			RemoteAddr:   conn.RemoteAddr(),
+		}
+		if v := req.Pairs[iscsi.KeySourcePort]; v != "" {
+			if port, err := strconv.Atoi(v); err == nil {
+				info.SourcePort = port
+			}
+		}
+		s.loginHook(info)
+	}
+	s.obsReg.Counter("iscsi.logins").Inc()
+	ss := &session{
+		srv:    s,
+		conn:   conn,
+		params: params,
+		dev:    dev,
+		ownDev: owned,
+		iqn:    iqn,
+		xfers:  make(map[uint32]*transfer),
+		done:   make(chan struct{}),
+	}
+	ss.statSN.Store(1)
+	ss.lastCmdSN.Store(req.CmdSN)
+	return ss, nil
+}
+
+// run is the full-feature phase loop. It returns when the connection
+// drops, the initiator logs out, or the server closes.
+func (ss *session) run() {
+	for {
+		pdu, err := iscsi.ReadPDU(ss.conn)
+		if err != nil {
+			return
+		}
+		switch pdu.Op() {
+		case iscsi.OpSCSICommand:
+			cmd, err := iscsi.ParseSCSICommand(pdu)
+			if err != nil {
+				return
+			}
+			ss.noteCmdSN(cmd.CmdSN)
+			ss.startCommand(cmd)
+		case iscsi.OpSCSIDataOut:
+			dout, err := iscsi.ParseDataOut(pdu)
+			if err != nil {
+				return
+			}
+			ss.handleDataOut(dout)
+		case iscsi.OpNopOut:
+			nop, err := iscsi.ParseNopOut(pdu)
+			if err != nil {
+				return
+			}
+			ss.noteCmdSN(nop.CmdSN)
+			_ = ss.send((&iscsi.NopIn{
+				ITT:      nop.ITT,
+				TTT:      0xFFFFFFFF,
+				StatSN:   ss.statSN.Load(),
+				ExpCmdSN: ss.expCmdSN(),
+				MaxCmdSN: ss.maxCmdSN(),
+			}).Encode())
+		case iscsi.OpTextReq:
+			if err := ss.handleText(pdu); err != nil {
+				return
+			}
+		case iscsi.OpLogoutReq:
+			req, err := iscsi.ParseLogoutRequest(pdu)
+			if err != nil {
+				return
+			}
+			ss.noteCmdSN(req.CmdSN)
+			// Let in-flight commands complete before acknowledging.
+			ss.cmdWG.Wait()
+			_ = ss.send((&iscsi.LogoutResponse{
+				ITT:      req.ITT,
+				StatSN:   ss.statSN.Add(1),
+				ExpCmdSN: ss.expCmdSN(),
+				MaxCmdSN: ss.maxCmdSN(),
+			}).Encode())
+			return
+		default:
+			ss.srv.logf("target: session %q: unsupported PDU %v", ss.iqn, pdu.Op())
+			_ = ss.send((&iscsi.Reject{
+				Reason: iscsi.RejectCommandNotSupported,
+				StatSN: ss.statSN.Load(),
+				Header: append([]byte(nil), pdu.BHS[:]...),
+			}).Encode())
+			return
+		}
+	}
+}
+
+// cleanup releases session resources after run returns.
+func (ss *session) cleanup() {
+	close(ss.done)
+	ss.cmdWG.Wait()
+	if ss.ownDev {
+		if err := ss.dev.Close(); err != nil {
+			ss.srv.logf("target: session %q: close device: %v", ss.iqn, err)
+		}
+	}
+}
+
+func (ss *session) noteCmdSN(sn uint32) {
+	for {
+		cur := ss.lastCmdSN.Load()
+		if sn <= cur || ss.lastCmdSN.CompareAndSwap(cur, sn) {
+			return
+		}
+	}
+}
+
+func (ss *session) expCmdSN() uint32 { return ss.lastCmdSN.Load() + 1 }
+func (ss *session) maxCmdSN() uint32 { return ss.lastCmdSN.Load() + 65 }
+
+// send serializes one PDU to the connection under the session send lock.
+func (ss *session) send(p *iscsi.PDU) error {
+	ss.sendMu.Lock()
+	defer ss.sendMu.Unlock()
+	_, err := p.WriteTo(ss.conn)
+	return err
+}
+
+// startCommand dispatches a SCSI command to its own goroutine so the
+// session serves QueueDepth commands concurrently.
+func (ss *session) startCommand(cmd *iscsi.SCSICommand) {
+	ss.cmdWG.Add(1)
+	go func() {
+		defer ss.cmdWG.Done()
+		ss.runCommand(cmd)
+	}()
+}
+
+// runCommand executes one command end to end: data solicitation for
+// writes, device execution, Data-In or response with status.
+func (ss *session) runCommand(cmd *iscsi.SCSICommand) {
+	cdb, err := scsi.Decode(cmd.CDB[:])
+	if err != nil {
+		var unsup *scsi.UnsupportedOpError
+		if errors.As(err, &unsup) {
+			ss.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidOpcode))
+		} else {
+			ss.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB))
+		}
+		return
+	}
+
+	sp := ss.srv.obsReg.StartSpan(ss.srv.obsStage + opSuffix(cdb))
+	defer sp.End()
+
+	var writeBuf []byte
+	if cmd.Write {
+		var sense *scsi.Sense
+		writeBuf, sense = ss.collectWriteData(cmd)
+		if sense != nil {
+			ss.sendResponse(cmd.ITT, sense)
+			return
+		}
+		if writeBuf == nil { // session ended mid-transfer
+			return
+		}
+	}
+
+	data, sense := ss.execute(cdb, writeBuf)
+	if sense != nil {
+		ss.sendResponse(cmd.ITT, sense)
+		return
+	}
+	if cmd.Read && len(data) > 0 {
+		ss.sendDataIn(cmd.ITT, data)
+		return
+	}
+	ss.sendResponse(cmd.ITT, nil)
+}
+
+// opSuffix classifies a CDB for stage-histogram naming.
+func opSuffix(cdb *scsi.CDB) string {
+	switch {
+	case cdb.IsWrite():
+		return ".write"
+	case cdb.Op == scsi.OpRead10 || cdb.Op == scsi.OpRead16:
+		return ".read"
+	default:
+		return ".ctl"
+	}
+}
+
+// collectWriteData assembles the command's full data transfer: immediate
+// data from the command PDU plus R2T-solicited bursts. It returns
+// (nil, nil) when the session is torn down mid-transfer.
+func (ss *session) collectWriteData(cmd *iscsi.SCSICommand) ([]byte, *scsi.Sense) {
+	total := int(cmd.ExpectedDataTransferLength)
+	if total > maxTransfer {
+		return nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
+	}
+	tr := &transfer{buf: make([]byte, total), burst: make(chan struct{}, 2)}
+	received := copy(tr.buf, cmd.Data)
+	if received >= total {
+		return tr.buf, nil
+	}
+
+	ss.xferMu.Lock()
+	ss.xfers[cmd.ITT] = tr
+	ss.xferMu.Unlock()
+	defer func() {
+		ss.xferMu.Lock()
+		delete(ss.xfers, cmd.ITT)
+		ss.xferMu.Unlock()
+	}()
+
+	maxBurst := ss.params.MaxBurstLength
+	if maxBurst <= 0 {
+		maxBurst = 256 * 1024
+	}
+	var r2tsn uint32
+	for received < total {
+		desired := total - received
+		if desired > maxBurst {
+			desired = maxBurst
+		}
+		r2t := &iscsi.R2T{
+			ITT:           cmd.ITT,
+			TTT:           cmd.ITT,
+			StatSN:        ss.statSN.Load(),
+			ExpCmdSN:      ss.expCmdSN(),
+			MaxCmdSN:      ss.maxCmdSN(),
+			R2TSN:         r2tsn,
+			BufferOffset:  uint32(received),
+			DesiredLength: uint32(desired),
+		}
+		if err := ss.send(r2t.Encode()); err != nil {
+			return nil, nil
+		}
+		select {
+		case <-tr.burst:
+		case <-ss.done:
+			return nil, nil
+		}
+		received += desired
+		r2tsn++
+	}
+	return tr.buf, nil
+}
+
+// handleDataOut copies a solicited data segment into its transfer buffer
+// and signals burst completion on the Final PDU.
+func (ss *session) handleDataOut(d *iscsi.DataOut) {
+	ss.xferMu.Lock()
+	tr := ss.xfers[d.ITT]
+	ss.xferMu.Unlock()
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	off := int(d.BufferOffset)
+	if off >= 0 && off+len(d.Data) <= len(tr.buf) {
+		copy(tr.buf[off:], d.Data)
+	}
+	tr.mu.Unlock()
+	if d.Final {
+		select {
+		case tr.burst <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// execute runs the decoded CDB against the session device. It returns
+// Data-In payload for read-direction commands, or a sense error.
+func (ss *session) execute(cdb *scsi.CDB, writeBuf []byte) ([]byte, *scsi.Sense) {
+	dev := ss.dev
+	bs := dev.BlockSize()
+	switch cdb.Op {
+	case scsi.OpRead10, scsi.OpRead16:
+		if cdb.LBA+uint64(cdb.Blocks) > dev.Blocks() {
+			return nil, scsi.IllegalRequest(scsi.ASCLBAOutOfRange)
+		}
+		buf := make([]byte, int(cdb.Blocks)*bs)
+		if len(buf) > 0 {
+			if err := dev.ReadAt(buf, cdb.LBA); err != nil {
+				return nil, senseFor(err, false, cdb.LBA)
+			}
+		}
+		return buf, nil
+	case scsi.OpWrite10, scsi.OpWrite16:
+		if cdb.LBA+uint64(cdb.Blocks) > dev.Blocks() {
+			return nil, scsi.IllegalRequest(scsi.ASCLBAOutOfRange)
+		}
+		if int(cdb.Blocks)*bs != len(writeBuf) {
+			return nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
+		}
+		if len(writeBuf) > 0 {
+			if err := dev.WriteAt(writeBuf, cdb.LBA); err != nil {
+				return nil, senseFor(err, true, cdb.LBA)
+			}
+		}
+		return nil, nil
+	case scsi.OpReadCapacity10:
+		c := scsi.Capacity{LastLBA: dev.Blocks() - 1, BlockSize: uint32(bs)}
+		return c.EncodeCapacity10(), nil
+	case scsi.OpReadCapacity16:
+		c := scsi.Capacity{LastLBA: dev.Blocks() - 1, BlockSize: uint32(bs)}
+		return clampAlloc(c.EncodeCapacity16(), cdb.AllocationLength), nil
+	case scsi.OpInquiry:
+		return clampAlloc(ss.srv.inquiry.Encode(), cdb.AllocationLength), nil
+	case scsi.OpTestUnitReady:
+		return nil, nil
+	case scsi.OpSyncCache10:
+		if err := dev.Flush(); err != nil {
+			return nil, senseFor(err, true, uint64(0))
+		}
+		return nil, nil
+	default:
+		return nil, scsi.IllegalRequest(scsi.ASCInvalidOpcode)
+	}
+}
+
+// clampAlloc truncates response data to the CDB's allocation length.
+func clampAlloc(data []byte, alloc uint32) []byte {
+	if alloc > 0 && int(alloc) < len(data) {
+		return data[:alloc]
+	}
+	return data
+}
+
+// senseFor maps a device error to sense data, passing through sense the
+// device itself raised.
+func senseFor(err error, write bool, lba uint64) *scsi.Sense {
+	var sense *scsi.Sense
+	if errors.As(err, &sense) {
+		return sense
+	}
+	if write {
+		return scsi.MediumError(scsi.ASCWriteError, uint32(lba))
+	}
+	return scsi.MediumError(scsi.ASCUnrecoveredReadError, uint32(lba))
+}
+
+// sendDataIn streams read data in negotiated-size segments, collapsing
+// status into the final Data-In (phase collapse).
+func (ss *session) sendDataIn(itt uint32, data []byte) {
+	maxSeg := ss.params.MaxRecvDataSegmentLength
+	if maxSeg <= 0 {
+		maxSeg = 8192
+	}
+	var dataSN uint32
+	for off := 0; off < len(data); {
+		end := off + maxSeg
+		if end > len(data) {
+			end = len(data)
+		}
+		last := end == len(data)
+		din := &iscsi.DataIn{
+			Final:        last,
+			ITT:          itt,
+			TTT:          0xFFFFFFFF,
+			ExpCmdSN:     ss.expCmdSN(),
+			MaxCmdSN:     ss.maxCmdSN(),
+			DataSN:       dataSN,
+			BufferOffset: uint32(off),
+			Data:         data[off:end],
+		}
+		if last {
+			din.StatusPresent = true
+			din.Status = byte(scsi.StatusGood)
+			din.StatSN = ss.statSN.Add(1)
+		}
+		if err := ss.send(din.Encode()); err != nil {
+			return
+		}
+		dataSN++
+		off = end
+	}
+}
+
+// sendResponse sends a SCSI Response carrying GOOD status or CHECK
+// CONDITION with the given sense.
+func (ss *session) sendResponse(itt uint32, sense *scsi.Sense) {
+	resp := &iscsi.SCSIResponse{
+		ITT:      itt,
+		Response: iscsi.RespCompleted,
+		Status:   byte(scsi.StatusGood),
+		StatSN:   ss.statSN.Add(1),
+		ExpCmdSN: ss.expCmdSN(),
+		MaxCmdSN: ss.maxCmdSN(),
+	}
+	if sense != nil {
+		resp.Status = byte(scsi.StatusCheckCondition)
+		resp.Sense = sense.Encode()
+	}
+	if err := ss.send(resp.Encode()); err != nil {
+		ss.srv.logf("target: session %q: send response: %v", ss.iqn, err)
+	}
+}
+
+// handleText answers a SendTargets discovery request with the exported
+// target names.
+func (ss *session) handleText(req *iscsi.PDU) error {
+	names := ss.srv.targetNames()
+	sort.Strings(names)
+	var data []byte
+	for _, iqn := range names {
+		data = append(data, "TargetName="...)
+		data = append(data, iqn...)
+		data = append(data, 0)
+	}
+	resp := &iscsi.PDU{}
+	resp.SetOp(iscsi.OpTextResp)
+	resp.BHS[1] = 0x80 // final
+	resp.SetITT(req.ITT())
+	binary.BigEndian.PutUint32(resp.BHS[20:24], 0xFFFFFFFF) // TTT
+	binary.BigEndian.PutUint32(resp.BHS[24:28], ss.statSN.Load())
+	binary.BigEndian.PutUint32(resp.BHS[28:32], ss.expCmdSN())
+	binary.BigEndian.PutUint32(resp.BHS[32:36], ss.maxCmdSN())
+	resp.Data = data
+	resp.BHS[5] = byte(len(data) >> 16)
+	resp.BHS[6] = byte(len(data) >> 8)
+	resp.BHS[7] = byte(len(data))
+	return ss.send(resp)
+}

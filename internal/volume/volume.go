@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/target"
 )
 
@@ -95,7 +96,7 @@ func NewService(ep *netsim.Endpoint, cfg Config) (*Service, error) {
 	if cfg.BlockSize == 0 {
 		cfg.BlockSize = 512
 	}
-	var opts []target.Option
+	opts := []target.Option{target.WithObs(obs.Default(), obs.StageTarget)}
 	if cfg.LoginHook != nil {
 		opts = append(opts, target.WithLoginHook(cfg.LoginHook))
 	}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/obs"
+)
+
+// TestTracingOverheadOnFioHotPath bounds the cost of the observability
+// instrumentation on the fio hot path: the same workload against the same
+// modelled disk, bare versus wrapped in an ObservedDisk recording every
+// request into stage histograms, must not slow down by more than ~5%.
+// The modelled service time (~100µs/request) dominates; the probe adds one
+// time.Now plus one histogram observation (~hundreds of ns).
+func TestTracingOverheadOnFioHotPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	run := func(dev blockdev.Device) time.Duration {
+		res, err := RunFio(FioConfig{
+			Dev:          dev,
+			RequestSize:  4096,
+			Threads:      2,
+			ReadFraction: 0.5,
+			Ops:          400,
+			Seed:         7,
+		})
+		if err != nil {
+			t.Fatalf("RunFio: %v", err)
+		}
+		return res.Elapsed
+	}
+	newDisk := func() blockdev.Device {
+		mem, err := blockdev.NewMemDisk(512, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blockdev.NewLatencyDisk(mem, blockdev.ServiceModel{PerRequest: 100 * time.Microsecond})
+	}
+
+	// Warm up scheduling and caches once before timing.
+	run(newDisk())
+
+	const rounds = 3
+	var bare, traced time.Duration
+	reg := obs.NewRegistry()
+	for i := 0; i < rounds; i++ {
+		bare += run(newDisk())
+		traced += run(blockdev.NewObservedDisk(newDisk(), reg, "overhead"))
+	}
+
+	if n := reg.Histogram(obs.StagePrefix + "overhead.read").Snapshot().Count; n == 0 {
+		t.Fatal("traced run recorded no observations")
+	}
+	ratio := float64(traced) / float64(bare)
+	t.Logf("bare=%v traced=%v ratio=%.3f", bare, traced, ratio)
+	// Generous slack over the ~5% budget to keep the test robust on loaded
+	// CI machines; the true instrumentation cost is well under 1%.
+	if ratio > 1.10 {
+		t.Errorf("tracing overhead ratio = %.3f, want <= ~1.05", ratio)
+	}
+}
