@@ -1,9 +1,13 @@
 # Pre-commit gate: `make check` runs the format/vet/build gate plus the
 # race-enabled tests of the packages with the hottest concurrency
-# (metrics, obs, middlebox, netsim). `make test` is the full suite.
+# (metrics, obs, middlebox, netsim, bufpool). `make test` is the full
+# suite. `make bench` prints the data-plane microbenchmarks with
+# allocation stats and appends a dated before/after summary to
+# BENCH_results.json (via stormbench -fastpath).
 
 GO ?= go
-RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim
+RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool
+BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool
 
 .PHONY: check fmt vet build test race bench
 
@@ -28,4 +32,5 @@ test:
 	$(GO) test ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'PDU|Encode|Writeback|Chain|GetRelease' -benchmem $(BENCH_PKGS)
+	$(GO) run ./cmd/stormbench -fastpath

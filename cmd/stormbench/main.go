@@ -10,8 +10,10 @@
 //	stormbench -fig 4          # one figure (4,5,6,7,8,9,10,11,13)
 //	stormbench -table 1        # one table (1 or 3)
 //	stormbench -ablations      # the design-choice sweeps
+//	stormbench -fastpath       # data-plane microbenchmarks vs recorded baseline
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
+//	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -38,28 +42,74 @@ type benchResults struct {
 	CPUBreakdown        []experiments.CPURow                 `json:"cpu_breakdown,omitempty"`
 	Ablations           map[string][]experiments.AblationRow `json:"ablations,omitempty"`
 	Replication         *experiments.ReplicationRun          `json:"replication,omitempty"`
+	FastPath            []experiments.FastPathRun            `json:"fastpath,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "run a single figure (4-11, 13); 0 = all")
-		table     = flag.Int("table", 0, "run a single table (1 or 3); 0 = all")
-		ablations = flag.Bool("ablations", false, "run only the ablation sweeps")
-		ops       = flag.Int("ops", 150, "fio operations per data point")
-		repDur    = flag.Duration("repdur", 3*time.Second, "replication run duration")
-		jsonPath  = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
+		fig        = flag.Int("fig", 0, "run a single figure (4-11, 13); 0 = all")
+		table      = flag.Int("table", 0, "run a single table (1 or 3); 0 = all")
+		ablations  = flag.Bool("ablations", false, "run only the ablation sweeps")
+		fastpath   = flag.Bool("fastpath", false, "run only the data-plane microbenchmarks (before/after comparison)")
+		ops        = flag.Int("ops", 150, "fio operations per data point")
+		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
+		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile here")
+		memProfile = flag.String("memprofile", "", "write a heap profile here on exit")
 	)
 	flag.Parse()
-	if err := run(*fig, *table, *ablations, *ops, *repDur, *jsonPath); err != nil {
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormbench:", err)
+		os.Exit(1)
+	}
+	err = run(*fig, *table, *ablations, *fastpath, *ops, *repDur, *jsonPath)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration, jsonPath string) error {
+// startProfiles begins CPU profiling and arranges the heap snapshot; the
+// returned stop function flushes both (call it before exiting).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}
+
+func run(fig, table int, ablationsOnly, fastpathOnly bool, ops int, repDur time.Duration, jsonPath string) error {
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -74,6 +124,19 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration, json
 
 	section := func(title string) {
 		fmt.Printf("\n================ %s ================\n", title)
+	}
+
+	if fastpathOnly || all {
+		section("Fast path: data-plane microbenchmarks (before → after)")
+		rows := experiments.FastPath()
+		fmt.Print(experiments.FormatFastPath(rows))
+		results.FastPath = []experiments.FastPathRun{{
+			When: time.Now().UTC().Format(time.RFC3339),
+			Rows: rows,
+		}}
+		if fastpathOnly {
+			return nil
+		}
 	}
 
 	if ablationsOnly || all {
@@ -194,8 +257,19 @@ func run(fig, table int, ablationsOnly bool, ops int, repDur time.Duration, json
 	return nil
 }
 
-// writeResults marshals the collected rows to path.
+// writeResults marshals the collected rows to path. The fastpath section is
+// a dated history: a new run appends to the entries already in the file, and
+// runs that skipped the fast-path benchmarks (e.g. -fig 4) carry the
+// existing entries forward rather than erasing them.
 func writeResults(path string, r *benchResults) error {
+	if old, err := os.ReadFile(path); err == nil {
+		var prev struct {
+			FastPath []experiments.FastPathRun `json:"fastpath"`
+		}
+		if json.Unmarshal(old, &prev) == nil {
+			r.FastPath = append(prev.FastPath, r.FastPath...)
+		}
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

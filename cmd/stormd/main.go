@@ -9,6 +9,7 @@
 //	stormd                     # built-in demo policy
 //	stormd -policy policy.json # apply a tenant policy file
 //	stormd -hosts 6            # size the cloud
+//	stormd -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -42,12 +45,56 @@ func main() {
 		policyPath  = flag.String("policy", "", "tenant policy JSON file (default: built-in demo)")
 		hosts       = flag.Int("hosts", 4, "number of compute hosts")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile here")
+		memProfile  = flag.String("memprofile", "", "write a heap profile here on exit")
 	)
 	flag.Parse()
-	if err := run(*policyPath, *hosts, *metricsAddr); err != nil {
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormd:", err)
 		os.Exit(1)
 	}
+	err = run(*policyPath, *hosts, *metricsAddr)
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stormd:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges the heap snapshot; the
+// returned stop function flushes both (call it before exiting).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func run(policyPath string, hosts int, metricsAddr string) error {

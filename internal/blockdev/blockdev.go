@@ -29,7 +29,12 @@ type Device interface {
 	// be a multiple of the block size.
 	ReadAt(p []byte, lba uint64) error
 	// WriteAt writes len(p) bytes starting at logical block lba. len(p)
-	// must be a multiple of the block size.
+	// must be a multiple of the block size. Implementations must not
+	// retain p after WriteAt returns: callers (the target's staging path,
+	// the write-back relay) hand in pooled buffers they recycle as soon as
+	// the call completes, so a deferred consumer must copy first — the
+	// write-back device copies into its own staging buffer at admission
+	// for exactly this reason.
 	WriteAt(p []byte, lba uint64) error
 	// Flush persists outstanding writes.
 	Flush() error

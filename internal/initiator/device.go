@@ -10,10 +10,21 @@ import (
 	"repro/internal/scsi"
 )
 
+// adminRead issues a small read-direction admin command, allocating the
+// response buffer (cold path; the data-path reads go through ReadInto).
+func (s *Session) adminRead(cdb *scsi.CDB, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	got, err := s.execRead(cdb, buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:got], nil
+}
+
 // Capacity queries the device geometry with READ CAPACITY(10), escalating
 // to READ CAPACITY(16) for large devices per SBC-3.
 func (s *Session) Capacity() (scsi.Capacity, error) {
-	data, err := s.execRead(mustEncode(scsi.NewReadCapacity10()), 8)
+	data, err := s.adminRead(scsi.NewReadCapacity10(), 8)
 	if err != nil {
 		return scsi.Capacity{}, err
 	}
@@ -24,7 +35,7 @@ func (s *Session) Capacity() (scsi.Capacity, error) {
 	if cap10.LastLBA != 0xFFFFFFFF {
 		return cap10, nil
 	}
-	data, err = s.execRead(mustEncode(scsi.NewReadCapacity16()), 32)
+	data, err = s.adminRead(scsi.NewReadCapacity16(), 32)
 	if err != nil {
 		return scsi.Capacity{}, err
 	}
@@ -33,7 +44,7 @@ func (s *Session) Capacity() (scsi.Capacity, error) {
 
 // Inquiry queries the standard inquiry data.
 func (s *Session) Inquiry() (*scsi.InquiryData, error) {
-	data, err := s.execRead(mustEncode(scsi.NewInquiry(36)), 36)
+	data, err := s.adminRead(scsi.NewInquiry(36), 36)
 	if err != nil {
 		return nil, err
 	}
@@ -42,13 +53,13 @@ func (s *Session) Inquiry() (*scsi.InquiryData, error) {
 
 // TestUnitReady probes the logical unit.
 func (s *Session) TestUnitReady() error {
-	_, err := s.execRead(mustEncode(scsi.NewTestUnitReady()), 0)
+	_, err := s.adminRead(scsi.NewTestUnitReady(), 0)
 	return err
 }
 
 // Flush issues SYNCHRONIZE CACHE over the whole medium.
 func (s *Session) Flush() error {
-	_, err := s.execRead(mustEncode(scsi.NewSyncCache(0, 0)), 0)
+	_, err := s.adminRead(scsi.NewSyncCache(0, 0), 0)
 	return err
 }
 
@@ -56,13 +67,13 @@ func (s *Session) Flush() error {
 func (s *Session) Ping() error {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	p := &pendingCmd{done: make(chan struct{})}
+	p := &pendingCmd{done: make(chan struct{}, 1)}
 	itt, cmdSN, expStatSN, err := s.register(p)
 	if err != nil {
 		return err
 	}
 	nop := &iscsi.NopOut{ITT: itt, TTT: 0xFFFFFFFF, CmdSN: cmdSN, ExpStatSN: expStatSN}
-	if err := s.sendPDU(nop.Encode()); err != nil {
+	if err := s.send(nop); err != nil {
 		s.unregister(itt)
 		return err
 	}
@@ -75,7 +86,7 @@ func (s *Session) Ping() error {
 func (s *Session) Discover() ([]string, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	p := &pendingCmd{done: make(chan struct{})}
+	p := &pendingCmd{done: make(chan struct{}, 1)}
 	itt, cmdSN, expStatSN, err := s.register(p)
 	if err != nil {
 		return nil, err
@@ -133,15 +144,6 @@ func (s *Session) Close() error {
 	return err
 }
 
-func mustEncode(c *scsi.CDB) *scsi.CDB {
-	if _, err := c.Encode(); err != nil {
-		// Only reachable through a programming error in this package: the
-		// helper is called with constructor-produced CDBs.
-		panic(fmt.Sprintf("initiator: encode CDB: %v", err))
-	}
-	return c
-}
-
 // Device adapts a session to the blockdev.Device interface so upper layers
 // (file systems, databases, workloads) can use a remote volume exactly like
 // a local disk — this is the virtual block device a tenant VM sees.
@@ -174,19 +176,19 @@ func (d *Device) BlockSize() int { return d.blockSize }
 // Blocks implements blockdev.Device.
 func (d *Device) Blocks() uint64 { return d.blocks }
 
-// ReadAt implements blockdev.Device.
+// ReadAt implements blockdev.Device. Data-In segments land directly in p —
+// no staging buffer or assembly copy.
 func (d *Device) ReadAt(p []byte, lba uint64) error {
 	if len(p) == 0 || len(p)%d.blockSize != 0 {
 		return blockdev.ErrBadLength
 	}
-	data, err := d.sess.Read(lba, uint32(len(p)/d.blockSize), d.blockSize)
+	n, err := d.sess.ReadInto(p, lba, uint32(len(p)/d.blockSize), d.blockSize)
 	if err != nil {
 		return err
 	}
-	if len(data) != len(p) {
-		return fmt.Errorf("initiator: short read: %d of %d bytes", len(data), len(p))
+	if n != len(p) {
+		return fmt.Errorf("initiator: short read: %d of %d bytes", n, len(p))
 	}
-	copy(p, data)
 	return nil
 }
 

@@ -47,16 +47,57 @@ type Config struct {
 	Stage string
 }
 
-// pendingCmd tracks one outstanding command.
+// pendingCmd tracks one outstanding command. The done channel is buffered
+// with capacity 1 and receives exactly one completion signal (the completer
+// deletes the command from the pending map under the session mutex before
+// signalling, so no command can be signalled twice).
 type pendingCmd struct {
 	buf    []byte // Data-In assembly for reads
 	filled int
 	r2t    chan *iscsi.R2T
 	done   chan struct{}
+	cmd    iscsi.SCSICommand // per-command frame scratch, reused via the pool
 
 	status byte
 	sense  *scsi.Sense
 	err    error
+}
+
+// pcPool recycles pendingCmds (with their channels) across commands, so
+// steady-state command issue allocates neither tracking state nor channels.
+var pcPool = sync.Pool{New: func() any {
+	return &pendingCmd{done: make(chan struct{}, 1), r2t: make(chan *iscsi.R2T, 4)}
+}}
+
+// r2tPool recycles the R2T structs the read loop hands to waiting writers.
+var r2tPool = sync.Pool{New: func() any { return new(iscsi.R2T) }}
+
+func getPending() *pendingCmd {
+	p := pcPool.Get().(*pendingCmd)
+	p.buf = nil
+	p.filled = 0
+	p.status = 0
+	p.sense = nil
+	p.err = nil
+	return p
+}
+
+// putPending returns p to the pool. Only call after the command's single
+// completion signal has been consumed (or before it was ever registered):
+// a command abandoned mid-flight may still be signalled by a concurrent
+// failAll, and pooling it then would leak that signal into the next user.
+func putPending(p *pendingCmd) {
+	p.buf = nil      // don't pin the caller's buffer while pooled
+	p.cmd.Data = nil // likewise for the write payload
+	for {
+		select {
+		case r := <-p.r2t: // unconsumed R2Ts from an aborted write
+			r2tPool.Put(r)
+		default:
+			pcPool.Put(p)
+			return
+		}
+	}
 }
 
 // Session is a logged-in iSCSI session. All methods are safe for concurrent
@@ -68,6 +109,7 @@ type Session struct {
 	cfg    Config
 
 	writeMu sync.Mutex
+	wirePDU iscsi.PDU // reusable encode target for outgoing PDUs, guarded by writeMu
 
 	mu        sync.Mutex
 	itt       uint32
@@ -177,9 +219,15 @@ func localPort(conn net.Conn) int {
 	return port
 }
 
-// readLoop demultiplexes target PDUs to their outstanding commands.
+// readLoop demultiplexes target PDUs to their outstanding commands. The
+// Data-In and Response parse targets live across iterations — each is fully
+// consumed before the next PDU, so the loop itself allocates nothing.
 func (s *Session) readLoop() {
 	defer close(s.readerDone)
+	var (
+		din  iscsi.DataIn
+		resp iscsi.SCSIResponse
+	)
 	for {
 		pdu, err := iscsi.ReadPDU(s.conn)
 		if err != nil {
@@ -188,22 +236,21 @@ func (s *Session) readLoop() {
 		}
 		switch pdu.Op() {
 		case iscsi.OpSCSIDataIn:
-			din, err := iscsi.ParseDataIn(pdu)
-			if err != nil {
+			if err := iscsi.ParseDataInInto(&din, pdu); err != nil {
 				s.failAll(err)
 				return
 			}
-			s.handleDataIn(din)
+			s.handleDataIn(&din)
 		case iscsi.OpSCSIResponse:
-			resp, err := iscsi.ParseSCSIResponse(pdu)
-			if err != nil {
+			if err := iscsi.ParseSCSIResponseInto(&resp, pdu); err != nil {
 				s.failAll(err)
 				return
 			}
-			s.handleResponse(resp)
+			s.handleResponse(&resp)
 		case iscsi.OpR2T:
-			r2t, err := iscsi.ParseR2T(pdu)
-			if err != nil {
+			r2t := r2tPool.Get().(*iscsi.R2T)
+			if err := iscsi.ParseR2TInto(r2t, pdu); err != nil {
+				r2tPool.Put(r2t)
 				s.failAll(err)
 				return
 			}
@@ -212,6 +259,8 @@ func (s *Session) readLoop() {
 			s.mu.Unlock()
 			if p != nil && p.r2t != nil {
 				p.r2t <- r2t
+			} else {
+				r2tPool.Put(r2t)
 			}
 		case iscsi.OpNopIn:
 			n, err := iscsi.ParseNopIn(pdu)
@@ -230,7 +279,7 @@ func (s *Session) readLoop() {
 			}
 			s.mu.Unlock()
 			if p != nil {
-				close(p.done)
+				p.done <- struct{}{}
 			}
 		case iscsi.OpLogoutResp:
 			s.failAll(ErrSessionClosed)
@@ -243,6 +292,10 @@ func (s *Session) readLoop() {
 			s.failAll(fmt.Errorf("initiator: unexpected PDU %v", pdu.Op()))
 			return
 		}
+		// Every case above consumes the data segment synchronously (copying
+		// into the pending command's buffer or decoding into typed fields),
+		// so the pooled segment can be recycled here.
+		pdu.Release()
 	}
 }
 
@@ -265,7 +318,7 @@ func (s *Session) handleDataIn(din *iscsi.DataIn) {
 		}
 		delete(s.pending, din.ITT)
 		s.mu.Unlock()
-		close(p.done)
+		p.done <- struct{}{}
 		return
 	}
 	s.mu.Unlock()
@@ -289,7 +342,7 @@ func (s *Session) handleResponse(resp *iscsi.SCSIResponse) {
 	}
 	delete(s.pending, resp.ITT)
 	s.mu.Unlock()
-	close(p.done)
+	p.done <- struct{}{}
 }
 
 func (s *Session) completeNop(n *iscsi.NopIn) {
@@ -300,7 +353,7 @@ func (s *Session) completeNop(n *iscsi.NopIn) {
 	}
 	s.mu.Unlock()
 	if p != nil {
-		close(p.done)
+		p.done <- struct{}{}
 	}
 }
 
@@ -314,7 +367,7 @@ func (s *Session) failAll(err error) {
 	s.mu.Unlock()
 	for _, p := range pend {
 		p.err = err
-		close(p.done)
+		p.done <- struct{}{}
 	}
 }
 
@@ -339,6 +392,20 @@ func (s *Session) sendPDU(p *iscsi.PDU) error {
 	return err
 }
 
+// pduEncoder is a typed message that can encode into a caller-owned PDU.
+type pduEncoder interface {
+	EncodeInto(*iscsi.PDU) *iscsi.PDU
+}
+
+// send serializes m into the session's reusable wire PDU under writeMu, so
+// steady-state command issue allocates nothing for framing.
+func (s *Session) send(m pduEncoder) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err := m.EncodeInto(&s.wirePDU).WriteTo(s.conn)
+	return err
+}
+
 func (s *Session) unregister(itt uint32) {
 	s.mu.Lock()
 	delete(s.pending, itt)
@@ -346,60 +413,82 @@ func (s *Session) unregister(itt uint32) {
 }
 
 // Read reads blocks*BlockSize bytes at lba. blockSize is the device block
-// size (learned via Capacity).
+// size (learned via Capacity). Callers that already own a destination buffer
+// should prefer ReadInto, which avoids the per-read allocation.
 func (s *Session) Read(lba uint64, blocks uint32, blockSize int) ([]byte, error) {
-	cdb := scsi.NewRead(lba, blocks)
-	if _, err := cdb.Encode(); err != nil {
+	dst := make([]byte, int(blocks)*blockSize)
+	n, err := s.ReadInto(dst, lba, blocks, blockSize)
+	if err != nil {
 		return nil, err
 	}
+	return dst[:n], nil
+}
+
+// ReadInto reads blocks*blockSize bytes at lba directly into dst, which must
+// be at least that long. Data-In segments land in dst as they arrive, so the
+// read path performs no per-command allocation or assembly copy. Returns the
+// number of bytes the target delivered.
+func (s *Session) ReadInto(dst []byte, lba uint64, blocks uint32, blockSize int) (int, error) {
+	cdb := scsi.ReadCDB(lba, blocks)
 	n := int(blocks) * blockSize
+	if len(dst) < n {
+		return 0, fmt.Errorf("initiator: destination %d bytes, transfer needs %d", len(dst), n)
+	}
 	var t0 time.Time
 	if s.readTimer.Enabled() {
 		t0 = time.Now()
 	}
-	data, err := s.execRead(cdb, n)
+	got, err := s.execRead(&cdb, dst[:n])
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if s.readTimer.Enabled() {
 		s.readTimer.Since(t0)
 	}
-	return data, nil
+	return got, nil
 }
 
-// execRead issues a read-direction command expecting n data bytes.
-func (s *Session) execRead(cdb *scsi.CDB, n int) ([]byte, error) {
+// execRead issues a read-direction command whose Data-In sequence fills dst.
+func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	p := &pendingCmd{buf: make([]byte, n), done: make(chan struct{})}
+	p := getPending()
+	p.buf = dst
+	p.cmd = iscsi.SCSICommand{
+		Final:                      true,
+		Read:                       len(dst) > 0,
+		ExpectedDataTransferLength: uint32(len(dst)),
+	}
+	if _, err := cdb.EncodeInto(p.cmd.CDB[:]); err != nil {
+		putPending(p)
+		return 0, err
+	}
 	itt, cmdSN, expStatSN, err := s.register(p)
 	if err != nil {
-		return nil, err
+		putPending(p)
+		return 0, err
 	}
-	cmd := &iscsi.SCSICommand{
-		Final:                      true,
-		Read:                       n > 0,
-		ITT:                        itt,
-		ExpectedDataTransferLength: uint32(n),
-		CmdSN:                      cmdSN,
-		ExpStatSN:                  expStatSN,
-	}
-	copy(cmd.CDB[:], cdb.Raw)
-	if err := s.sendPDU(cmd.Encode()); err != nil {
+	p.cmd.ITT = itt
+	p.cmd.CmdSN = cmdSN
+	p.cmd.ExpStatSN = expStatSN
+	if err := s.send(&p.cmd); err != nil {
+		// Not pooled: a concurrent failAll may still signal this command.
 		s.unregister(itt)
-		return nil, err
+		return 0, err
 	}
 	<-p.done
-	if p.err != nil {
-		return nil, p.err
+	filled, status, sense, perr := p.filled, p.status, p.sense, p.err
+	putPending(p)
+	if perr != nil {
+		return 0, perr
 	}
-	if p.sense != nil {
-		return nil, p.sense
+	if sense != nil {
+		return 0, sense
 	}
-	if p.status != byte(scsi.StatusGood) {
-		return nil, fmt.Errorf("initiator: %v", scsi.Status(p.status))
+	if status != byte(scsi.StatusGood) {
+		return 0, fmt.Errorf("initiator: %v", scsi.Status(status))
 	}
-	return p.buf[:p.filled], nil
+	return filled, nil
 }
 
 // Write writes data at lba. len(data) must be a multiple of blockSize.
@@ -407,10 +496,7 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 	if blockSize <= 0 || len(data)%blockSize != 0 {
 		return fmt.Errorf("initiator: write length %d is not a multiple of block size %d", len(data), blockSize)
 	}
-	cdb := scsi.NewWrite(lba, uint32(len(data)/blockSize))
-	if _, err := cdb.Encode(); err != nil {
-		return err
-	}
+	cdb := scsi.WriteCDB(lba, uint32(len(data)/blockSize))
 	var t0 time.Time
 	if s.writeTimer.Enabled() {
 		t0 = time.Now()
@@ -419,11 +505,6 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	p := &pendingCmd{done: make(chan struct{}), r2t: make(chan *iscsi.R2T, 4)}
-	itt, cmdSN, expStatSN, err := s.register(p)
-	if err != nil {
-		return err
-	}
 
 	// Immediate (unsolicited) data up to FirstBurstLength.
 	immediate := 0
@@ -436,17 +517,27 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 			immediate = s.params.MaxRecvDataSegmentLength
 		}
 	}
-	cmd := &iscsi.SCSICommand{
+	p := getPending()
+	p.cmd = iscsi.SCSICommand{
 		Final:                      true,
 		Write:                      true,
-		ITT:                        itt,
 		ExpectedDataTransferLength: uint32(len(data)),
-		CmdSN:                      cmdSN,
-		ExpStatSN:                  expStatSN,
 		Data:                       data[:immediate],
 	}
-	copy(cmd.CDB[:], cdb.Raw)
-	if err := s.sendPDU(cmd.Encode()); err != nil {
+	if _, err := cdb.EncodeInto(p.cmd.CDB[:]); err != nil {
+		putPending(p)
+		return err
+	}
+	itt, cmdSN, expStatSN, err := s.register(p)
+	if err != nil {
+		putPending(p)
+		return err
+	}
+	p.cmd.ITT = itt
+	p.cmd.CmdSN = cmdSN
+	p.cmd.ExpStatSN = expStatSN
+	if err := s.send(&p.cmd); err != nil {
+		// Not pooled: a concurrent failAll may still signal this command.
 		s.unregister(itt)
 		return err
 	}
@@ -458,27 +549,34 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 		select {
 		case r2t = <-p.r2t:
 		case <-p.done:
-			if p.err != nil {
-				return p.err
+			perr, status := p.err, p.status
+			putPending(p)
+			if perr != nil {
+				return perr
 			}
-			return fmt.Errorf("initiator: write completed before data transfer (status %v)", scsi.Status(p.status))
+			return fmt.Errorf("initiator: write completed before data transfer (status %v)", scsi.Status(status))
 		}
-		if err := s.sendBurst(itt, r2t, data); err != nil {
+		err := s.sendBurst(itt, r2t, data)
+		sent = int(r2t.BufferOffset) + int(r2t.DesiredLength)
+		r2tPool.Put(r2t)
+		if err != nil {
+			// Not pooled: a concurrent failAll may still signal this command.
 			s.unregister(itt)
 			return err
 		}
-		sent = int(r2t.BufferOffset) + int(r2t.DesiredLength)
 	}
 
 	<-p.done
-	if p.err != nil {
-		return p.err
+	status, sense, perr := p.status, p.sense, p.err
+	putPending(p)
+	if perr != nil {
+		return perr
 	}
-	if p.sense != nil {
-		return p.sense
+	if sense != nil {
+		return sense
 	}
-	if p.status != byte(scsi.StatusGood) {
-		return fmt.Errorf("initiator: %v", scsi.Status(p.status))
+	if status != byte(scsi.StatusGood) {
+		return fmt.Errorf("initiator: %v", scsi.Status(status))
 	}
 	return nil
 }
@@ -495,24 +593,19 @@ func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte) error {
 	if maxSeg <= 0 {
 		maxSeg = 8192
 	}
-	var dataSN uint32
+	dout := iscsi.DataOut{ITT: itt, TTT: r2t.TTT}
 	for off := start; off < end; {
 		segEnd := off + maxSeg
 		if segEnd > end {
 			segEnd = end
 		}
-		dout := &iscsi.DataOut{
-			Final:        segEnd == end,
-			ITT:          itt,
-			TTT:          r2t.TTT,
-			DataSN:       dataSN,
-			BufferOffset: uint32(off),
-			Data:         data[off:segEnd],
-		}
-		if err := s.sendPDU(dout.Encode()); err != nil {
+		dout.Final = segEnd == end
+		dout.BufferOffset = uint32(off)
+		dout.Data = data[off:segEnd]
+		if err := s.send(&dout); err != nil {
 			return err
 		}
-		dataSN++
+		dout.DataSN++
 		off = segEnd
 	}
 	return nil

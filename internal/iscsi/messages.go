@@ -23,8 +23,12 @@ type SCSICommand struct {
 }
 
 // Encode builds the wire PDU.
-func (c *SCSICommand) Encode() *PDU {
-	p := &PDU{}
+func (c *SCSICommand) Encode() *PDU { return c.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (c *SCSICommand) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpSCSICommand)
 	p.SetImmediate(c.Immediate)
 	if c.Final {
@@ -95,8 +99,12 @@ type SCSIResponse struct {
 
 // Encode builds the wire PDU. Sense data, when present, is framed with the
 // standard two-byte SenseLength prefix in the data segment.
-func (r *SCSIResponse) Encode() *PDU {
-	p := &PDU{}
+func (r *SCSIResponse) Encode() *PDU { return r.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (r *SCSIResponse) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpSCSIResponse)
 	p.BHS[1] = 0x80 // F bit always set
 	if r.Underflow {
@@ -124,10 +132,21 @@ func (r *SCSIResponse) Encode() *PDU {
 
 // ParseSCSIResponse decodes a SCSI Response PDU.
 func ParseSCSIResponse(p *PDU) (*SCSIResponse, error) {
-	if p.Op() != OpSCSIResponse {
-		return nil, opError(OpSCSIResponse, p.Op())
+	r := new(SCSIResponse)
+	if err := ParseSCSIResponseInto(r, p); err != nil {
+		return nil, err
 	}
-	r := &SCSIResponse{
+	return r, nil
+}
+
+// ParseSCSIResponseInto decodes p into r, a caller-owned (typically reused)
+// struct — the allocation-free form for response demultiplexing loops.
+// r.Sense aliases p's data segment, so consume it before releasing p.
+func ParseSCSIResponseInto(r *SCSIResponse, p *PDU) error {
+	if p.Op() != OpSCSIResponse {
+		return opError(OpSCSIResponse, p.Op())
+	}
+	*r = SCSIResponse{
 		ITT:           p.ITT(),
 		Response:      p.BHS[2],
 		Status:        p.BHS[3],
@@ -142,11 +161,11 @@ func ParseSCSIResponse(p *PDU) (*SCSIResponse, error) {
 	if len(p.Data) >= 2 {
 		n := int(binary.BigEndian.Uint16(p.Data[0:2]))
 		if n > len(p.Data)-2 {
-			return nil, fmt.Errorf("iscsi: sense length %d exceeds data segment", n)
+			return fmt.Errorf("iscsi: sense length %d exceeds data segment", n)
 		}
 		r.Sense = p.Data[2 : 2+n]
 	}
-	return r, nil
+	return nil
 }
 
 // DataIn is the typed view of a SCSI Data-In PDU (opcode 0x25).
@@ -170,8 +189,12 @@ type DataIn struct {
 }
 
 // Encode builds the wire PDU.
-func (d *DataIn) Encode() *PDU {
-	p := &PDU{}
+func (d *DataIn) Encode() *PDU { return d.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (d *DataIn) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpSCSIDataIn)
 	if d.Final {
 		p.BHS[1] |= 0x80
@@ -199,12 +222,22 @@ func (d *DataIn) Encode() *PDU {
 
 // ParseDataIn decodes a Data-In PDU.
 func ParseDataIn(p *PDU) (*DataIn, error) {
+	d := new(DataIn)
+	if err := ParseDataInInto(d, p); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseDataInInto decodes p into d, a caller-owned (typically reused)
+// struct. d.Data aliases p's data segment, so consume it before releasing p.
+func ParseDataInInto(d *DataIn, p *PDU) error {
 	if p.Op() != OpSCSIDataIn {
-		return nil, opError(OpSCSIDataIn, p.Op())
+		return opError(OpSCSIDataIn, p.Op())
 	}
 	var lun [8]byte
 	copy(lun[:], p.BHS[8:16])
-	return &DataIn{
+	*d = DataIn{
 		Final:         p.BHS[1]&0x80 != 0,
 		Acknowledge:   p.BHS[1]&0x40 != 0,
 		StatusPresent: p.BHS[1]&0x01 != 0,
@@ -219,7 +252,8 @@ func ParseDataIn(p *PDU) (*DataIn, error) {
 		BufferOffset:  binary.BigEndian.Uint32(p.BHS[40:44]),
 		ResidualCount: binary.BigEndian.Uint32(p.BHS[44:48]),
 		Data:          p.Data,
-	}, nil
+	}
+	return nil
 }
 
 // DataOut is the typed view of a SCSI Data-Out PDU (opcode 0x05).
@@ -235,8 +269,12 @@ type DataOut struct {
 }
 
 // Encode builds the wire PDU.
-func (d *DataOut) Encode() *PDU {
-	p := &PDU{}
+func (d *DataOut) Encode() *PDU { return d.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (d *DataOut) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpSCSIDataOut)
 	if d.Final {
 		p.BHS[1] |= 0x80
@@ -286,8 +324,12 @@ type R2T struct {
 }
 
 // Encode builds the wire PDU.
-func (r *R2T) Encode() *PDU {
-	p := &PDU{}
+func (r *R2T) Encode() *PDU { return r.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (r *R2T) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpR2T)
 	p.BHS[1] = 0x80
 	lun := LUN(r.LUN)
@@ -305,12 +347,21 @@ func (r *R2T) Encode() *PDU {
 
 // ParseR2T decodes an R2T PDU.
 func ParseR2T(p *PDU) (*R2T, error) {
+	r := new(R2T)
+	if err := ParseR2TInto(r, p); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ParseR2TInto decodes p into r, a caller-owned (typically pooled) struct.
+func ParseR2TInto(r *R2T, p *PDU) error {
 	if p.Op() != OpR2T {
-		return nil, opError(OpR2T, p.Op())
+		return opError(OpR2T, p.Op())
 	}
 	var lun [8]byte
 	copy(lun[:], p.BHS[8:16])
-	return &R2T{
+	*r = R2T{
 		LUN:           ParseLUN(lun),
 		ITT:           p.ITT(),
 		TTT:           binary.BigEndian.Uint32(p.BHS[20:24]),
@@ -320,7 +371,8 @@ func ParseR2T(p *PDU) (*R2T, error) {
 		R2TSN:         binary.BigEndian.Uint32(p.BHS[36:40]),
 		BufferOffset:  binary.BigEndian.Uint32(p.BHS[40:44]),
 		DesiredLength: binary.BigEndian.Uint32(p.BHS[44:48]),
-	}, nil
+	}
+	return nil
 }
 
 // NopOut is the typed view of a NOP-Out PDU (ping or response to NOP-In).
@@ -333,8 +385,12 @@ type NopOut struct {
 }
 
 // Encode builds the wire PDU. NOP-Out is always sent immediate here.
-func (n *NopOut) Encode() *PDU {
-	p := &PDU{}
+func (n *NopOut) Encode() *PDU { return n.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (n *NopOut) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpNopOut)
 	p.SetImmediate(true)
 	p.BHS[1] = 0x80
@@ -371,8 +427,12 @@ type NopIn struct {
 }
 
 // Encode builds the wire PDU.
-func (n *NopIn) Encode() *PDU {
-	p := &PDU{}
+func (n *NopIn) Encode() *PDU { return n.EncodeInto(&PDU{}) }
+
+// EncodeInto encodes into a caller-provided (typically per-session,
+// reused) PDU, overwriting its previous contents.
+func (n *NopIn) EncodeInto(p *PDU) *PDU {
+	*p = PDU{}
 	p.SetOp(OpNopIn)
 	p.BHS[1] = 0x80
 	p.SetITT(n.ITT)

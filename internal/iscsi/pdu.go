@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/bufpool"
 )
 
 // BHSLen is the length of the basic header segment.
@@ -102,6 +104,23 @@ const MaxDataSegment = 1<<24 - 1
 type PDU struct {
 	BHS  [BHSLen]byte
 	Data []byte
+
+	// dataBuf is the pooled backing store for Data when the PDU was read
+	// with ReadPDU. Release returns it to the pool; PDUs whose data was
+	// never pooled (typed Encode views, DecodePDU) release as a no-op.
+	dataBuf *bufpool.Buf
+}
+
+// Release returns the PDU's pooled data segment, if any, to the buffer pool.
+// After Release, Data must no longer be referenced. Calling Release on a PDU
+// without pooled data (or twice, after the first call cleared it) is a no-op,
+// so read loops can release unconditionally once a PDU is fully consumed.
+func (p *PDU) Release() {
+	if p.dataBuf != nil {
+		p.dataBuf.Release()
+		p.dataBuf = nil
+		p.Data = nil
+	}
 }
 
 // Op returns the PDU opcode (with the immediate-delivery bit masked off).
@@ -148,15 +167,38 @@ func (p *PDU) setDataSegment(data []byte) {
 // WireLen returns the total encoded length including data padding.
 func (p *PDU) WireLen() int { return BHSLen + pad4(len(p.Data)) }
 
-// WriteTo serializes the PDU. It implements io.WriterTo.
+// BuffersWriter is the vectored-send interface the netsim fabric implements:
+// the header and payload segments go out as one send without an intermediate
+// assembly copy (the writer copies each segment directly into its frames).
+type BuffersWriter interface {
+	WriteBuffers(bufs ...[]byte) (int, error)
+}
+
+// padZeros backs the ≤3 bytes of data-segment padding on the vectored path.
+var padZeros [4]byte
+
+// WriteTo serializes the PDU as a single send: header and payload combine
+// either through the writer's vectored interface (no assembly copy) or into
+// one pooled wire buffer. It implements io.WriterTo.
 func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	if len(p.Data) > MaxDataSegment {
 		return 0, fmt.Errorf("iscsi: data segment %d exceeds protocol maximum", len(p.Data))
 	}
-	buf := make([]byte, p.WireLen())
+	if bw, ok := w.(BuffersWriter); ok {
+		pad := pad4(len(p.Data)) - len(p.Data)
+		n, err := bw.WriteBuffers(p.BHS[:], p.Data, padZeros[:pad])
+		return int64(n), err
+	}
+	wire := bufpool.Get(p.WireLen())
+	buf := wire.B
 	copy(buf, p.BHS[:])
 	copy(buf[BHSLen:], p.Data)
+	// Zero the padding: pooled buffers carry stale bytes.
+	for i := BHSLen + len(p.Data); i < len(buf); i++ {
+		buf[i] = 0
+	}
 	n, err := w.Write(buf)
+	wire.Release()
 	return int64(n), err
 }
 
@@ -168,7 +210,9 @@ func (p *PDU) Bytes() []byte {
 	return buf
 }
 
-// ReadPDU reads one PDU from the stream.
+// ReadPDU reads one PDU from the stream. The data segment is staged in a
+// pooled buffer: callers on the hot path should call Release once the PDU is
+// fully consumed; callers that skip Release only cost the pool a miss.
 func ReadPDU(r io.Reader) (*PDU, error) {
 	var p PDU
 	if _, err := io.ReadFull(r, p.BHS[:]); err != nil {
@@ -182,11 +226,13 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 		return nil, fmt.Errorf("iscsi: data segment length %d exceeds protocol maximum", n)
 	}
 	if n > 0 {
-		buf := make([]byte, pad4(n))
-		if _, err := io.ReadFull(r, buf); err != nil {
+		buf := bufpool.Get(pad4(n))
+		if _, err := io.ReadFull(r, buf.B); err != nil {
+			buf.Release()
 			return nil, fmt.Errorf("iscsi: read data segment: %w", err)
 		}
-		p.Data = buf[:n]
+		p.Data = buf.B[:n]
+		p.dataBuf = buf
 	}
 	return &p, nil
 }

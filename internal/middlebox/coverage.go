@@ -1,0 +1,133 @@
+package middlebox
+
+import "sort"
+
+// covRange is one run of blocks owned by a single pending write-back item.
+// Ranges are disjoint and sorted by start.
+type covRange struct {
+	start, end uint64
+	owner      *wbItem
+}
+
+// coverage maps every block with a pending write to the latest-admitted
+// pending write covering it (the block's "last writer"). It is the write-back
+// engine's conflict index: a new write needs ordering edges only to the
+// current owners of its extent — every older overlapping write is already
+// ordered before one of those owners, block by block, so transitivity covers
+// it. That keeps the dependency graph linear in the number of writes even
+// when every write hits the same extent, where an all-overlapping-pairs edge
+// set would grow quadratically.
+//
+// All methods are guarded by the engine mutex.
+type coverage struct {
+	r      []covRange
+	owners []*wbItem // scratch for paint results, reused across calls
+}
+
+// search returns the index of the first range ending beyond lo — the first
+// candidate to intersect an extent starting at lo.
+func (c *coverage) search(lo uint64) int {
+	return sort.Search(len(c.r), func(i int) bool { return c.r[i].end > lo })
+}
+
+// overlaps reports whether any block in [lo, hi) has a pending write.
+func (c *coverage) overlaps(lo, hi uint64) bool {
+	i := c.search(lo)
+	return i < len(c.r) && c.r[i].start < hi
+}
+
+// paint assigns [lo, hi) to owner and returns the distinct previous owners of
+// the painted-over blocks — the new write's direct dependencies. Boundary
+// ranges only partly covered keep their unpainted remainder. The returned
+// slice is scratch, valid until the next paint call.
+func (c *coverage) paint(lo, hi uint64, owner *wbItem) []*wbItem {
+	i := c.search(lo)
+	j := i
+	prev := c.owners[:0]
+	// Surviving boundary pieces: at most a prefix (from the first replaced
+	// range) and a suffix (from the last).
+	var frag [2]covRange
+	nfrag := 0
+	for j < len(c.r) && c.r[j].start < hi {
+		rg := c.r[j]
+		dup := false
+		for _, o := range prev {
+			if o == rg.owner {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			prev = append(prev, rg.owner)
+		}
+		if rg.start < lo {
+			frag[nfrag] = covRange{rg.start, lo, rg.owner}
+			nfrag++
+		}
+		if rg.end > hi {
+			frag[nfrag] = covRange{hi, rg.end, rg.owner}
+			nfrag++
+		}
+		j++
+	}
+	var repl [3]covRange
+	n := 0
+	if nfrag > 0 && frag[0].end <= lo { // prefix piece sorts before the paint
+		repl[n] = frag[0]
+		n++
+		frag[0] = frag[1]
+		nfrag--
+	}
+	repl[n] = covRange{lo, hi, owner}
+	n++
+	if nfrag > 0 {
+		repl[n] = frag[0]
+		n++
+	}
+	c.splice(i, j, repl[:n])
+	c.owners = prev
+	return prev
+}
+
+// clearOwned removes every range still owned by it. All such ranges lie
+// within [it.lba, it.end): paints never extend past the owner's extent, and
+// later writes only shrink what it owns.
+func (c *coverage) clearOwned(it *wbItem) {
+	i := c.search(it.lba)
+	w := i
+	k := i
+	for k < len(c.r) && c.r[k].start < it.end {
+		if c.r[k].owner != it {
+			c.r[w] = c.r[k]
+			w++
+		}
+		k++
+	}
+	if w == k {
+		return
+	}
+	n := copy(c.r[w:], c.r[k:])
+	for x := w + n; x < len(c.r); x++ {
+		c.r[x] = covRange{} // drop owner pointers in the vacated tail
+	}
+	c.r = c.r[:w+n]
+}
+
+// splice replaces c.r[i:j] with repl, shifting the tail in place.
+func (c *coverage) splice(i, j int, repl []covRange) {
+	old := j - i
+	switch {
+	case len(repl) < old:
+		n := copy(c.r[i+len(repl):], c.r[j:])
+		for x := i + len(repl) + n; x < len(c.r); x++ {
+			c.r[x] = covRange{}
+		}
+		c.r = c.r[:i+len(repl)+n]
+	case len(repl) > old:
+		for g := old; g < len(repl); g++ {
+			c.r = append(c.r, covRange{})
+		}
+		copy(c.r[j+len(repl)-old:], c.r[j:])
+	}
+	copy(c.r[i:], repl)
+}

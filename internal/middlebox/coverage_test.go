@@ -1,0 +1,179 @@
+package middlebox
+
+import "testing"
+
+// covModel is the brute-force reference: one owner pointer per block.
+type covModel struct {
+	owner []*wbItem
+}
+
+func (m *covModel) paint(lo, hi uint64, it *wbItem) []*wbItem {
+	var prev []*wbItem
+	for b := lo; b < hi; b++ {
+		if o := m.owner[b]; o != nil {
+			dup := false
+			for _, p := range prev {
+				if p == o {
+					dup = true
+				}
+			}
+			if !dup {
+				prev = append(prev, o)
+			}
+		}
+		m.owner[b] = it
+	}
+	return prev
+}
+
+func (m *covModel) overlaps(lo, hi uint64) bool {
+	for b := lo; b < hi; b++ {
+		if m.owner[b] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *covModel) clearOwned(it *wbItem) {
+	for b := it.lba; b < it.end; b++ {
+		if m.owner[b] == it {
+			m.owner[b] = nil
+		}
+	}
+}
+
+// checkCoverage validates the structural invariants (sorted, disjoint,
+// non-empty ranges) and that the range set matches the per-block model.
+func checkCoverage(t *testing.T, c *coverage, m *covModel) {
+	t.Helper()
+	var last uint64
+	for i, rg := range c.r {
+		if rg.start >= rg.end {
+			t.Fatalf("range %d empty: [%d,%d)", i, rg.start, rg.end)
+		}
+		if i > 0 && rg.start < last {
+			t.Fatalf("range %d [%d,%d) overlaps or disorders previous end %d", i, rg.start, rg.end, last)
+		}
+		if rg.owner == nil {
+			t.Fatalf("range %d has nil owner", i)
+		}
+		last = rg.end
+	}
+	for b := range m.owner {
+		var got *wbItem
+		for _, rg := range c.r {
+			if uint64(b) >= rg.start && uint64(b) < rg.end {
+				got = rg.owner
+			}
+		}
+		if got != m.owner[b] {
+			t.Fatalf("block %d: coverage owner %p, model owner %p", b, got, m.owner[b])
+		}
+	}
+}
+
+func sameOwnerSet(a, b []*wbItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCoverageAgainstBruteForce drives the coverage map with a deterministic
+// random mix of paints, owner completions, extent extensions, and overlap
+// queries, cross-checking every result against a per-block model.
+func TestCoverageAgainstBruteForce(t *testing.T) {
+	const space = 256
+	var c coverage
+	m := &covModel{owner: make([]*wbItem, space)}
+	live := []*wbItem{} // painted, not yet cleared
+
+	state := uint64(42)
+	rnd := func(n int) int {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int((z ^ (z >> 31)) % uint64(n))
+	}
+
+	for step := 0; step < 6000; step++ {
+		switch op := rnd(10); {
+		case op < 5: // paint a new item
+			lo := uint64(rnd(space - 1))
+			hi := lo + 1 + uint64(rnd(space-int(lo)))
+			it := &wbItem{lba: lo, end: hi}
+			got := append([]*wbItem(nil), c.paint(lo, hi, it)...)
+			want := m.paint(lo, hi, it)
+			if !sameOwnerSet(got, want) {
+				t.Fatalf("step %d: paint [%d,%d) owners %d, want %d", step, lo, hi, len(got), len(want))
+			}
+			live = append(live, it)
+		case op < 7 && len(live) > 0: // complete a random live item
+			i := rnd(len(live))
+			it := live[i]
+			c.clearOwned(it)
+			m.clearOwned(it)
+			live = append(live[:i], live[i+1:]...)
+		case op < 8 && len(live) > 0: // extend a live item (coalescing path)
+			it := live[len(live)-1]
+			lo := it.end
+			hi := lo + 1 + uint64(rnd(8))
+			if hi > space || c.overlaps(lo, hi) {
+				continue
+			}
+			c.paint(lo, hi, it)
+			m.paint(lo, hi, it)
+			it.end = hi
+		default: // overlap query
+			lo := uint64(rnd(space - 1))
+			hi := lo + 1 + uint64(rnd(space-int(lo)))
+			if got, want := c.overlaps(lo, hi), m.overlaps(lo, hi); got != want {
+				t.Fatalf("step %d: overlaps [%d,%d) = %v, want %v", step, lo, hi, got, want)
+			}
+		}
+		checkCoverage(t, &c, m)
+	}
+}
+
+// TestCoveragePaintReturnsLastWriters pins the dependency-edge contract: a
+// paint returns exactly the current owners of the extent, not every write
+// that ever covered it.
+func TestCoveragePaintReturnsLastWriters(t *testing.T) {
+	var c coverage
+	a := &wbItem{lba: 0, end: 10}
+	b := &wbItem{lba: 4, end: 6}
+	if got := c.paint(0, 10, a); len(got) != 0 {
+		t.Fatalf("first paint returned %d owners", len(got))
+	}
+	if got := c.paint(4, 6, b); len(got) != 1 || got[0] != a {
+		t.Fatalf("paint over a: got %v", got)
+	}
+	// A third write over the middle sees only b — a is shadowed there, and
+	// ordering vs a flows transitively through b.
+	mid := &wbItem{lba: 4, end: 6}
+	if got := c.paint(4, 6, mid); len(got) != 1 || got[0] != b {
+		t.Fatalf("paint over b: got %v", got)
+	}
+	// But a write spanning the whole extent sees both remaining owners.
+	wide := &wbItem{lba: 0, end: 10}
+	got := c.paint(0, 10, wide)
+	if !sameOwnerSet(got, []*wbItem{a, mid}) {
+		t.Fatalf("wide paint: got %d owners", len(got))
+	}
+	if len(c.r) != 1 || c.r[0] != (covRange{0, 10, wide}) {
+		t.Fatalf("coverage after wide paint: %+v", c.r)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 )
 
@@ -40,13 +41,17 @@ const (
 	StateFailed
 )
 
-// Entry is one journaled write.
+// Entry is one journaled write. Data is pooled storage owned by the journal;
+// it returns to the pool when the entry completes successfully (failed
+// entries keep their data for fault-tolerance inspection).
 type Entry struct {
 	Seq      uint64
 	LBA      uint64
 	Data     []byte
 	State    EntryState
 	ApplyErr error
+
+	dbuf *bufpool.Buf
 }
 
 // Journal is the middle-box's non-volatile write buffer: a copy of every
@@ -86,11 +91,14 @@ func (j *Journal) Append(lba uint64, data []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, j.used, j.capacity)
 	}
 	j.nextSeq++
+	dbuf := bufpool.Get(len(data))
+	copy(dbuf.B, data)
 	e := &Entry{
 		Seq:   j.nextSeq,
 		LBA:   lba,
-		Data:  append([]byte(nil), data...),
+		Data:  dbuf.B,
 		State: StateAcked,
+		dbuf:  dbuf,
 	}
 	j.entries[e.Seq] = e
 	j.used += len(data)
@@ -117,6 +125,9 @@ func (j *Journal) Complete(seq uint64, applyErr error) {
 	j.used -= len(e.Data)
 	j.usedGauge.Add(-int64(len(e.Data)))
 	delete(j.entries, seq)
+	e.Data = nil
+	e.dbuf.Release()
+	e.dbuf = nil
 }
 
 // Pending returns the number of journaled-but-unapplied entries.

@@ -298,7 +298,7 @@ func TestCostModel(t *testing.T) {
 }
 
 // relayTestbed builds VM -- relay -- target over net.Pipe links.
-func relayTestbed(t *testing.T, mode Mode, services ...ServiceFactory) *initiator.Session {
+func relayTestbed(t testing.TB, mode Mode, services ...ServiceFactory) *initiator.Session {
 	t.Helper()
 	// Real target.
 	disk, err := blockdev.NewMemDisk(512, 2048)

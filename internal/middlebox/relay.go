@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/blockdev"
@@ -141,7 +142,10 @@ type Relay struct {
 	cfg Config
 	srv *target.Server
 
-	journals chan *Journal // journals created for active sessions
+	journals chan *Journal // best-effort stream of newly created journals
+
+	journalMu  sync.Mutex
+	journalAll []*Journal // every journal created for active sessions
 }
 
 // NewRelay builds a relay from the configuration.
@@ -170,8 +174,20 @@ func (r *Relay) Serve(ln net.Listener) { r.srv.Serve(ln) }
 func (r *Relay) Close() { r.srv.Close() }
 
 // Journals returns a channel delivering the journal of each active-mode
-// session as it is created (for observability and tests).
+// session as it is created (for observability and tests). Delivery is
+// best-effort: when no consumer keeps up, journals are still retained in the
+// registry (AllJournals) and the drop is counted under
+// "relay.journal_stream_drops".
 func (r *Relay) Journals() <-chan *Journal { return r.journals }
+
+// AllJournals returns every journal created for this relay's active-mode
+// sessions, in creation order. Unlike the Journals stream it never loses an
+// entry, so post-run fault audits (Journal.Failures) see every session.
+func (r *Relay) AllJournals() []*Journal {
+	r.journalMu.Lock()
+	defer r.journalMu.Unlock()
+	return append([]*Journal(nil), r.journalAll...)
+}
 
 // resolve is the pseudo-server's device resolver: it dials the next hop,
 // logs in with the front session's target name, and stacks the service
@@ -231,9 +247,16 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 			capacity = DefaultJournalCapacity
 		}
 		j := NewJournal(capacity)
+		r.journalMu.Lock()
+		r.journalAll = append(r.journalAll, j)
+		r.journalMu.Unlock()
 		select {
 		case r.journals <- j:
 		default:
+			// No consumer kept up with the stream; the registry above
+			// still holds the journal, so nothing is lost — record the
+			// drop so operators notice a stalled consumer.
+			obs.Default().Counter("relay.journal_stream_drops").Inc()
 		}
 		stack = NewWriteBack(stack, j)
 	}

@@ -4,12 +4,19 @@ import (
 	"sync"
 
 	"repro/internal/blockdev"
+	"repro/internal/bufpool"
 )
 
 // applyParallelism bounds concurrent backend applies. The relay forwards
 // journaled writes as fast as the pseudo-client connection accepts them,
 // like the prototype's kernel TCP stack; overlapping writes stay ordered.
 const applyParallelism = 16
+
+// maxCoalescedBytes caps how large an adjacent-extent merge may grow. 256 KiB
+// matches the default MaxBurstLength, so a coalesced apply is at most one
+// burst — the paper's "several packets per copy" batching without unbounded
+// latency for the first write in the run.
+const maxCoalescedBytes = 256 * 1024
 
 // WriteBackDevice implements the active-relay acknowledgement semantics as
 // a device decorator: WriteAt journals the data to the non-volatile buffer
@@ -20,28 +27,61 @@ const applyParallelism = 16
 // ranges with pending writes wait for those writes to land, preserving
 // read-your-writes consistency. Flush drains the journal before syncing the
 // backend.
+//
+// Pending writes are indexed by a last-writer coverage map (see coverage):
+// admission replaces the new extent's owners in one sorted-range splice and
+// takes ordering edges only on those owners, so the dependency graph stays
+// linear in the number of writes — the former implementation re-scanned the
+// whole queue per dispatch, O(n²) with queue depth. When a write's dependency
+// count reaches zero it moves to a ready FIFO the appliers drain. Small
+// writes exactly adjacent to the undispatched tail write coalesce into one
+// backend apply (see maxCoalescedBytes).
 type WriteBackDevice struct {
 	dev     blockdev.Device
 	journal *Journal
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    []*wbItem // not yet dispatched, in arrival order
-	inflight []*wbItem // dispatched, not yet completed
+	cov      coverage
+	ready    []*wbItem // ndeps==0, not yet dispatched, FIFO
+	tail     *wbItem   // most recently admitted undispatched item, if any
+	items    int       // pending applies (admitted, not yet completed)
+	pending  int       // journaled writes not yet applied (≥ items with coalescing)
 	closed   bool
 	applyErr error // sticky: first backend failure stops early-acking
 	wg       sync.WaitGroup
 }
 
+// wbItem is one pending backend apply: the extent [lba, end) in blocks, the
+// owned (pooled) data copy, and the journal seqs it carries (several after
+// coalescing).
 type wbItem struct {
-	seq    uint64
-	lba    uint64
-	blocks uint64
-	data   []byte
+	lba, end uint64
+	seqs     []uint64
+	data     []byte
+	dbuf     *bufpool.Buf
+
+	ndeps      int       // block owners this write must apply after
+	dependents []*wbItem // later writes waiting on this one
+	dispatched bool
 }
 
-func itemsOverlap(a, b *wbItem) bool {
-	return a.lba < b.lba+b.blocks && b.lba < a.lba+a.blocks
+// appendData grows the item's owned storage with p, upgrading to a larger
+// pool class when the current buffer is out of capacity.
+func (it *wbItem) appendData(p []byte) {
+	need := len(it.data) + len(p)
+	if need <= cap(it.dbuf.B) {
+		it.dbuf.B = it.dbuf.B[:need]
+		copy(it.dbuf.B[need-len(p):], p)
+		it.data = it.dbuf.B
+		return
+	}
+	nb := bufpool.Get(need)
+	copy(nb.B, it.data)
+	copy(nb.B[len(it.data):], p)
+	it.dbuf.Release()
+	it.dbuf = nb
+	it.data = nb.B
 }
 
 var _ blockdev.Device = (*WriteBackDevice)(nil)
@@ -68,10 +108,13 @@ func (w *WriteBackDevice) BlockSize() int { return w.dev.BlockSize() }
 func (w *WriteBackDevice) Blocks() uint64 { return w.dev.Blocks() }
 
 // WriteAt journals the write and returns without waiting for the backend.
-// When the journal is full or a previous apply failed, it falls back to a
-// synchronous write (after draining, to preserve ordering).
+// The data is copied into pooled owned storage before return, so the caller
+// may reuse p immediately (the blockdev.Device contract). When the journal
+// is full or a previous apply failed, it falls back to a synchronous write
+// (after draining, to preserve ordering).
 func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
-	if len(p) == 0 || len(p)%w.dev.BlockSize() != 0 {
+	bs := w.dev.BlockSize()
+	if len(p) == 0 || len(p)%bs != 0 {
 		return blockdev.ErrBadLength
 	}
 	w.mu.Lock()
@@ -101,7 +144,7 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 			}
 			return blockdev.ErrClosed
 		}
-		if len(w.queue) == 0 && len(w.inflight) == 0 {
+		if w.items == 0 {
 			// Nothing in flight and still no room: the write exceeds the
 			// buffer entirely; write through synchronously.
 			w.mu.Unlock()
@@ -111,14 +154,42 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 		w.mu.Unlock()
 		seq, err = w.journal.Append(lba, p)
 	}
-	item := &wbItem{
-		seq:    seq,
-		lba:    lba,
-		blocks: uint64(len(p) / w.dev.BlockSize()),
-		data:   p,
-	}
+
+	end := lba + uint64(len(p)/bs)
 	w.mu.Lock()
-	w.queue = append(w.queue, item)
+	// Coalesce: append to the undispatched tail when the new extent starts
+	// exactly where the tail ends, the merge stays within one burst, and
+	// the new extent conflicts with nothing pending (so applying it with
+	// the tail — possibly before writes admitted in between — cannot
+	// reorder overlapping data).
+	if t := w.tail; t != nil && !t.dispatched && t.end == lba &&
+		len(t.data)+len(p) <= maxCoalescedBytes && !w.cov.overlaps(lba, end) {
+		t.appendData(p)
+		t.seqs = append(t.seqs, seq)
+		w.cov.paint(lba, end, t)
+		t.end = end
+		w.pending++
+		w.mu.Unlock()
+		return nil
+	}
+
+	item := &wbItem{lba: lba, end: end, seqs: []uint64{seq}, dbuf: bufpool.Get(len(p))}
+	item.data = item.dbuf.B
+	copy(item.data, p)
+	// Arrival-order for conflicts: wait for the current last writer of every
+	// block in the extent. Older overlapping writes are ordered before those
+	// owners block by block, so transitivity orders them before this write
+	// too — no edge needed.
+	for _, o := range w.cov.paint(lba, end, item) {
+		item.ndeps++
+		o.dependents = append(o.dependents, item)
+	}
+	w.items++
+	w.pending++
+	w.tail = item
+	if item.ndeps == 0 {
+		w.ready = append(w.ready, item)
+	}
 	w.mu.Unlock()
 	w.cond.Broadcast()
 	return nil
@@ -130,9 +201,9 @@ func (w *WriteBackDevice) ReadAt(p []byte, lba uint64) error {
 	if len(p) == 0 || len(p)%w.dev.BlockSize() != 0 {
 		return blockdev.ErrBadLength
 	}
-	probe := &wbItem{lba: lba, blocks: uint64(len(p) / w.dev.BlockSize())}
+	end := lba + uint64(len(p)/w.dev.BlockSize())
 	w.mu.Lock()
-	for w.overlapsLocked(probe) && !w.closed {
+	for w.cov.overlaps(lba, end) && !w.closed {
 		w.cond.Wait()
 	}
 	closed := w.closed
@@ -171,90 +242,66 @@ func (w *WriteBackDevice) Close() error {
 	return w.dev.Close()
 }
 
-// Pending returns the number of journaled-but-unapplied writes.
+// Pending returns the number of journaled-but-unapplied writes. Coalesced
+// writes count individually until their merged apply lands.
 func (w *WriteBackDevice) Pending() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return len(w.queue) + len(w.inflight)
+	return w.pending
 }
 
-// drain blocks until every queued write has been applied.
+// drain blocks until every pending write has been applied.
 func (w *WriteBackDevice) drain() {
 	w.mu.Lock()
-	for (len(w.queue) > 0 || len(w.inflight) > 0) && !w.closed {
+	for w.items > 0 && !w.closed {
 		w.cond.Wait()
 	}
 	w.mu.Unlock()
 }
 
-func (w *WriteBackDevice) overlapsLocked(probe *wbItem) bool {
-	for _, it := range w.inflight {
-		if itemsOverlap(it, probe) {
-			return true
-		}
-	}
-	for _, it := range w.queue {
-		if itemsOverlap(it, probe) {
-			return true
-		}
-	}
-	return false
-}
-
-// nextDispatchableLocked returns the index of the first queued item not
-// overlapping any in-flight item or earlier queued item (which would have
-// to apply first), or -1.
-func (w *WriteBackDevice) nextDispatchableLocked() int {
-scan:
-	for i, it := range w.queue {
-		for _, inf := range w.inflight {
-			if itemsOverlap(it, inf) {
-				continue scan
-			}
-		}
-		for _, prev := range w.queue[:i] {
-			if itemsOverlap(it, prev) {
-				continue scan
-			}
-		}
-		return i
-	}
-	return -1
-}
-
-// applyLoop is one of the parallel appliers.
+// applyLoop is one of the parallel appliers: it pops ready items, writes
+// them to the backend, and unblocks their dependents.
 func (w *WriteBackDevice) applyLoop() {
 	defer w.wg.Done()
 	for {
 		w.mu.Lock()
-		idx := w.nextDispatchableLocked()
-		for idx < 0 && !w.closed {
+		for len(w.ready) == 0 && !w.closed {
 			w.cond.Wait()
-			idx = w.nextDispatchableLocked()
 		}
-		if idx < 0 && w.closed {
+		if len(w.ready) == 0 {
 			w.mu.Unlock()
 			return
 		}
-		item := w.queue[idx]
-		w.queue = append(w.queue[:idx], w.queue[idx+1:]...)
-		w.inflight = append(w.inflight, item)
+		item := w.ready[0]
+		w.ready[0] = nil
+		w.ready = w.ready[1:]
+		item.dispatched = true
+		if w.tail == item {
+			w.tail = nil
+		}
 		w.mu.Unlock()
 
 		err := w.dev.WriteAt(item.data, item.lba)
-		w.journal.Complete(item.seq, err)
+		for _, seq := range item.seqs {
+			w.journal.Complete(seq, err)
+		}
 
 		w.mu.Lock()
-		for i, inf := range w.inflight {
-			if inf == item {
-				w.inflight = append(w.inflight[:i], w.inflight[i+1:]...)
-				break
+		w.cov.clearOwned(item)
+		w.items--
+		w.pending -= len(item.seqs)
+		for _, d := range item.dependents {
+			d.ndeps--
+			if d.ndeps == 0 {
+				w.ready = append(w.ready, d)
 			}
 		}
 		if err != nil && w.applyErr == nil {
 			w.applyErr = err
 		}
 		w.mu.Unlock()
+		item.data = nil
+		item.dbuf.Release()
 		w.cond.Broadcast()
 	}
 }

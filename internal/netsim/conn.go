@@ -73,6 +73,11 @@ func (c *Conn) Read(b []byte) (int, error) { return c.in.read(b) }
 // Write implements net.Conn.
 func (c *Conn) Write(b []byte) (int, error) { return c.out.write(b) }
 
+// WriteBuffers sends the concatenation of bufs as one write. The iSCSI layer
+// uses it to emit a PDU's header and payload without an assembly copy: each
+// segment is copied directly into the simulated MTU frames.
+func (c *Conn) WriteBuffers(bufs ...[]byte) (int, error) { return c.out.writeBufs(bufs) }
+
 // Close implements net.Conn. Both directions shut down; the peer's pending
 // data remains readable and then reports EOF.
 func (c *Conn) Close() error {

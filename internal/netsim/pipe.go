@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // ErrTimeout is returned by reads that exceed the configured deadline.
@@ -16,10 +18,13 @@ var ErrTimeout = os.ErrDeadlineExceeded
 // errClosedPipe reports use of a closed connection.
 var errClosedPipe = errors.New("netsim: connection closed")
 
-// frame is a unit of in-flight data with its modelled arrival time.
+// frame is a unit of in-flight data with its modelled arrival time. data is
+// the unread remainder of buf's bytes; buf returns to the pool once the frame
+// is fully consumed.
 type frame struct {
 	at   time.Time
 	data []byte
+	buf  *bufpool.Buf
 }
 
 // framePipe is one direction of a simulated connection: a queue of frames
@@ -58,7 +63,18 @@ func (p *framePipe) signal() {
 // per the path cost model: frames are paced by the accumulated per-hop
 // processing plus serialization, then delayed by the propagation time.
 func (p *framePipe) write(b []byte) (int, error) {
-	if len(b) == 0 {
+	return p.writeBufs([][]byte{b})
+}
+
+// writeBufs is the vectored write: the concatenation of bufs is chunked into
+// pooled MTU frames directly, so a header+payload send costs one copy total
+// instead of an assembly copy plus a frame copy.
+func (p *framePipe) writeBufs(bufs [][]byte) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total == 0 {
 		return 0, nil
 	}
 	p.mu.Lock()
@@ -75,24 +91,34 @@ func (p *framePipe) write(b []byte) (int, error) {
 		p.lastArrival = now
 	}
 	var processing time.Duration
-	for off := 0; off < len(b); off += p.mtu {
-		end := off + p.mtu
-		if end > len(b) {
-			end = len(b)
+	vi, vo := 0, 0 // cursor: bufs[vi][vo:] is the next unconsumed byte
+	for remaining := total; remaining > 0; {
+		n := remaining
+		if n > p.mtu {
+			n = p.mtu
 		}
-		chunk := append([]byte(nil), b[off:end]...)
-		delay := p.cost.FrameDelay(len(chunk))
+		fb := bufpool.Get(n)
+		for fill := 0; fill < n; {
+			for vo == len(bufs[vi]) {
+				vi, vo = vi+1, 0
+			}
+			c := copy(fb.B[fill:], bufs[vi][vo:])
+			fill += c
+			vo += c
+		}
+		delay := p.cost.FrameDelay(n)
 		processing += delay
 		p.lastArrival = p.lastArrival.Add(delay)
-		p.frames = append(p.frames, frame{at: p.lastArrival.Add(p.cost.Propagation), data: chunk})
+		p.frames = append(p.frames, frame{at: p.lastArrival.Add(p.cost.Propagation), data: fb.B, buf: fb})
+		remaining -= n
 	}
-	p.bytesIn += int64(len(b))
+	p.bytesIn += int64(total)
 	p.mu.Unlock()
 	if p.charge != nil {
 		p.charge(processing)
 	}
 	p.signal()
-	return len(b), nil
+	return total, nil
 }
 
 // read copies available bytes into b, blocking until the head frame's
@@ -114,7 +140,8 @@ func (p *framePipe) read(b []byte) (int, error) {
 					c := copy(b[n:], p.frames[0].data)
 					n += c
 					if c == len(p.frames[0].data) {
-						p.frames[0].data = nil
+						p.frames[0].buf.Release()
+						p.frames[0] = frame{}
 						p.frames = p.frames[1:]
 					} else {
 						p.frames[0].data = p.frames[0].data[c:]

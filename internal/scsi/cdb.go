@@ -112,21 +112,35 @@ func (c *CDB) String() string {
 // NewRead returns a READ CDB addressing the given extent, choosing READ(10)
 // when the extent fits and READ(16) otherwise.
 func NewRead(lba uint64, blocks uint32) *CDB {
+	c := ReadCDB(lba, blocks)
+	return &c
+}
+
+// ReadCDB is the value form of NewRead, for hot paths that keep the CDB on
+// the stack.
+func ReadCDB(lba uint64, blocks uint32) CDB {
 	op := OpRead10
 	if lba > 0xFFFFFFFF || blocks > 0xFFFF {
 		op = OpRead16
 	}
-	return &CDB{Op: op, LBA: lba, Blocks: blocks}
+	return CDB{Op: op, LBA: lba, Blocks: blocks}
 }
 
 // NewWrite returns a WRITE CDB addressing the given extent, choosing
 // WRITE(10) when the extent fits and WRITE(16) otherwise.
 func NewWrite(lba uint64, blocks uint32) *CDB {
+	c := WriteCDB(lba, blocks)
+	return &c
+}
+
+// WriteCDB is the value form of NewWrite, for hot paths that keep the CDB on
+// the stack.
+func WriteCDB(lba uint64, blocks uint32) CDB {
 	op := OpWrite10
 	if lba > 0xFFFFFFFF || blocks > 0xFFFF {
 		op = OpWrite16
 	}
-	return &CDB{Op: op, LBA: lba, Blocks: blocks}
+	return CDB{Op: op, LBA: lba, Blocks: blocks}
 }
 
 // NewReadCapacity10 returns a READ CAPACITY(10) CDB.
@@ -152,57 +166,62 @@ func NewSyncCache(lba uint64, blocks uint32) *CDB {
 }
 
 // Encode serializes the CDB to its wire form (6/10/16 bytes depending on the
-// operation code).
+// operation code), storing the bytes in c.Raw.
 func (c *CDB) Encode() ([]byte, error) {
+	b := make([]byte, 16)
+	n, err := c.EncodeInto(b)
+	if err != nil {
+		return nil, err
+	}
+	c.Raw = b[:n]
+	return c.Raw, nil
+}
+
+// EncodeInto serializes the CDB into dst without allocating and without
+// touching c.Raw — the hot-path form for callers that own a reusable CDB
+// field. dst must be at least 16 bytes and zeroed by the caller (reserved
+// bytes are not written). Returns the encoded length.
+func (c *CDB) EncodeInto(dst []byte) (int, error) {
+	if len(dst) < 16 {
+		return 0, fmt.Errorf("scsi: CDB destination %d bytes, need 16", len(dst))
+	}
 	switch c.Op {
 	case OpTestUnitReady:
-		b := make([]byte, 6)
-		b[0] = c.Op
-		c.Raw = b
-		return b, nil
+		dst[0] = c.Op
+		return 6, nil
 	case OpInquiry:
 		if c.AllocationLength > 0xFFFF {
-			return nil, fmt.Errorf("scsi: inquiry allocation length %d exceeds 16 bits", c.AllocationLength)
+			return 0, fmt.Errorf("scsi: inquiry allocation length %d exceeds 16 bits", c.AllocationLength)
 		}
-		b := make([]byte, 6)
-		b[0] = c.Op
-		binary.BigEndian.PutUint16(b[3:5], uint16(c.AllocationLength))
-		c.Raw = b
-		return b, nil
+		dst[0] = c.Op
+		binary.BigEndian.PutUint16(dst[3:5], uint16(c.AllocationLength))
+		return 6, nil
 	case OpReadCapacity10:
-		b := make([]byte, 10)
-		b[0] = c.Op
-		c.Raw = b
-		return b, nil
+		dst[0] = c.Op
+		return 10, nil
 	case OpRead10, OpWrite10, OpSyncCache10:
 		if c.LBA > 0xFFFFFFFF {
-			return nil, fmt.Errorf("scsi: lba %d exceeds 32 bits for 10-byte CDB", c.LBA)
+			return 0, fmt.Errorf("scsi: lba %d exceeds 32 bits for 10-byte CDB", c.LBA)
 		}
 		if c.Blocks > 0xFFFF {
-			return nil, fmt.Errorf("scsi: transfer length %d exceeds 16 bits for 10-byte CDB", c.Blocks)
+			return 0, fmt.Errorf("scsi: transfer length %d exceeds 16 bits for 10-byte CDB", c.Blocks)
 		}
-		b := make([]byte, 10)
-		b[0] = c.Op
-		binary.BigEndian.PutUint32(b[2:6], uint32(c.LBA))
-		binary.BigEndian.PutUint16(b[7:9], uint16(c.Blocks))
-		c.Raw = b
-		return b, nil
+		dst[0] = c.Op
+		binary.BigEndian.PutUint32(dst[2:6], uint32(c.LBA))
+		binary.BigEndian.PutUint16(dst[7:9], uint16(c.Blocks))
+		return 10, nil
 	case OpRead16, OpWrite16:
-		b := make([]byte, 16)
-		b[0] = c.Op
-		binary.BigEndian.PutUint64(b[2:10], c.LBA)
-		binary.BigEndian.PutUint32(b[10:14], c.Blocks)
-		c.Raw = b
-		return b, nil
+		dst[0] = c.Op
+		binary.BigEndian.PutUint64(dst[2:10], c.LBA)
+		binary.BigEndian.PutUint32(dst[10:14], c.Blocks)
+		return 16, nil
 	case OpReadCapacity16:
-		b := make([]byte, 16)
-		b[0] = c.Op
-		b[1] = 0x10 // READ CAPACITY(16) service action
-		binary.BigEndian.PutUint32(b[10:14], c.AllocationLength)
-		c.Raw = b
-		return b, nil
+		dst[0] = c.Op
+		dst[1] = 0x10 // READ CAPACITY(16) service action
+		binary.BigEndian.PutUint32(dst[10:14], c.AllocationLength)
+		return 16, nil
 	default:
-		return nil, fmt.Errorf("scsi: cannot encode unsupported opcode 0x%02x", c.Op)
+		return 0, fmt.Errorf("scsi: cannot encode unsupported opcode 0x%02x", c.Op)
 	}
 }
 

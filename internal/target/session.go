@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/blockdev"
+	"repro/internal/bufpool"
 	"repro/internal/iscsi"
 	"repro/internal/scsi"
 )
@@ -19,13 +20,30 @@ import (
 // ExpectedDataTransferLength cannot allocate unbounded memory.
 const maxTransfer = 64 << 20
 
-// transfer tracks one in-progress R2T-solicited write.
+// transfer tracks one in-progress R2T-solicited write. buf is pooled staging
+// owned by the command goroutine, which releases it once the device write
+// completes.
 type transfer struct {
-	mu  sync.Mutex
-	buf []byte
+	mu   sync.Mutex
+	buf  []byte
+	pbuf *bufpool.Buf
 	// burst is signaled when the Final Data-Out of a solicited burst
 	// arrives.
 	burst chan struct{}
+}
+
+// release detaches the staging buffer (so a straggling Data-Out can no
+// longer copy into it — handleDataOut copies under tr.mu) and returns it to
+// the pool. Nil-safe for paths that never created a transfer.
+func (tr *transfer) release() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	pb := tr.pbuf
+	tr.buf, tr.pbuf = nil, nil
+	tr.mu.Unlock()
+	pb.Release()
 }
 
 // session is one logged-in connection.
@@ -37,8 +55,9 @@ type session struct {
 	ownDev bool
 	iqn    string
 
-	sendMu sync.Mutex
-	statSN atomic.Uint32
+	sendMu  sync.Mutex
+	wirePDU iscsi.PDU // reusable encode target for outgoing PDUs, guarded by sendMu
+	statSN  atomic.Uint32
 
 	lastCmdSN atomic.Uint32
 
@@ -166,28 +185,35 @@ func (ss *session) run() {
 				return
 			}
 			ss.noteCmdSN(cmd.CmdSN)
-			ss.startCommand(cmd)
+			// The command goroutine owns the PDU from here: cmd.Data (the
+			// immediate write data) aliases its pooled segment, which is
+			// released once that data is staged into the transfer buffer.
+			ss.startCommand(cmd, pdu)
 		case iscsi.OpSCSIDataOut:
 			dout, err := iscsi.ParseDataOut(pdu)
 			if err != nil {
 				return
 			}
 			ss.handleDataOut(dout)
+			pdu.Release()
 		case iscsi.OpNopOut:
 			nop, err := iscsi.ParseNopOut(pdu)
 			if err != nil {
 				return
 			}
+			pdu.Release()
 			ss.noteCmdSN(nop.CmdSN)
-			_ = ss.send((&iscsi.NopIn{
+			_ = ss.sendMsg(&iscsi.NopIn{
 				ITT:      nop.ITT,
 				TTT:      0xFFFFFFFF,
 				StatSN:   ss.statSN.Load(),
 				ExpCmdSN: ss.expCmdSN(),
 				MaxCmdSN: ss.maxCmdSN(),
-			}).Encode())
+			})
 		case iscsi.OpTextReq:
-			if err := ss.handleText(pdu); err != nil {
+			err := ss.handleText(pdu)
+			pdu.Release()
+			if err != nil {
 				return
 			}
 		case iscsi.OpLogoutReq:
@@ -248,21 +274,37 @@ func (ss *session) send(p *iscsi.PDU) error {
 	return err
 }
 
+// pduEncoder is a typed message that can encode into a caller-owned PDU.
+type pduEncoder interface {
+	EncodeInto(*iscsi.PDU) *iscsi.PDU
+}
+
+// sendMsg serializes m into the session's reusable wire PDU under sendMu, so
+// steady-state responses allocate nothing for framing.
+func (ss *session) sendMsg(m pduEncoder) error {
+	ss.sendMu.Lock()
+	defer ss.sendMu.Unlock()
+	_, err := m.EncodeInto(&ss.wirePDU).WriteTo(ss.conn)
+	return err
+}
+
 // startCommand dispatches a SCSI command to its own goroutine so the
-// session serves QueueDepth commands concurrently.
-func (ss *session) startCommand(cmd *iscsi.SCSICommand) {
+// session serves QueueDepth commands concurrently. The goroutine owns pdu
+// (the command's pooled data segment) and releases it once consumed.
+func (ss *session) startCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
 	ss.cmdWG.Add(1)
 	go func() {
 		defer ss.cmdWG.Done()
-		ss.runCommand(cmd)
+		ss.runCommand(cmd, pdu)
 	}()
 }
 
 // runCommand executes one command end to end: data solicitation for
 // writes, device execution, Data-In or response with status.
-func (ss *session) runCommand(cmd *iscsi.SCSICommand) {
+func (ss *session) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
 	cdb, err := scsi.Decode(cmd.CDB[:])
 	if err != nil {
+		pdu.Release()
 		var unsup *scsi.UnsupportedOpError
 		if errors.As(err, &unsup) {
 			ss.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidOpcode))
@@ -278,7 +320,10 @@ func (ss *session) runCommand(cmd *iscsi.SCSICommand) {
 	var writeBuf []byte
 	if cmd.Write {
 		var sense *scsi.Sense
-		writeBuf, sense = ss.collectWriteData(cmd)
+		var tr *transfer
+		writeBuf, tr, sense = ss.collectWriteData(cmd)
+		pdu.Release() // immediate data now staged in the transfer buffer
+		defer tr.release()
 		if sense != nil {
 			ss.sendResponse(cmd.ITT, sense)
 			return
@@ -286,9 +331,12 @@ func (ss *session) runCommand(cmd *iscsi.SCSICommand) {
 		if writeBuf == nil { // session ended mid-transfer
 			return
 		}
+	} else {
+		pdu.Release() // non-write commands carry no retained data
 	}
 
-	data, sense := ss.execute(cdb, writeBuf)
+	data, pooled, sense := ss.execute(cdb, writeBuf)
+	defer pooled.Release()
 	if sense != nil {
 		ss.sendResponse(cmd.ITT, sense)
 		return
@@ -313,17 +361,22 @@ func opSuffix(cdb *scsi.CDB) string {
 }
 
 // collectWriteData assembles the command's full data transfer: immediate
-// data from the command PDU plus R2T-solicited bursts. It returns
-// (nil, nil) when the session is torn down mid-transfer.
-func (ss *session) collectWriteData(cmd *iscsi.SCSICommand) ([]byte, *scsi.Sense) {
+// data from the command PDU plus R2T-solicited bursts. The staging buffer is
+// pooled; the caller must call release on the returned transfer once the
+// device write completes. A nil data slice with nil sense means the session
+// was torn down mid-transfer.
+func (ss *session) collectWriteData(cmd *iscsi.SCSICommand) ([]byte, *transfer, *scsi.Sense) {
 	total := int(cmd.ExpectedDataTransferLength)
 	if total > maxTransfer {
-		return nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
+		return nil, nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
 	}
-	tr := &transfer{buf: make([]byte, total), burst: make(chan struct{}, 2)}
+	// Zeroed: a peer that skips a solicited segment must not leak stale
+	// pool bytes into the device write (make([]byte) was implicitly zero).
+	pbuf := bufpool.GetZeroed(total)
+	tr := &transfer{buf: pbuf.B, pbuf: pbuf, burst: make(chan struct{}, 2)}
 	received := copy(tr.buf, cmd.Data)
 	if received >= total {
-		return tr.buf, nil
+		return tr.buf, tr, nil
 	}
 
 	ss.xferMu.Lock()
@@ -355,18 +408,18 @@ func (ss *session) collectWriteData(cmd *iscsi.SCSICommand) ([]byte, *scsi.Sense
 			BufferOffset:  uint32(received),
 			DesiredLength: uint32(desired),
 		}
-		if err := ss.send(r2t.Encode()); err != nil {
-			return nil, nil
+		if err := ss.sendMsg(r2t); err != nil {
+			return nil, tr, nil
 		}
 		select {
 		case <-tr.burst:
 		case <-ss.done:
-			return nil, nil
+			return nil, tr, nil
 		}
 		received += desired
 		r2tsn++
 	}
-	return tr.buf, nil
+	return tr.buf, tr, nil
 }
 
 // handleDataOut copies a solicited data segment into its transfer buffer
@@ -393,52 +446,55 @@ func (ss *session) handleDataOut(d *iscsi.DataOut) {
 }
 
 // execute runs the decoded CDB against the session device. It returns
-// Data-In payload for read-direction commands, or a sense error.
-func (ss *session) execute(cdb *scsi.CDB, writeBuf []byte) ([]byte, *scsi.Sense) {
+// Data-In payload for read-direction commands, or a sense error. When the
+// payload is pooled (the block-read fast path) the second return carries the
+// buffer for the caller to release after the Data-In sequence is sent.
+func (ss *session) execute(cdb *scsi.CDB, writeBuf []byte) ([]byte, *bufpool.Buf, *scsi.Sense) {
 	dev := ss.dev
 	bs := dev.BlockSize()
 	switch cdb.Op {
 	case scsi.OpRead10, scsi.OpRead16:
 		if cdb.LBA+uint64(cdb.Blocks) > dev.Blocks() {
-			return nil, scsi.IllegalRequest(scsi.ASCLBAOutOfRange)
+			return nil, nil, scsi.IllegalRequest(scsi.ASCLBAOutOfRange)
 		}
-		buf := make([]byte, int(cdb.Blocks)*bs)
-		if len(buf) > 0 {
-			if err := dev.ReadAt(buf, cdb.LBA); err != nil {
-				return nil, senseFor(err, false, cdb.LBA)
+		pooled := bufpool.Get(int(cdb.Blocks) * bs)
+		if len(pooled.B) > 0 {
+			if err := dev.ReadAt(pooled.B, cdb.LBA); err != nil {
+				pooled.Release()
+				return nil, nil, senseFor(err, false, cdb.LBA)
 			}
 		}
-		return buf, nil
+		return pooled.B, pooled, nil
 	case scsi.OpWrite10, scsi.OpWrite16:
 		if cdb.LBA+uint64(cdb.Blocks) > dev.Blocks() {
-			return nil, scsi.IllegalRequest(scsi.ASCLBAOutOfRange)
+			return nil, nil, scsi.IllegalRequest(scsi.ASCLBAOutOfRange)
 		}
 		if int(cdb.Blocks)*bs != len(writeBuf) {
-			return nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
+			return nil, nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
 		}
 		if len(writeBuf) > 0 {
 			if err := dev.WriteAt(writeBuf, cdb.LBA); err != nil {
-				return nil, senseFor(err, true, cdb.LBA)
+				return nil, nil, senseFor(err, true, cdb.LBA)
 			}
 		}
-		return nil, nil
+		return nil, nil, nil
 	case scsi.OpReadCapacity10:
 		c := scsi.Capacity{LastLBA: dev.Blocks() - 1, BlockSize: uint32(bs)}
-		return c.EncodeCapacity10(), nil
+		return c.EncodeCapacity10(), nil, nil
 	case scsi.OpReadCapacity16:
 		c := scsi.Capacity{LastLBA: dev.Blocks() - 1, BlockSize: uint32(bs)}
-		return clampAlloc(c.EncodeCapacity16(), cdb.AllocationLength), nil
+		return clampAlloc(c.EncodeCapacity16(), cdb.AllocationLength), nil, nil
 	case scsi.OpInquiry:
-		return clampAlloc(ss.srv.inquiry.Encode(), cdb.AllocationLength), nil
+		return clampAlloc(ss.srv.inquiry.Encode(), cdb.AllocationLength), nil, nil
 	case scsi.OpTestUnitReady:
-		return nil, nil
+		return nil, nil, nil
 	case scsi.OpSyncCache10:
 		if err := dev.Flush(); err != nil {
-			return nil, senseFor(err, true, uint64(0))
+			return nil, nil, senseFor(err, true, uint64(0))
 		}
-		return nil, nil
+		return nil, nil, nil
 	default:
-		return nil, scsi.IllegalRequest(scsi.ASCInvalidOpcode)
+		return nil, nil, scsi.IllegalRequest(scsi.ASCInvalidOpcode)
 	}
 }
 
@@ -470,32 +526,27 @@ func (ss *session) sendDataIn(itt uint32, data []byte) {
 	if maxSeg <= 0 {
 		maxSeg = 8192
 	}
-	var dataSN uint32
+	din := iscsi.DataIn{ITT: itt, TTT: 0xFFFFFFFF}
 	for off := 0; off < len(data); {
 		end := off + maxSeg
 		if end > len(data) {
 			end = len(data)
 		}
 		last := end == len(data)
-		din := &iscsi.DataIn{
-			Final:        last,
-			ITT:          itt,
-			TTT:          0xFFFFFFFF,
-			ExpCmdSN:     ss.expCmdSN(),
-			MaxCmdSN:     ss.maxCmdSN(),
-			DataSN:       dataSN,
-			BufferOffset: uint32(off),
-			Data:         data[off:end],
-		}
+		din.Final = last
+		din.ExpCmdSN = ss.expCmdSN()
+		din.MaxCmdSN = ss.maxCmdSN()
+		din.BufferOffset = uint32(off)
+		din.Data = data[off:end]
 		if last {
 			din.StatusPresent = true
 			din.Status = byte(scsi.StatusGood)
 			din.StatSN = ss.statSN.Add(1)
 		}
-		if err := ss.send(din.Encode()); err != nil {
+		if err := ss.sendMsg(&din); err != nil {
 			return
 		}
-		dataSN++
+		din.DataSN++
 		off = end
 	}
 }
@@ -515,7 +566,7 @@ func (ss *session) sendResponse(itt uint32, sense *scsi.Sense) {
 		resp.Status = byte(scsi.StatusCheckCondition)
 		resp.Sense = sense.Encode()
 	}
-	if err := ss.send(resp.Encode()); err != nil {
+	if err := ss.sendMsg(resp); err != nil {
 		ss.srv.logf("target: session %q: send response: %v", ss.iqn, err)
 	}
 }
