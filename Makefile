@@ -6,7 +6,7 @@
 # BENCH_results.json (via stormbench -fastpath).
 
 GO ?= go
-RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool
+RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool
 
 .PHONY: check fmt vet build test race bench

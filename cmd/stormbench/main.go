@@ -11,6 +11,7 @@
 //	stormbench -table 1        # one table (1 or 3)
 //	stormbench -ablations      # the design-choice sweeps
 //	stormbench -fastpath       # data-plane microbenchmarks vs recorded baseline
+//	stormbench -chaos          # failure-injection smoke suite (non-zero exit on data loss)
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 //	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -43,6 +44,7 @@ type benchResults struct {
 	Ablations           map[string][]experiments.AblationRow `json:"ablations,omitempty"`
 	Replication         *experiments.ReplicationRun          `json:"replication,omitempty"`
 	FastPath            []experiments.FastPathRun            `json:"fastpath,omitempty"`
+	Chaos               []experiments.ChaosResult            `json:"chaos,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
@@ -52,6 +54,7 @@ func main() {
 		table      = flag.Int("table", 0, "run a single table (1 or 3); 0 = all")
 		ablations  = flag.Bool("ablations", false, "run only the ablation sweeps")
 		fastpath   = flag.Bool("fastpath", false, "run only the data-plane microbenchmarks (before/after comparison)")
+		chaos      = flag.Bool("chaos", false, "run only the failure-injection smoke suite (exit non-zero on data loss)")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
@@ -64,7 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *table, *ablations, *fastpath, *ops, *repDur, *jsonPath)
+	err = run(*fig, *table, *ablations, *fastpath, *chaos, *ops, *repDur, *jsonPath)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
@@ -107,9 +110,9 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func run(fig, table int, ablationsOnly, fastpathOnly bool, ops int, repDur time.Duration, jsonPath string) error {
+func run(fig, table int, ablationsOnly, fastpathOnly, chaosOnly bool, ops int, repDur time.Duration, jsonPath string) error {
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !chaosOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -124,6 +127,24 @@ func run(fig, table int, ablationsOnly, fastpathOnly bool, ops int, repDur time.
 
 	section := func(title string) {
 		fmt.Printf("\n================ %s ================\n", title)
+	}
+
+	if chaosOnly || all {
+		section("Chaos: failure injection, reconnect, journal replay")
+		chaosRows, err := experiments.RunChaosSuite()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatChaos(chaosRows))
+		results.Chaos = chaosRows
+		for _, r := range chaosRows {
+			if r.DataLoss {
+				return fmt.Errorf("chaos scenario %s lost data: %s", r.Scenario, r.Detail)
+			}
+		}
+		if chaosOnly {
+			return nil
+		}
 	}
 
 	if fastpathOnly || all {

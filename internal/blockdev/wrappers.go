@@ -128,6 +128,15 @@ func (d *FaultDisk) Trip(err error) {
 // Tripped reports whether the device has been failed.
 func (d *FaultDisk) Tripped() bool { return d.tripped.Load() }
 
+// Heal clears a tripped fault; subsequent accesses reach the medium again
+// (the recovery half of Figure 13's kill/heal cycle).
+func (d *FaultDisk) Heal() {
+	d.tripped.Store(false)
+	d.mu.Lock()
+	d.err = nil
+	d.mu.Unlock()
+}
+
 func (d *FaultDisk) fault() error {
 	if !d.tripped.Load() {
 		return nil

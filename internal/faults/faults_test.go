@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScheduleFiresAtExactTicks(t *testing.T) {
+	s := NewSchedule()
+	var got []uint64
+	s.At(3, "cut", func() { got = append(got, s.Now()) })
+	s.At(5, "heal", func() { got = append(got, s.Now()) })
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("triggers fired at %v, want [3 5]", got)
+	}
+	if f := s.Fired(); len(f) != 2 || f[0] != "cut" || f[1] != "heal" {
+		t.Errorf("Fired() = %v", f)
+	}
+}
+
+func TestScheduleSameTickRunsInRegistrationOrder(t *testing.T) {
+	s := NewSchedule()
+	var order []string
+	s.At(2, "a", func() { order = append(order, "a") })
+	s.At(2, "b", func() { order = append(order, "b") })
+	s.Step()
+	s.Step()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+func TestSchedulePastTickFiresOnNextStep(t *testing.T) {
+	s := NewSchedule()
+	s.Step()
+	s.Step()
+	fired := false
+	s.At(1, "late", func() { fired = true })
+	if fired {
+		t.Fatal("trigger ran before any Step")
+	}
+	s.Step()
+	if !fired {
+		t.Fatal("past-tick trigger never fired")
+	}
+}
+
+func TestScheduleConcurrentSteppersFireOnce(t *testing.T) {
+	s := NewSchedule()
+	var mu sync.Mutex
+	count := 0
+	s.At(50, "once", func() { mu.Lock(); count++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				s.Step()
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1 {
+		t.Fatalf("trigger fired %d times, want 1", count)
+	}
+	if s.Now() != 200 {
+		t.Errorf("Now() = %d, want 200", s.Now())
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(time.Millisecond, 50*time.Millisecond, 42)
+	b := NewBackoff(time.Millisecond, 50*time.Millisecond, 42)
+	for i := 0; i < 10; i++ {
+		if da, db := a.Delay(i), b.Delay(i); da != db {
+			t.Fatalf("attempt %d: seeds diverge (%v vs %v)", i, da, db)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(time.Millisecond, 8*time.Millisecond, 1)
+	for i := 0; i < 20; i++ {
+		d := b.Delay(i)
+		want := time.Millisecond << i
+		if want > 8*time.Millisecond || want <= 0 {
+			want = 8 * time.Millisecond
+		}
+		if d < want/2 || d >= want {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, want/2, want)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, -1, 1)
+	if d := b.Delay(0); d <= 0 {
+		t.Errorf("zero-base backoff returned %v", d)
+	}
+}

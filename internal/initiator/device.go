@@ -104,7 +104,7 @@ func (s *Session) Discover() ([]string, error) {
 	req.BHS[5] = byte(len(data) >> 16)
 	req.BHS[6] = byte(len(data) >> 8)
 	req.BHS[7] = byte(len(data))
-	if err := s.sendPDU(req); err != nil {
+	if err := s.send(req); err != nil {
 		s.unregister(itt)
 		return nil, err
 	}
@@ -122,25 +122,41 @@ func (s *Session) Discover() ([]string, error) {
 	return names, nil
 }
 
-// Logout ends the session gracefully and closes the connection.
+// Logout ends the session gracefully and closes the connection. The session
+// is terminal afterwards: a reconnect-enabled session will not redial.
 func (s *Session) Logout() error {
 	s.mu.Lock()
 	s.cmdSN++
 	req := &iscsi.LogoutRequest{Reason: 0, ITT: s.itt + 1, CmdSN: s.cmdSN, ExpStatSN: s.expStatSN}
 	s.mu.Unlock()
-	err := s.sendPDU(req.Encode())
-	<-s.readerDone
-	cerr := s.conn.Close()
+	err := s.send(req.Encode())
+	s.mu.Lock()
+	if s.closedErr == nil {
+		s.closedErr = ErrSessionClosed
+	}
+	conn := s.conn
+	done := s.readerDone
+	s.mu.Unlock()
+	<-done
+	cerr := conn.Close()
 	if err != nil {
 		return err
 	}
 	return cerr
 }
 
-// Close abandons the session, failing outstanding commands.
+// Close abandons the session, failing outstanding commands. No reconnect is
+// attempted.
 func (s *Session) Close() error {
-	err := s.conn.Close()
-	<-s.readerDone
+	s.mu.Lock()
+	if s.closedErr == nil {
+		s.closedErr = ErrSessionClosed
+	}
+	conn := s.conn
+	done := s.readerDone
+	s.mu.Unlock()
+	err := conn.Close()
+	<-done
 	return err
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/iscsi"
 	"repro/internal/obs"
 	"repro/internal/scsi"
@@ -22,6 +23,20 @@ var (
 	ErrSessionClosed = errors.New("initiator: session closed")
 	ErrLoginFailed   = errors.New("initiator: login failed")
 )
+
+// transientErr marks a connection-level failure the session may heal from by
+// redialing: the command that observed it is safe to reissue on a fresh
+// connection. Protocol violations and user-initiated closes are never
+// wrapped, so they stay terminal.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return "initiator: connection failure: " + e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// maxCmdAttempts bounds how many times one command is reissued across
+// reconnects, so a target that repeatedly accepts a login and then wedges
+// cannot trap a caller forever.
+const maxCmdAttempts = 8
 
 // Config describes the session to establish.
 type Config struct {
@@ -45,6 +60,28 @@ type Config struct {
 	// Stage labels this session's spans (obs.StageInitiator when empty);
 	// a relay's pseudo-client session uses its relay.forward stage.
 	Stage string
+	// Redial, when non-nil, re-establishes the transport after a
+	// connection failure: the session redials, re-logs-in with capped
+	// exponential backoff, and reissues the idempotent commands that were
+	// in flight instead of failing every caller with ErrSessionClosed.
+	// Nil keeps the legacy fail-fast behaviour.
+	Redial func() (net.Conn, error)
+	// MaxRedials bounds consecutive failed reconnect attempts per outage
+	// before the session fails terminally (default 4).
+	MaxRedials int
+	// RedialBackoffBase and RedialBackoffCap shape the reconnect backoff:
+	// attempt n waits in [d/2, d) with d = min(Base·2ⁿ, Cap). Defaults
+	// 2ms / 100ms.
+	RedialBackoffBase time.Duration
+	RedialBackoffCap  time.Duration
+	// RedialSeed fixes the backoff jitter sequence, keeping fault tests
+	// deterministic.
+	RedialSeed int64
+	// CommandTimeout bounds each command round-trip. A command that
+	// exceeds it declares the connection dead: with Redial set the session
+	// reconnects and reissues it, otherwise the command and session fail.
+	// Zero disables deadlines.
+	CommandTimeout time.Duration
 }
 
 // pendingCmd tracks one outstanding command. The done channel is buffered
@@ -85,7 +122,7 @@ func getPending() *pendingCmd {
 // putPending returns p to the pool. Only call after the command's single
 // completion signal has been consumed (or before it was ever registered):
 // a command abandoned mid-flight may still be signalled by a concurrent
-// failAll, and pooling it then would leak that signal into the next user.
+// connFailed, and pooling it then would leak that signal into the next user.
 func putPending(p *pendingCmd) {
 	p.buf = nil      // don't pin the caller's buffer while pooled
 	p.cmd.Data = nil // likewise for the write payload
@@ -104,37 +141,34 @@ func putPending(p *pendingCmd) {
 // use; multiple application threads share one session, as Fio threads share
 // a volume connection in the paper's setup.
 type Session struct {
-	conn   net.Conn
-	params iscsi.Params
-	cfg    Config
+	cfg Config
 
 	writeMu sync.Mutex
 	wirePDU iscsi.PDU // reusable encode target for outgoing PDUs, guarded by writeMu
 
-	mu        sync.Mutex
-	itt       uint32
-	cmdSN     uint32
-	expStatSN uint32
-	pending   map[uint32]*pendingCmd
-	closedErr error
+	mu          sync.Mutex
+	conn        net.Conn // current transport; replaced by the reconnect path
+	params      iscsi.Params
+	itt         uint32
+	cmdSN       uint32
+	expStatSN   uint32
+	pending     map[uint32]*pendingCmd
+	closedErr   error
+	recovering  bool
+	recoverDone chan struct{} // closed when the in-progress recovery settles
+	readerDone  chan struct{} // current read loop's exit signal
 
-	sem        chan struct{}
-	readerDone chan struct{}
+	backoff *faults.Backoff
+	sem     chan struct{}
 
 	readTimer  obs.Timer
 	writeTimer obs.Timer
 }
 
-// Login establishes a session over conn. The local TCP source port is
-// exposed in the login text (the paper's modified Login Session code) so the
-// platform can attribute the connection.
-func Login(conn net.Conn, cfg Config) (*Session, error) {
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 32
-	}
-	if cfg.Params == (iscsi.Params{}) {
-		cfg.Params = iscsi.DefaultParams()
-	}
+// doLogin runs the login handshake on conn and returns the negotiated
+// parameters and the target's initial StatSN. Shared by Login and the
+// reconnect path.
+func doLogin(conn net.Conn, cfg Config) (iscsi.Params, uint32, error) {
 	pairs := cfg.Params.Pairs()
 	pairs[iscsi.KeyInitiatorName] = cfg.InitiatorIQN
 	pairs[iscsi.KeyTargetName] = cfg.TargetIQN
@@ -155,21 +189,47 @@ func Login(conn net.Conn, cfg Config) (*Session, error) {
 		Pairs:   pairs,
 	}
 	if _, err := req.Encode().WriteTo(conn); err != nil {
-		return nil, fmt.Errorf("initiator: send login: %w", err)
+		return iscsi.Params{}, 0, fmt.Errorf("initiator: send login: %w", err)
 	}
 	pdu, err := iscsi.ReadPDU(conn)
 	if err != nil {
-		return nil, fmt.Errorf("initiator: read login response: %w", err)
+		return iscsi.Params{}, 0, fmt.Errorf("initiator: read login response: %w", err)
 	}
 	resp, err := iscsi.ParseLoginResponse(pdu)
 	if err != nil {
-		return nil, err
+		return iscsi.Params{}, 0, err
 	}
 	if resp.StatusClass != iscsi.LoginStatusSuccess {
-		return nil, fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
+		return iscsi.Params{}, 0, fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
 			ErrLoginFailed, resp.StatusClass, resp.StatusDetail)
 	}
 	params, err := cfg.Params.Negotiate(resp.Pairs)
+	if err != nil {
+		return iscsi.Params{}, 0, err
+	}
+	return params, resp.StatSN, nil
+}
+
+// Login establishes a session over conn. The local TCP source port is
+// exposed in the login text (the paper's modified Login Session code) so the
+// platform can attribute the connection.
+func Login(conn net.Conn, cfg Config) (*Session, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.Params == (iscsi.Params{}) {
+		cfg.Params = iscsi.DefaultParams()
+	}
+	if cfg.MaxRedials <= 0 {
+		cfg.MaxRedials = 4
+	}
+	if cfg.RedialBackoffBase <= 0 {
+		cfg.RedialBackoffBase = 2 * time.Millisecond
+	}
+	if cfg.RedialBackoffCap <= 0 {
+		cfg.RedialBackoffCap = 100 * time.Millisecond
+	}
+	params, statSN, err := doLogin(conn, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -179,8 +239,9 @@ func Login(conn net.Conn, cfg Config) (*Session, error) {
 		cfg:        cfg,
 		itt:        1,
 		cmdSN:      2,
-		expStatSN:  resp.StatSN,
+		expStatSN:  statSN,
 		pending:    make(map[uint32]*pendingCmd),
+		backoff:    faults.NewBackoff(cfg.RedialBackoffBase, cfg.RedialBackoffCap, cfg.RedialSeed),
 		sem:        make(chan struct{}, cfg.QueueDepth),
 		readerDone: make(chan struct{}),
 	}
@@ -192,15 +253,23 @@ func Login(conn net.Conn, cfg Config) (*Session, error) {
 		s.readTimer = cfg.Obs.Timer(obs.StagePrefix + stage + ".read")
 		s.writeTimer = cfg.Obs.Timer(obs.StagePrefix + stage + ".write")
 	}
-	go s.readLoop()
+	go s.readLoop(conn, s.readerDone)
 	return s, nil
 }
 
 // Params returns the negotiated operational parameters.
-func (s *Session) Params() iscsi.Params { return s.params }
+func (s *Session) Params() iscsi.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params
+}
 
-// Conn returns the underlying connection.
-func (s *Session) Conn() net.Conn { return s.conn }
+// Conn returns the current underlying connection.
+func (s *Session) Conn() net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
 
 // localPort extracts the TCP source port from the connection, if available.
 func localPort(conn net.Conn) int {
@@ -221,29 +290,34 @@ func localPort(conn net.Conn) int {
 
 // readLoop demultiplexes target PDUs to their outstanding commands. The
 // Data-In and Response parse targets live across iterations — each is fully
-// consumed before the next PDU, so the loop itself allocates nothing.
-func (s *Session) readLoop() {
-	defer close(s.readerDone)
+// consumed before the next PDU, so the loop itself allocates nothing. conn
+// is this loop's generation of the transport: a reconnect starts a fresh
+// loop, and a stale loop's exit must not disturb the new connection.
+func (s *Session) readLoop(conn net.Conn, done chan struct{}) {
+	defer close(done)
 	var (
 		din  iscsi.DataIn
 		resp iscsi.SCSIResponse
 	)
 	for {
-		pdu, err := iscsi.ReadPDU(s.conn)
+		pdu, err := iscsi.ReadPDU(conn)
 		if err != nil {
-			s.failAll(err)
+			s.connFailed(conn, err, true)
 			return
 		}
 		switch pdu.Op() {
 		case iscsi.OpSCSIDataIn:
 			if err := iscsi.ParseDataInInto(&din, pdu); err != nil {
-				s.failAll(err)
+				s.connFailed(conn, err, false)
 				return
 			}
-			s.handleDataIn(&din)
+			if err := s.handleDataIn(&din); err != nil {
+				s.connFailed(conn, err, false)
+				return
+			}
 		case iscsi.OpSCSIResponse:
 			if err := iscsi.ParseSCSIResponseInto(&resp, pdu); err != nil {
-				s.failAll(err)
+				s.connFailed(conn, err, false)
 				return
 			}
 			s.handleResponse(&resp)
@@ -251,7 +325,7 @@ func (s *Session) readLoop() {
 			r2t := r2tPool.Get().(*iscsi.R2T)
 			if err := iscsi.ParseR2TInto(r2t, pdu); err != nil {
 				r2tPool.Put(r2t)
-				s.failAll(err)
+				s.connFailed(conn, err, false)
 				return
 			}
 			s.mu.Lock()
@@ -265,7 +339,7 @@ func (s *Session) readLoop() {
 		case iscsi.OpNopIn:
 			n, err := iscsi.ParseNopIn(pdu)
 			if err != nil {
-				s.failAll(err)
+				s.connFailed(conn, err, false)
 				return
 			}
 			s.completeNop(n)
@@ -282,14 +356,14 @@ func (s *Session) readLoop() {
 				p.done <- struct{}{}
 			}
 		case iscsi.OpLogoutResp:
-			s.failAll(ErrSessionClosed)
+			s.connFailed(conn, ErrSessionClosed, false)
 			return
 		case iscsi.OpReject:
 			rej, _ := iscsi.ParseReject(pdu)
-			s.failAll(fmt.Errorf("initiator: target rejected PDU (reason 0x%02x)", rej.Reason))
+			s.connFailed(conn, fmt.Errorf("initiator: target rejected PDU (reason 0x%02x)", rej.Reason), false)
 			return
 		default:
-			s.failAll(fmt.Errorf("initiator: unexpected PDU %v", pdu.Op()))
+			s.connFailed(conn, fmt.Errorf("initiator: unexpected PDU %v", pdu.Op()), false)
 			return
 		}
 		// Every case above consumes the data segment synchronously (copying
@@ -299,29 +373,42 @@ func (s *Session) readLoop() {
 	}
 }
 
-func (s *Session) handleDataIn(din *iscsi.DataIn) {
+// handleDataIn places one Data-In segment. A segment that lands outside the
+// command buffer, or that would deliver more bytes than the buffer holds, is
+// a protocol violation: returning the error fails the command and tears down
+// the session rather than completing the read GOOD with silently short data.
+func (s *Session) handleDataIn(din *iscsi.DataIn) error {
 	s.mu.Lock()
 	p := s.pending[din.ITT]
 	if p == nil {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	off := int(din.BufferOffset)
-	if off+len(din.Data) <= len(p.buf) {
-		copy(p.buf[off:], din.Data)
-		p.filled += len(din.Data)
+	if off+len(din.Data) > len(p.buf) {
+		s.mu.Unlock()
+		return fmt.Errorf("initiator: Data-In for ITT %d spans [%d,%d) beyond %d-byte buffer",
+			din.ITT, off, off+len(din.Data), len(p.buf))
 	}
+	if p.filled+len(din.Data) > len(p.buf) {
+		s.mu.Unlock()
+		return fmt.Errorf("initiator: Data-In for ITT %d over-delivers: %d bytes into a %d-byte buffer",
+			din.ITT, p.filled+len(din.Data), len(p.buf))
+	}
+	copy(p.buf[off:], din.Data)
+	p.filled += len(din.Data)
 	if din.StatusPresent && din.Final {
 		p.status = din.Status
-		if din.StatSN+1 > s.expStatSN {
+		if iscsi.SNAfter(din.StatSN+1, s.expStatSN) {
 			s.expStatSN = din.StatSN + 1
 		}
 		delete(s.pending, din.ITT)
 		s.mu.Unlock()
 		p.done <- struct{}{}
-		return
+		return nil
 	}
 	s.mu.Unlock()
+	return nil
 }
 
 func (s *Session) handleResponse(resp *iscsi.SCSIResponse) {
@@ -337,7 +424,7 @@ func (s *Session) handleResponse(resp *iscsi.SCSIResponse) {
 			p.sense = sense
 		}
 	}
-	if resp.StatSN+1 > s.expStatSN {
+	if iscsi.SNAfter(resp.StatSN+1, s.expStatSN) {
 		s.expStatSN = resp.StatSN + 1
 	}
 	delete(s.pending, resp.ITT)
@@ -357,18 +444,151 @@ func (s *Session) completeNop(n *iscsi.NopIn) {
 	}
 }
 
-func (s *Session) failAll(err error) {
+// connFailed reacts to the loss of conn. Transient failures on a session
+// with a Redial hook start (at most one) recovery goroutine and fail the
+// outstanding commands with a retryable transientErr so their callers
+// reissue them after reconnect; anything else — protocol violations,
+// explicit closes, sessions without Redial — is terminal. Calls for a
+// superseded connection are ignored.
+func (s *Session) connFailed(conn net.Conn, err error, transient bool) {
 	s.mu.Lock()
-	if s.closedErr == nil {
-		s.closedErr = err
+	if s.conn != conn {
+		s.mu.Unlock()
+		return
+	}
+	var failErr error
+	if transient && s.cfg.Redial != nil && s.closedErr == nil {
+		if !s.recovering {
+			s.recovering = true
+			s.recoverDone = make(chan struct{})
+			go s.recover(conn, err)
+		}
+		failErr = &transientErr{err}
+	} else {
+		if s.closedErr == nil {
+			s.closedErr = err
+		}
+		failErr = s.closedErr
 	}
 	pend := s.pending
 	s.pending = make(map[uint32]*pendingCmd)
 	s.mu.Unlock()
+	conn.Close()
 	for _, p := range pend {
-		p.err = err
+		p.err = failErr
 		p.done <- struct{}{}
 	}
+}
+
+// recover redials and re-logs-in with capped exponential backoff. On success
+// it installs the fresh connection and sequence state and starts a new read
+// loop; after MaxRedials consecutive failures (or an explicit Close racing
+// in) the session fails terminally. Either way the recoverDone channel is
+// closed so commands parked in awaitRecovery proceed.
+func (s *Session) recover(oldConn net.Conn, cause error) {
+	oldConn.Close()
+	lastErr := cause
+	for attempt := 0; attempt < s.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(s.backoff.Delay(attempt - 1))
+		}
+		s.mu.Lock()
+		closed := s.closedErr != nil
+		s.mu.Unlock()
+		if closed {
+			break
+		}
+		conn, err := s.cfg.Redial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		params, statSN, err := doLogin(conn, s.cfg)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		s.writeMu.Lock()
+		s.mu.Lock()
+		if s.closedErr != nil {
+			s.mu.Unlock()
+			s.writeMu.Unlock()
+			conn.Close()
+			break
+		}
+		s.conn = conn
+		s.params = params
+		s.itt = 1
+		s.cmdSN = 2
+		s.expStatSN = statSN
+		done := make(chan struct{})
+		s.readerDone = done
+		s.recovering = false
+		rd := s.recoverDone
+		s.mu.Unlock()
+		s.writeMu.Unlock()
+		go s.readLoop(conn, done)
+		close(rd)
+		return
+	}
+	s.mu.Lock()
+	if s.closedErr == nil {
+		s.closedErr = fmt.Errorf("initiator: reconnect failed after %d attempts: %w", s.cfg.MaxRedials, lastErr)
+	}
+	s.recovering = false
+	rd := s.recoverDone
+	s.mu.Unlock()
+	close(rd)
+}
+
+// awaitRecovery blocks until the in-progress reconnect settles. It returns
+// nil when the session is usable again (the caller should reissue its
+// command) and the terminal error when recovery gave up or the session was
+// closed meanwhile.
+func (s *Session) awaitRecovery() error {
+	for {
+		s.mu.Lock()
+		if s.closedErr != nil {
+			err := s.closedErr
+			s.mu.Unlock()
+			return err
+		}
+		if !s.recovering {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.recoverDone
+		s.mu.Unlock()
+		<-ch
+	}
+}
+
+// retryTransient reports whether err is a connection failure worth reissuing
+// the command for on this session.
+func (s *Session) retryTransient(err error) bool {
+	var te *transientErr
+	return errors.As(err, &te) && s.cfg.Redial != nil
+}
+
+// kickConn declares the current connection dead (a command deadline
+// expired): closing it wakes the read loop, which fails outstanding
+// commands and — with a Redial hook — starts recovery.
+func (s *Session) kickConn() {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// cmdTimer arms the per-command deadline. The returned channel is nil (and
+// thus never fires in a select) when deadlines are disabled.
+func (s *Session) cmdTimer() (<-chan time.Time, func()) {
+	if s.cfg.CommandTimeout <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTimer(s.cfg.CommandTimeout)
+	return t.C, func() { t.Stop() }
 }
 
 // register allocates a task tag and tracks the command.
@@ -385,25 +605,32 @@ func (s *Session) register(p *pendingCmd) (itt, cmdSN, expStatSN uint32, err err
 	return itt, s.cmdSN, s.expStatSN, nil
 }
 
-func (s *Session) sendPDU(p *iscsi.PDU) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	_, err := p.WriteTo(s.conn)
-	return err
-}
-
 // pduEncoder is a typed message that can encode into a caller-owned PDU.
+// Raw *iscsi.PDU values satisfy it too (identity EncodeInto), so cold-path
+// admin requests share this path instead of a separate raw-PDU sender.
 type pduEncoder interface {
 	EncodeInto(*iscsi.PDU) *iscsi.PDU
 }
 
 // send serializes m into the session's reusable wire PDU under writeMu, so
-// steady-state command issue allocates nothing for framing.
+// steady-state command issue allocates nothing for framing. Wire errors are
+// wrapped as transient: the connection is presumed dead and the command may
+// be reissued after reconnect.
 func (s *Session) send(m pduEncoder) error {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	_, err := m.EncodeInto(&s.wirePDU).WriteTo(s.conn)
-	return err
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	_, err := m.EncodeInto(&s.wirePDU).WriteTo(conn)
+	s.writeMu.Unlock()
+	if err != nil {
+		// The writer can notice a dead connection before the read loop
+		// does; report it here so recovery starts immediately instead of
+		// the caller burning its retry budget against the same corpse.
+		s.connFailed(conn, err, true)
+		return &transientErr{err}
+	}
+	return nil
 }
 
 func (s *Session) unregister(itt uint32) {
@@ -448,10 +675,29 @@ func (s *Session) ReadInto(dst []byte, lba uint64, blocks uint32, blockSize int)
 	return got, nil
 }
 
-// execRead issues a read-direction command whose Data-In sequence fills dst.
+// execRead issues a read-direction command whose Data-In sequence fills dst,
+// reissuing it across reconnects while failures stay transient.
 func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	var (
+		n   int
+		err error
+	)
+	for attempt := 0; attempt < maxCmdAttempts; attempt++ {
+		n, err = s.execReadOnce(cdb, dst)
+		if err == nil || !s.retryTransient(err) {
+			return n, err
+		}
+		if rerr := s.awaitRecovery(); rerr != nil {
+			return 0, rerr
+		}
+	}
+	return 0, err
+}
+
+// execReadOnce runs one attempt of a read-direction command.
+func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte) (int, error) {
 	p := getPending()
 	p.buf = dst
 	p.cmd = iscsi.SCSICommand{
@@ -472,11 +718,18 @@ func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
 	p.cmd.CmdSN = cmdSN
 	p.cmd.ExpStatSN = expStatSN
 	if err := s.send(&p.cmd); err != nil {
-		// Not pooled: a concurrent failAll may still signal this command.
+		// Not pooled: a concurrent connFailed may still signal this command.
 		s.unregister(itt)
 		return 0, err
 	}
-	<-p.done
+	tc, stop := s.cmdTimer()
+	defer stop()
+	select {
+	case <-p.done:
+	case <-tc:
+		s.kickConn()
+		<-p.done
+	}
 	filled, status, sense, perr := p.filled, p.status, p.sense, p.err
 	putPending(p)
 	if perr != nil {
@@ -491,7 +744,9 @@ func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
 	return filled, nil
 }
 
-// Write writes data at lba. len(data) must be a multiple of blockSize.
+// Write writes data at lba. len(data) must be a multiple of blockSize. The
+// command is reissued across reconnects while failures stay transient
+// (block writes are idempotent).
 func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 	if blockSize <= 0 || len(data)%blockSize != 0 {
 		return fmt.Errorf("initiator: write length %d is not a multiple of block size %d", len(data), blockSize)
@@ -506,15 +761,32 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
+	var err error
+	for attempt := 0; attempt < maxCmdAttempts; attempt++ {
+		err = s.execWriteOnce(&cdb, data)
+		if err == nil || !s.retryTransient(err) {
+			return err
+		}
+		if rerr := s.awaitRecovery(); rerr != nil {
+			return rerr
+		}
+	}
+	return err
+}
+
+// execWriteOnce runs one attempt of a write command: immediate data, then
+// R2T-solicited Data-Out bursts, then the status wait.
+func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte) error {
+	params := s.Params()
 	// Immediate (unsolicited) data up to FirstBurstLength.
 	immediate := 0
-	if s.params.ImmediateData && !s.params.InitialR2T {
+	if params.ImmediateData && !params.InitialR2T {
 		immediate = len(data)
-		if immediate > s.params.FirstBurstLength {
-			immediate = s.params.FirstBurstLength
+		if immediate > params.FirstBurstLength {
+			immediate = params.FirstBurstLength
 		}
-		if immediate > s.params.MaxRecvDataSegmentLength {
-			immediate = s.params.MaxRecvDataSegmentLength
+		if immediate > params.MaxRecvDataSegmentLength {
+			immediate = params.MaxRecvDataSegmentLength
 		}
 	}
 	p := getPending()
@@ -537,10 +809,13 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 	p.cmd.CmdSN = cmdSN
 	p.cmd.ExpStatSN = expStatSN
 	if err := s.send(&p.cmd); err != nil {
-		// Not pooled: a concurrent failAll may still signal this command.
+		// Not pooled: a concurrent connFailed may still signal this command.
 		s.unregister(itt)
 		return err
 	}
+
+	tc, stop := s.cmdTimer()
+	defer stop()
 
 	// Serve R2Ts until the transfer is fully solicited.
 	sent := immediate
@@ -555,18 +830,32 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 				return perr
 			}
 			return fmt.Errorf("initiator: write completed before data transfer (status %v)", scsi.Status(status))
+		case <-tc:
+			s.kickConn()
+			<-p.done
+			perr := p.err
+			putPending(p)
+			if perr != nil {
+				return perr
+			}
+			return fmt.Errorf("initiator: write deadline exceeded awaiting R2T")
 		}
-		err := s.sendBurst(itt, r2t, data)
+		err := s.sendBurst(itt, r2t, data, params)
 		sent = int(r2t.BufferOffset) + int(r2t.DesiredLength)
 		r2tPool.Put(r2t)
 		if err != nil {
-			// Not pooled: a concurrent failAll may still signal this command.
+			// Not pooled: a concurrent connFailed may still signal this command.
 			s.unregister(itt)
 			return err
 		}
 	}
 
-	<-p.done
+	select {
+	case <-p.done:
+	case <-tc:
+		s.kickConn()
+		<-p.done
+	}
 	status, sense, perr := p.status, p.sense, p.err
 	putPending(p)
 	if perr != nil {
@@ -583,13 +872,13 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 
 // sendBurst answers one R2T with Data-Out PDUs chunked to the negotiated
 // segment length.
-func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte) error {
+func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte, params iscsi.Params) error {
 	start := int(r2t.BufferOffset)
 	end := start + int(r2t.DesiredLength)
 	if end > len(data) {
 		return fmt.Errorf("initiator: R2T solicits bytes [%d,%d) beyond transfer of %d", start, end, len(data))
 	}
-	maxSeg := s.params.MaxRecvDataSegmentLength
+	maxSeg := params.MaxRecvDataSegmentLength
 	if maxSeg <= 0 {
 		maxSeg = 8192
 	}

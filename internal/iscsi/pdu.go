@@ -123,6 +123,16 @@ func (p *PDU) Release() {
 	}
 }
 
+// EncodeInto lets a raw PDU flow through encoder-driven send paths alongside
+// the typed message views: the PDU is already wire-form, so it encodes as
+// itself and the caller's scratch PDU is untouched.
+func (p *PDU) EncodeInto(*PDU) *PDU { return p }
+
+// SNAfter reports whether serial number a is after b in RFC 1982 serial
+// arithmetic, which iSCSI mandates for StatSN/CmdSN/DataSN: the uint32
+// counters wrap, so a plain a > b inverts at 2³².
+func SNAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
 // Op returns the PDU opcode (with the immediate-delivery bit masked off).
 func (p *PDU) Op() Opcode { return Opcode(p.BHS[0] & 0x3F) }
 

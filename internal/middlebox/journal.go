@@ -16,6 +16,7 @@ package middlebox
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/bufpool"
@@ -128,6 +129,21 @@ func (j *Journal) Complete(seq uint64, applyErr error) {
 	e.Data = nil
 	e.dbuf.Release()
 	e.dbuf = nil
+}
+
+// Unapplied returns a snapshot of every entry whose data has not reached the
+// backend — StateAcked (never dispatched) and StateFailed (dispatched, backend
+// rejected) alike — sorted by sequence number. Recovery replays this list in
+// order; callers must treat the entries as read-only.
+func (j *Journal) Unapplied() []*Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*Entry, 0, len(j.entries))
+	for _, e := range j.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
 }
 
 // Pending returns the number of journaled-but-unapplied entries.

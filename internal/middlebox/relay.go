@@ -122,6 +122,11 @@ type Config struct {
 	// JournalCapacity bounds the active relay's NVRAM buffer in bytes
 	// (0 = unbounded).
 	JournalCapacity int
+	// Recovery shapes the active relay's backend-reopen policy (attempt
+	// bounds, backoff, retry counts). The Reopen hook is supplied by the
+	// relay itself — it re-dials the next hop and rebuilds the service
+	// chain — so any hook set here is ignored.
+	Recovery RecoveryConfig
 	// Cost is the interception cost model (DefaultCostModel when zero).
 	Cost CostModel
 	// CPU optionally receives the relay's processing charges.
@@ -189,19 +194,10 @@ func (r *Relay) AllJournals() []*Journal {
 	return append([]*Journal(nil), r.journalAll...)
 }
 
-// resolve is the pseudo-server's device resolver: it dials the next hop,
-// logs in with the front session's target name, and stacks the service
-// chain plus mode-specific decorators on the backend device.
-func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error) {
-	next := r.cfg.NextHop
-	if next.IsZero() {
-		nc, ok := conn.(*netsim.Conn)
-		if !ok || nc.Route() == nil || nc.Route().NextHop.IsZero() {
-			return nil, false, errors.New("middlebox: front connection has no next-hop metadata")
-		}
-		next = nc.Route().NextHop
-	}
-
+// openBackend dials the next hop, logs in with the front session's target
+// name, and stacks the tenant service chain on the backend device. The
+// active relay's recovery path calls it again after a backend session loss.
+func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, error) {
 	var (
 		backConn net.Conn
 		err      error
@@ -212,7 +208,7 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		backConn, err = r.cfg.Endpoint.DialAddr(next)
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("middlebox: dial next hop %v: %w", next, err)
+		return nil, fmt.Errorf("middlebox: dial next hop %v: %w", next, err)
 	}
 	sess, err := initiator.Login(backConn, initiator.Config{
 		InitiatorIQN: "iqn.2016-04.edu.purdue.storm:mb:" + r.cfg.Name,
@@ -225,12 +221,12 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 	})
 	if err != nil {
 		_ = backConn.Close()
-		return nil, false, fmt.Errorf("middlebox: backend login: %w", err)
+		return nil, fmt.Errorf("middlebox: backend login: %w", err)
 	}
 	dev, err := initiator.OpenDevice(sess)
 	if err != nil {
 		_ = sess.Close()
-		return nil, false, err
+		return nil, err
 	}
 
 	var stack blockdev.Device = dev
@@ -238,8 +234,27 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		stack, err = f(stack)
 		if err != nil {
 			_ = sess.Close()
-			return nil, false, fmt.Errorf("middlebox: build service chain: %w", err)
+			return nil, fmt.Errorf("middlebox: build service chain: %w", err)
 		}
+	}
+	return stack, nil
+}
+
+// resolve is the pseudo-server's device resolver: it opens the backend stack
+// through openBackend and adds the mode-specific decorators.
+func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error) {
+	next := r.cfg.NextHop
+	if next.IsZero() {
+		nc, ok := conn.(*netsim.Conn)
+		if !ok || nc.Route() == nil || nc.Route().NextHop.IsZero() {
+			return nil, false, errors.New("middlebox: front connection has no next-hop metadata")
+		}
+		next = nc.Route().NextHop
+	}
+
+	stack, err := r.openBackend(iqn, next)
+	if err != nil {
+		return nil, false, err
 	}
 	if r.cfg.Mode == Active {
 		capacity := r.cfg.JournalCapacity
@@ -258,13 +273,50 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 			// drop so operators notice a stalled consumer.
 			obs.Default().Counter("relay.journal_stream_drops").Inc()
 		}
-		stack = NewWriteBack(stack, j)
+		rc := r.cfg.Recovery
+		rc.Reopen = func() (blockdev.Device, error) { return r.openBackend(iqn, next) }
+		stack = NewWriteBackRecovering(stack, j, rc)
+		// Retire the journal from the registry once the session tears
+		// down clean; journals holding failures (or bytes) stay for audit.
+		stack = &closeHookDevice{Device: stack, hook: func() { r.retireJournal(j) }}
 	}
 	stack = newInterceptDevice(stack, r.cfg.Mode, r.cfg.Cost, r.cfg.CPU)
 	// The outermost probe times the whole relay service path: interception,
 	// tenant services, journaling, and the downstream forward.
 	stack = blockdev.NewObservedDisk(stack, r.cfg.Obs, obs.RelayServiceStage(r.cfg.Name))
 	return stack, true, nil
+}
+
+// retireJournal drops j from the registry if its session ended with nothing
+// pending, no stranded bytes, and no recorded failures. Journals that still
+// hold early-acked data or failure records are kept so post-run audits
+// (AllJournals → Failures) see every loss surface; without retirement the
+// registry grows without bound across session churn.
+func (r *Relay) retireJournal(j *Journal) {
+	if j.Pending() != 0 || j.UsedBytes() != 0 || len(j.Failures()) != 0 {
+		return
+	}
+	r.journalMu.Lock()
+	defer r.journalMu.Unlock()
+	for i, e := range r.journalAll {
+		if e == j {
+			r.journalAll = append(r.journalAll[:i], r.journalAll[i+1:]...)
+			return
+		}
+	}
+}
+
+// closeHookDevice runs a hook after the wrapped device finishes closing —
+// the relay uses it to observe session teardown at the device layer.
+type closeHookDevice struct {
+	blockdev.Device
+	hook func()
+}
+
+func (d *closeHookDevice) Close() error {
+	err := d.Device.Close()
+	d.hook()
+	return err
 }
 
 // interceptDevice charges the mode's interception cost (and CPU) per

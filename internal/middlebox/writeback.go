@@ -1,10 +1,14 @@
 package middlebox
 
 import (
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/bufpool"
+	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // applyParallelism bounds concurrent backend applies. The relay forwards
@@ -17,6 +21,30 @@ const applyParallelism = 16
 // burst — the paper's "several packets per copy" batching without unbounded
 // latency for the first write in the run.
 const maxCoalescedBytes = 256 * 1024
+
+// RecoveryConfig arms a WriteBackDevice with a backend-reopen path: when a
+// journaled apply keeps failing, the device assumes the pseudo-client session
+// is lost, reopens the backend through the hook, replays the journal, and
+// resumes — the split-connection consistency story of Section III-B. A zero
+// Reopen hook leaves the device in legacy mode, where the first backend
+// failure sticks and stops early-acking.
+type RecoveryConfig struct {
+	// Reopen re-establishes the backend (dial, login, rebuild the service
+	// chain) and returns a fresh device.
+	Reopen func() (blockdev.Device, error)
+	// MaxReopens bounds reopen attempts per outage (default 4). When
+	// exhausted, the device fails terminally: parked writes complete with
+	// the terminal error and the journal records each as a failure.
+	MaxReopens int
+	// MaxApplyTries bounds in-place apply attempts per item before the
+	// backend is declared lost (default 2).
+	MaxApplyTries int
+	// BackoffBase/BackoffCap shape the reopen backoff (defaults 2ms/100ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed makes the backoff jitter deterministic.
+	Seed int64
+}
 
 // WriteBackDevice implements the active-relay acknowledgement semantics as
 // a device decorator: WriteAt journals the data to the non-volatile buffer
@@ -36,9 +64,21 @@ const maxCoalescedBytes = 256 * 1024
 // count reaches zero it moves to a ready FIFO the appliers drain. Small
 // writes exactly adjacent to the undispatched tail write coalesce into one
 // backend apply (see maxCoalescedBytes).
+//
+// With a RecoveryConfig, a backend loss parks the pipeline instead of
+// sticking: new writes keep early-acking into the journal (the NVRAM absorbs
+// the outage), a recovery goroutine reopens the backend and replays failed
+// entries in sequence order, and the parked items then drain against the new
+// device — their dependency edges already order them after every overlapping
+// replayed write.
 type WriteBackDevice struct {
-	dev     blockdev.Device
-	journal *Journal
+	dev      blockdev.Device // current backend; swapped during recovery (under mu)
+	bs       int             // backend geometry, fixed across reopens
+	nblocks  uint64
+	journal  *Journal
+	rec      RecoveryConfig
+	maxTries int
+	backoff  *faults.Backoff
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -46,10 +86,13 @@ type WriteBackDevice struct {
 	ready    []*wbItem // ndeps==0, not yet dispatched, FIFO
 	tail     *wbItem   // most recently admitted undispatched item, if any
 	items    int       // pending applies (admitted, not yet completed)
+	inflight int       // dispatched applies not yet completed
 	pending  int       // journaled writes not yet applied (≥ items with coalescing)
 	closed   bool
-	applyErr error // sticky: first backend failure stops early-acking
+	degraded bool  // backend lost; appliers parked, recovery running
+	applyErr error // legacy: sticky first failure; recovery: terminal error
 	wg       sync.WaitGroup
+	recWG    sync.WaitGroup
 }
 
 // wbItem is one pending backend apply: the extent [lba, end) in blocks, the
@@ -87,9 +130,31 @@ func (it *wbItem) appendData(p []byte) {
 var _ blockdev.Device = (*WriteBackDevice)(nil)
 
 // NewWriteBack wraps dev with active-relay write-back semantics using the
-// given journal.
+// given journal. Without a recovery path, the first backend failure sticks.
 func NewWriteBack(dev blockdev.Device, journal *Journal) *WriteBackDevice {
-	w := &WriteBackDevice{dev: dev, journal: journal}
+	return NewWriteBackRecovering(dev, journal, RecoveryConfig{})
+}
+
+// NewWriteBackRecovering wraps dev like NewWriteBack and arms the recovery
+// path when rc.Reopen is non-nil.
+func NewWriteBackRecovering(dev blockdev.Device, journal *Journal, rc RecoveryConfig) *WriteBackDevice {
+	if rc.MaxReopens <= 0 {
+		rc.MaxReopens = 4
+	}
+	if rc.MaxApplyTries <= 0 {
+		rc.MaxApplyTries = 2
+	}
+	if rc.BackoffBase <= 0 {
+		rc.BackoffBase = 2 * time.Millisecond
+	}
+	if rc.BackoffCap <= 0 {
+		rc.BackoffCap = 100 * time.Millisecond
+	}
+	w := &WriteBackDevice{dev: dev, bs: dev.BlockSize(), nblocks: dev.Blocks(), journal: journal, rec: rc, maxTries: 1}
+	if rc.Reopen != nil {
+		w.maxTries = rc.MaxApplyTries
+		w.backoff = faults.NewBackoff(rc.BackoffBase, rc.BackoffCap, rc.Seed)
+	}
 	w.cond = sync.NewCond(&w.mu)
 	for i := 0; i < applyParallelism; i++ {
 		w.wg.Add(1)
@@ -102,18 +167,19 @@ func NewWriteBack(dev blockdev.Device, journal *Journal) *WriteBackDevice {
 func (w *WriteBackDevice) Journal() *Journal { return w.journal }
 
 // BlockSize implements blockdev.Device.
-func (w *WriteBackDevice) BlockSize() int { return w.dev.BlockSize() }
+func (w *WriteBackDevice) BlockSize() int { return w.bs }
 
 // Blocks implements blockdev.Device.
-func (w *WriteBackDevice) Blocks() uint64 { return w.dev.Blocks() }
+func (w *WriteBackDevice) Blocks() uint64 { return w.nblocks }
 
 // WriteAt journals the write and returns without waiting for the backend.
 // The data is copied into pooled owned storage before return, so the caller
 // may reuse p immediately (the blockdev.Device contract). When the journal
-// is full or a previous apply failed, it falls back to a synchronous write
-// (after draining, to preserve ordering).
+// is full it falls back to a synchronous write (after draining, to preserve
+// ordering) — except while the backend is down, when it waits for recovery
+// instead (the journal is the only safe place for the data).
 func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
-	bs := w.dev.BlockSize()
+	bs := w.bs
 	if len(p) == 0 || len(p)%bs != 0 {
 		return blockdev.ErrBadLength
 	}
@@ -144,11 +210,12 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 			}
 			return blockdev.ErrClosed
 		}
-		if w.items == 0 {
+		if w.items == 0 && !w.degraded {
 			// Nothing in flight and still no room: the write exceeds the
 			// buffer entirely; write through synchronously.
+			dev := w.dev
 			w.mu.Unlock()
-			return w.dev.WriteAt(p, lba)
+			return dev.WriteAt(p, lba)
 		}
 		w.cond.Wait()
 		w.mu.Unlock()
@@ -195,23 +262,24 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 	return nil
 }
 
-// ReadAt waits for pending writes overlapping the extent, then reads from
-// the backend.
+// ReadAt waits for pending writes overlapping the extent (and for any
+// backend recovery in progress), then reads from the backend.
 func (w *WriteBackDevice) ReadAt(p []byte, lba uint64) error {
-	if len(p) == 0 || len(p)%w.dev.BlockSize() != 0 {
+	if len(p) == 0 || len(p)%w.bs != 0 {
 		return blockdev.ErrBadLength
 	}
-	end := lba + uint64(len(p)/w.dev.BlockSize())
+	end := lba + uint64(len(p)/w.bs)
 	w.mu.Lock()
-	for w.cov.overlaps(lba, end) && !w.closed {
+	for (w.cov.overlaps(lba, end) || w.degraded) && !w.closed {
 		w.cond.Wait()
 	}
 	closed := w.closed
+	dev := w.dev
 	w.mu.Unlock()
 	if closed {
 		return blockdev.ErrClosed
 	}
-	return w.dev.ReadAt(p, lba)
+	return dev.ReadAt(p, lba)
 }
 
 // Flush drains all journaled writes and flushes the backend.
@@ -219,11 +287,12 @@ func (w *WriteBackDevice) Flush() error {
 	w.drain()
 	w.mu.Lock()
 	err := w.applyErr
+	dev := w.dev
 	w.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return w.dev.Flush()
+	return dev.Flush()
 }
 
 // Close drains outstanding writes, stops the appliers, and closes the
@@ -239,7 +308,11 @@ func (w *WriteBackDevice) Close() error {
 	w.mu.Unlock()
 	w.cond.Broadcast()
 	w.wg.Wait()
-	return w.dev.Close()
+	w.recWG.Wait()
+	w.mu.Lock()
+	dev := w.dev
+	w.mu.Unlock()
+	return dev.Close()
 }
 
 // Pending returns the number of journaled-but-unapplied writes. Coalesced
@@ -250,25 +323,37 @@ func (w *WriteBackDevice) Pending() int {
 	return w.pending
 }
 
-// drain blocks until every pending write has been applied.
+// Degraded reports whether the device is currently riding out a backend
+// outage on the journal.
+func (w *WriteBackDevice) Degraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
+}
+
+// drain blocks until every pending write has been applied and any backend
+// recovery has settled (swapped in a new device or turned terminal) — all
+// dispatched items can complete as failed while the reopen is still in
+// flight, so items alone is not the full picture.
 func (w *WriteBackDevice) drain() {
 	w.mu.Lock()
-	for w.items > 0 && !w.closed {
+	for (w.items > 0 || w.degraded) && !w.closed {
 		w.cond.Wait()
 	}
 	w.mu.Unlock()
 }
 
 // applyLoop is one of the parallel appliers: it pops ready items, writes
-// them to the backend, and unblocks their dependents.
+// them to the backend, and unblocks their dependents. While the device is
+// degraded the appliers park; ready items wait for the recovered backend.
 func (w *WriteBackDevice) applyLoop() {
 	defer w.wg.Done()
 	for {
 		w.mu.Lock()
-		for len(w.ready) == 0 && !w.closed {
+		for (len(w.ready) == 0 || w.degraded) && !w.closed {
 			w.cond.Wait()
 		}
-		if len(w.ready) == 0 {
+		if w.closed {
 			w.mu.Unlock()
 			return
 		}
@@ -279,9 +364,14 @@ func (w *WriteBackDevice) applyLoop() {
 		if w.tail == item {
 			w.tail = nil
 		}
+		w.inflight++
+		dev := w.dev
 		w.mu.Unlock()
 
-		err := w.dev.WriteAt(item.data, item.lba)
+		err := dev.WriteAt(item.data, item.lba)
+		for try := 1; err != nil && try < w.maxTries; try++ {
+			err = dev.WriteAt(item.data, item.lba)
+		}
 		for _, seq := range item.seqs {
 			w.journal.Complete(seq, err)
 		}
@@ -289,6 +379,7 @@ func (w *WriteBackDevice) applyLoop() {
 		w.mu.Lock()
 		w.cov.clearOwned(item)
 		w.items--
+		w.inflight--
 		w.pending -= len(item.seqs)
 		for _, d := range item.dependents {
 			d.ndeps--
@@ -296,12 +387,131 @@ func (w *WriteBackDevice) applyLoop() {
 				w.ready = append(w.ready, d)
 			}
 		}
-		if err != nil && w.applyErr == nil {
-			w.applyErr = err
+		if err != nil {
+			if w.rec.Reopen == nil {
+				if w.applyErr == nil {
+					w.applyErr = err
+				}
+			} else if !w.degraded && w.applyErr == nil && !w.closed {
+				// Backend declared lost: park the pipeline and recover.
+				w.degraded = true
+				w.recWG.Add(1)
+				go w.recoverBackend()
+			}
 		}
 		w.mu.Unlock()
 		item.data = nil
 		item.dbuf.Release()
 		w.cond.Broadcast()
 	}
+}
+
+// recoverBackend runs once per outage: it waits for in-flight applies to
+// settle (so the journal is the complete picture of unapplied data), reopens
+// the backend with capped backoff, replays failed entries in sequence order,
+// and swaps the new device in. On exhaustion it fails the parked pipeline
+// terminally.
+func (w *WriteBackDevice) recoverBackend() {
+	defer w.recWG.Done()
+	w.mu.Lock()
+	for w.inflight > 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	old := w.dev
+	w.mu.Unlock()
+	_ = old.Close() // dead session; release its goroutines
+
+	var lastErr error
+	for attempt := 0; attempt < w.rec.MaxReopens; attempt++ {
+		if attempt > 0 {
+			time.Sleep(w.backoff.Delay(attempt - 1))
+		}
+		dev, err := w.rec.Reopen()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := w.replay(dev); err != nil {
+			lastErr = err
+			_ = dev.Close()
+			continue
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			_ = dev.Close()
+			return
+		}
+		w.dev = dev
+		w.degraded = false
+		w.mu.Unlock()
+		w.cond.Broadcast()
+		obs.Default().Eventf("writeback", "backend recovered after %d reopen attempt(s); journal replayed", attempt+1)
+		return
+	}
+
+	terr := fmt.Errorf("middlebox: backend recovery failed after %d attempts: %w", w.rec.MaxReopens, lastErr)
+	obs.Default().Eventf("writeback", "%v", terr)
+	w.mu.Lock()
+	if w.applyErr == nil {
+		w.applyErr = terr
+	}
+	w.failParked(terr)
+	w.degraded = false
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// replay pushes every StateFailed journal entry to dev in sequence order and
+// reclaims its bytes by re-completing it. StateAcked entries stay journaled:
+// they belong to parked items the appliers re-dispatch after the swap, and
+// the dependency graph already orders them after every overlapping failed
+// write (an item only dispatches once its overlapping predecessors applied,
+// so a failed entry is always older than a parked one on the same blocks).
+func (w *WriteBackDevice) replay(dev blockdev.Device) error {
+	for _, e := range w.journal.Unapplied() {
+		if e.State != StateFailed {
+			continue
+		}
+		if err := dev.WriteAt(e.Data, e.LBA); err != nil {
+			return fmt.Errorf("middlebox: replay seq %d (lba %d): %w", e.Seq, e.LBA, err)
+		}
+		w.journal.Complete(e.Seq, nil) // reclaims the failed entry's bytes
+	}
+	return nil
+}
+
+// failParked completes every undispatched item with err after recovery is
+// exhausted, so drains terminate and the journal records each early-acked
+// write that never reached the backend. Caller holds w.mu; inflight is zero.
+func (w *WriteBackDevice) failParked(err error) {
+	queue := append([]*wbItem(nil), w.ready...)
+	seen := make(map[*wbItem]bool, len(queue))
+	for _, it := range queue {
+		seen[it] = true
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, d := range it.dependents {
+			if !seen[d] {
+				seen[d] = true
+				queue = append(queue, d)
+			}
+		}
+		for _, seq := range it.seqs {
+			w.journal.Complete(seq, err)
+		}
+		w.cov.clearOwned(it)
+		w.items--
+		w.pending -= len(it.seqs)
+		it.data = nil
+		it.dbuf.Release()
+	}
+	w.ready = w.ready[:0]
+	w.tail = nil
 }

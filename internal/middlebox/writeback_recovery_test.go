@@ -1,0 +1,292 @@
+package middlebox
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/faults"
+)
+
+// flakyBackend is a unit-test backend over a shared MemDisk: writes fail
+// while down is set, Close never touches the shared disk, and every
+// successful write is recorded in apply order.
+type flakyBackend struct {
+	disk *blockdev.MemDisk
+	down atomic.Bool
+
+	mu  sync.Mutex
+	log []appliedWrite
+
+	closed atomic.Int32
+}
+
+type appliedWrite struct {
+	lba   uint64
+	first byte
+}
+
+var errBackendDown = errors.New("backend session lost")
+
+func (b *flakyBackend) BlockSize() int { return b.disk.BlockSize() }
+func (b *flakyBackend) Blocks() uint64 { return b.disk.Blocks() }
+
+func (b *flakyBackend) WriteAt(p []byte, lba uint64) error {
+	if b.down.Load() {
+		return errBackendDown
+	}
+	if err := b.disk.WriteAt(p, lba); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.log = append(b.log, appliedWrite{lba: lba, first: p[0]})
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *flakyBackend) ReadAt(p []byte, lba uint64) error {
+	if b.down.Load() {
+		return errBackendDown
+	}
+	return b.disk.ReadAt(p, lba)
+}
+
+func (b *flakyBackend) Flush() error {
+	if b.down.Load() {
+		return errBackendDown
+	}
+	return nil
+}
+
+func (b *flakyBackend) Close() error {
+	b.closed.Add(1)
+	return nil
+}
+
+func (b *flakyBackend) applied() []appliedWrite {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]appliedWrite(nil), b.log...)
+}
+
+// waitDegraded spins until the device enters (or leaves) degraded mode.
+func waitDegraded(t *testing.T, wb *WriteBackDevice, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for wb.Degraded() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("device never reached degraded=%v", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWriteBackRecoversAndReplaysJournal kills the backend mid-workload via
+// a seed-deterministic schedule, lets the reopen hook fail twice, and
+// asserts the full workload lands with the journal drained — the tentpole's
+// replay path plus the StateFailed byte-reclaim fix in one run.
+func TestWriteBackRecoversAndReplaysJournal(t *testing.T) {
+	disk, err := blockdev.NewMemDisk(512, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &flakyBackend{disk: disk}
+	var reopens atomic.Int32
+	j := NewJournal(0)
+	wb := NewWriteBackRecovering(be, j, RecoveryConfig{
+		Reopen: func() (blockdev.Device, error) {
+			if reopens.Add(1) <= 2 {
+				return nil, errBackendDown
+			}
+			return &flakyBackend{disk: disk}, nil
+		},
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	})
+
+	sched := faults.NewSchedule()
+	sched.At(5, "kill-backend", func() { be.down.Store(true) })
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		p := bytes.Repeat([]byte{byte(i + 1)}, 512)
+		if err := wb.WriteAt(p, uint64(i)); err != nil {
+			t.Fatalf("WriteAt #%d: %v", i, err)
+		}
+		sched.Step()
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatalf("Flush after recovery: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		got := make([]byte, 512)
+		if err := disk.ReadAt(got, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Errorf("block %d = %d, want %d", i, got[0], i+1)
+		}
+	}
+	if got := reopens.Load(); got != 3 {
+		t.Errorf("reopen attempts = %d, want 3 (two failures then success)", got)
+	}
+	if len(j.Failures()) == 0 {
+		t.Error("backend outage recorded no journal failures")
+	}
+	if used := j.UsedBytes(); used != 0 {
+		t.Errorf("Journal.UsedBytes() = %d after recovery, want 0", used)
+	}
+	if p := j.Pending(); p != 0 {
+		t.Errorf("Journal.Pending() = %d after recovery, want 0", p)
+	}
+	if wb.Degraded() {
+		t.Error("device still degraded after recovery")
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWriteBackReplayOrdersBeforeParkedWrites pins the sequence-order
+// guarantee: a failed write to an extent replays before a newer parked write
+// to the same extent applies, so the newest data wins.
+func TestWriteBackReplayOrdersBeforeParkedWrites(t *testing.T) {
+	disk, err := blockdev.NewMemDisk(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &flakyBackend{disk: disk}
+	be.down.Store(true)
+	heal := make(chan struct{})
+	healed := &flakyBackend{disk: disk}
+	j := NewJournal(0)
+	wb := NewWriteBackRecovering(be, j, RecoveryConfig{
+		Reopen: func() (blockdev.Device, error) {
+			<-heal // hold recovery until the test parked its write
+			return healed, nil
+		},
+		BackoffBase: time.Millisecond,
+	})
+
+	a := bytes.Repeat([]byte{'A'}, 512)
+	if err := wb.WriteAt(a, 7); err != nil {
+		t.Fatalf("WriteAt A: %v", err)
+	}
+	waitDegraded(t, wb, true)
+
+	// The backend is down and recovery is gated: this write parks.
+	b := bytes.Repeat([]byte{'B'}, 512)
+	if err := wb.WriteAt(b, 7); err != nil {
+		t.Fatalf("WriteAt B: %v", err)
+	}
+	close(heal)
+
+	if err := wb.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := disk.ReadAt(got, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'B' {
+		t.Fatalf("block 7 = %q, want 'B' (parked write must apply after replay)", got[0])
+	}
+	log := healed.applied()
+	if len(log) != 2 || log[0].first != 'A' || log[1].first != 'B' {
+		t.Fatalf("apply order on recovered backend = %+v, want A then B", log)
+	}
+	if used := j.UsedBytes(); used != 0 {
+		t.Errorf("Journal.UsedBytes() = %d, want 0", used)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWriteBackRecoveryExhaustionFailsTerminally checks the bounded side of
+// recovery: when every reopen fails, callers get a terminal error instead of
+// a hang, and the journal records the stranded writes for audit.
+func TestWriteBackRecoveryExhaustionFailsTerminally(t *testing.T) {
+	disk, err := blockdev.NewMemDisk(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &flakyBackend{disk: disk}
+	be.down.Store(true)
+	j := NewJournal(0)
+	wb := NewWriteBackRecovering(be, j, RecoveryConfig{
+		Reopen:      func() (blockdev.Device, error) { return nil, errBackendDown },
+		MaxReopens:  2,
+		BackoffBase: time.Millisecond,
+	})
+
+	if err := wb.WriteAt(make([]byte, 512), 0); err != nil {
+		t.Fatalf("first WriteAt should early-ack: %v", err)
+	}
+	// The write fails, recovery runs out of reopens, and the device turns
+	// terminal; poll until the terminal error surfaces on new writes.
+	deadline := time.Now().Add(5 * time.Second)
+	var werr error
+	for {
+		werr = wb.WriteAt(make([]byte, 512), 1)
+		if werr != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if werr == nil || !strings.Contains(werr.Error(), "recovery failed") {
+		t.Fatalf("post-exhaustion WriteAt err = %v, want terminal recovery error", werr)
+	}
+	if err := wb.Flush(); err == nil || !strings.Contains(err.Error(), "recovery failed") {
+		t.Fatalf("Flush err = %v, want terminal recovery error", err)
+	}
+	if len(j.Failures()) == 0 {
+		t.Error("stranded writes recorded no journal failures")
+	}
+	done := make(chan error, 1)
+	go func() { done <- wb.Close() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after terminal recovery failure")
+	}
+}
+
+// TestJournalRecompleteReclaimsFailedBytes is the direct regression test for
+// the StateFailed capacity leak: a failed entry keeps its bytes until replay
+// re-completes it, at which point the space must come back.
+func TestJournalRecompleteReclaimsFailedBytes(t *testing.T) {
+	j := NewJournal(1024)
+	seq, err := j.Append(3, make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Complete(seq, errBackendDown)
+	if used := j.UsedBytes(); used != 512 {
+		t.Fatalf("UsedBytes after failure = %d, want 512 (kept for replay)", used)
+	}
+	if got := len(j.Failures()); got != 1 {
+		t.Fatalf("Failures = %d, want 1", got)
+	}
+	un := j.Unapplied()
+	if len(un) != 1 || un[0].Seq != seq || un[0].State != StateFailed {
+		t.Fatalf("Unapplied = %+v, want the failed entry", un)
+	}
+	// Replay path: re-complete with success reclaims the bytes.
+	j.Complete(seq, nil)
+	if used := j.UsedBytes(); used != 0 {
+		t.Fatalf("UsedBytes after re-complete = %d, want 0", used)
+	}
+	if len(j.Unapplied()) != 0 {
+		t.Fatal("entry still journaled after re-complete")
+	}
+	// The freed capacity is usable again.
+	if _, err := j.Append(0, make([]byte, 1024)); err != nil {
+		t.Fatalf("Append after reclaim: %v", err)
+	}
+}

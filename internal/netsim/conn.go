@@ -33,6 +33,7 @@ type Conn struct {
 	remote Addr
 	route  *Route
 	peer   *Conn
+	track  *connTrack // fault-plane registration; shared by both halves
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -83,6 +84,7 @@ func (c *Conn) WriteBuffers(bufs ...[]byte) (int, error) { return c.out.writeBuf
 func (c *Conn) Close() error {
 	c.out.close(nil)
 	c.in.close(nil)
+	c.track.remove()
 	return nil
 }
 
@@ -91,6 +93,7 @@ func (c *Conn) Close() error {
 func (c *Conn) Abort(err error) {
 	c.out.close(err)
 	c.in.close(err)
+	c.track.remove()
 }
 
 // LocalAddr implements net.Conn.

@@ -38,6 +38,12 @@ type Fabric struct {
 	listeners map[string]*Listener // key: net|ip:port
 	route     RouteFunc
 	nextPort  int
+
+	// Fault plane (see faults.go). All lazily allocated.
+	tracks    map[*connTrack]struct{}
+	downHosts map[string]struct{}
+	parts     map[partKey]struct{}
+	hostDelay map[string]time.Duration
 }
 
 // NewFabric creates a fabric with the given cost model and the direct
@@ -248,7 +254,23 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 		revHops[len(route.Hops)-1-i] = h
 	}
 	dialSide, acceptSide := newConnPair(f.model, route, chargeFor(route.Hops), chargeFor(revHops))
+	track := &connTrack{
+		fabric: f,
+		aHost:  src.host.name,
+		bHost:  ln.endpoint.host.name,
+		dial:   dialSide,
+	}
+	extra, err := f.admitConn(track)
+	if err != nil {
+		return nil, err
+	}
+	dialSide.track, acceptSide.track = track, track
+	if extra > 0 {
+		dialSide.out.setExtra(extra)
+		dialSide.in.setExtra(extra)
+	}
 	if err := ln.deliver(acceptSide); err != nil {
+		track.remove()
 		return nil, err
 	}
 	return dialSide, nil

@@ -1,0 +1,247 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// dialEcho starts an echo server on the target endpoint and dials it,
+// returning the client conn.
+func dialEcho(t *testing.T, ln *Listener, from *Endpoint, hostport string) *Conn {
+	t.Helper()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer c.Close()
+			io.Copy(c, c)
+		}()
+	}()
+	conn, err := from.Dial(StorageNet, hostport)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return conn
+}
+
+func echoOnce(c *Conn, payload []byte) error {
+	if _, err := c.Write(payload); err != nil {
+		return err
+	}
+	buf := make([]byte, len(payload))
+	_, err := io.ReadFull(c, buf)
+	return err
+}
+
+func TestCutHostAbortsConnsAndRefusesDials(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	tgt := storage.NewEndpoint("target")
+	ln, err := tgt.Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+
+	vm := compute.NewEndpoint("vm")
+	conn := dialEcho(t, ln, vm, "10.0.0.100:3260")
+	if err := echoOnce(conn, []byte("ping")); err != nil {
+		t.Fatalf("echo before cut: %v", err)
+	}
+
+	if n := f.CutHost("storage1"); n != 1 {
+		t.Fatalf("CutHost aborted %d conns, want 1", n)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("read on cut conn: err = %v, want ErrHostDown", err)
+	}
+	if _, err := vm.Dial(StorageNet, "10.0.0.100:3260"); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("dial to down host: err = %v, want ErrHostDown", err)
+	}
+
+	f.HealHost("storage1")
+	conn2 := dialEcho(t, ln, vm, "10.0.0.100:3260")
+	defer conn2.Close()
+	if err := echoOnce(conn2, []byte("pong")); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestPartitionIsolatesOnlyThePair(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	other, err := f.AddHost("storage2", map[Network]string{StorageNet: "10.0.0.101"})
+	if err != nil {
+		t.Fatalf("AddHost: %v", err)
+	}
+	ln1, err := storage.NewEndpoint("t1").Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln1.Close()
+	ln2, err := other.NewEndpoint("t2").Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln2.Close()
+
+	vm := compute.NewEndpoint("vm")
+	conn := dialEcho(t, ln1, vm, "10.0.0.100:3260")
+
+	if n := f.Partition("compute1", "storage1"); n != 1 {
+		t.Fatalf("Partition aborted %d conns, want 1", n)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("read across partition: err = %v, want ErrPartitioned", err)
+	}
+	if _, err := vm.Dial(StorageNet, "10.0.0.100:3260"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial across partition: err = %v, want ErrPartitioned", err)
+	}
+	// The unpartitioned pair still works.
+	conn2 := dialEcho(t, ln2, vm, "10.0.0.101:3260")
+	defer conn2.Close()
+	if err := echoOnce(conn2, []byte("ok")); err != nil {
+		t.Fatalf("echo to third host during partition: %v", err)
+	}
+
+	f.HealPartition("compute1", "storage1")
+	conn3 := dialEcho(t, ln1, vm, "10.0.0.100:3260")
+	defer conn3.Close()
+	if err := echoOnce(conn3, []byte("ok")); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestCutLinkAllowsImmediateRedial(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	ln, err := storage.NewEndpoint("target").Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+
+	vm := compute.NewEndpoint("vm")
+	conn := dialEcho(t, ln, vm, "10.0.0.100:3260")
+	if n := f.CutLink("compute1", "storage1"); n != 1 {
+		t.Fatalf("CutLink aborted %d conns, want 1", n)
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("read on cut link: err = %v, want ErrConnReset", err)
+	}
+	// No dial block: the very next dial succeeds with no heal step.
+	conn2 := dialEcho(t, ln, vm, "10.0.0.100:3260")
+	defer conn2.Close()
+	if err := echoOnce(conn2, []byte("x")); err != nil {
+		t.Fatalf("redial after CutLink: %v", err)
+	}
+}
+
+func TestSetHostDelaySlowsLiveConn(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	ln, err := storage.NewEndpoint("target").Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+
+	vm := compute.NewEndpoint("vm")
+	conn := dialEcho(t, ln, vm, "10.0.0.100:3260")
+	defer conn.Close()
+	if err := echoOnce(conn, []byte("warm")); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+
+	const d = 10 * time.Millisecond
+	f.SetHostDelay("storage1", d)
+	start := time.Now()
+	if err := echoOnce(conn, []byte("slow")); err != nil {
+		t.Fatalf("echo with delay: %v", err)
+	}
+	// The echo crosses the delayed host twice (request + response).
+	if got := time.Since(start); got < 2*d {
+		t.Fatalf("delayed echo took %v, want >= %v", got, 2*d)
+	}
+	f.SetHostDelay("storage1", 0)
+	start = time.Now()
+	if err := echoOnce(conn, []byte("fast")); err != nil {
+		t.Fatalf("echo after delay removed: %v", err)
+	}
+	if got := time.Since(start); got >= 2*d {
+		t.Fatalf("echo after heal took %v, want < %v", got, 2*d)
+	}
+}
+
+func TestLiveConnTrackingRetiresOnClose(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	ln, err := storage.NewEndpoint("target").Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+
+	vm := compute.NewEndpoint("vm")
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c.(*Conn)
+		}
+	}()
+	conn, err := vm.Dial(StorageNet, "10.0.0.100:3260")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	srv := <-accepted
+	if n := f.LiveConns(); n != 1 {
+		t.Fatalf("LiveConns = %d, want 1", n)
+	}
+	conn.Close()
+	srv.Close()
+	if n := f.LiveConns(); n != 0 {
+		t.Fatalf("LiveConns after close = %d, want 0", n)
+	}
+}
+
+// TestScheduleDrivenCut binds a CutLink to a logical tick of a fault
+// schedule: the cut fires after exactly 5 completed echoes, with no
+// wall-clock timing anywhere.
+func TestScheduleDrivenCut(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	ln, err := storage.NewEndpoint("target").Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+
+	vm := compute.NewEndpoint("vm")
+	conn := dialEcho(t, ln, vm, "10.0.0.100:3260")
+
+	sched := faults.NewSchedule()
+	sched.At(5, "cut-link", func() { f.CutLink("compute1", "storage1") })
+
+	completed := 0
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		if lastErr = echoOnce(conn, []byte("tick")); lastErr != nil {
+			break
+		}
+		completed++
+		sched.Step()
+	}
+	if completed != 5 {
+		t.Fatalf("completed %d echoes before cut, want exactly 5 (err=%v)", completed, lastErr)
+	}
+	if !errors.Is(lastErr, ErrConnReset) {
+		t.Fatalf("post-cut error = %v, want ErrConnReset", lastErr)
+	}
+	if fired := sched.Fired(); len(fired) != 1 || fired[0] != "cut-link" {
+		t.Fatalf("Fired() = %v", fired)
+	}
+}

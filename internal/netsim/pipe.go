@@ -39,6 +39,7 @@ type framePipe struct {
 	closed      bool
 	closeErr    error
 	deadline    time.Time
+	extra       time.Duration // fault-injected added delay per frame
 
 	wake    chan struct{} // buffered(1): new data / close / deadline change
 	charge  func(time.Duration)
@@ -109,7 +110,7 @@ func (p *framePipe) writeBufs(bufs [][]byte) (int, error) {
 		delay := p.cost.FrameDelay(n)
 		processing += delay
 		p.lastArrival = p.lastArrival.Add(delay)
-		p.frames = append(p.frames, frame{at: p.lastArrival.Add(p.cost.Propagation), data: fb.B, buf: fb})
+		p.frames = append(p.frames, frame{at: p.lastArrival.Add(p.cost.Propagation + p.extra), data: fb.B, buf: fb})
 		remaining -= n
 	}
 	p.bytesIn += int64(total)
@@ -240,6 +241,14 @@ func (p *framePipe) close(err error) {
 	}
 	p.mu.Unlock()
 	p.signal()
+}
+
+// setExtra installs the fault-injected per-frame delay (0 removes it).
+// Frames already in flight keep their computed arrival times.
+func (p *framePipe) setExtra(d time.Duration) {
+	p.mu.Lock()
+	p.extra = d
+	p.mu.Unlock()
 }
 
 func (p *framePipe) setDeadline(t time.Time) {

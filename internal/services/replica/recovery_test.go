@@ -1,0 +1,217 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/faults"
+)
+
+// gateDev wraps a device so a test can hold a write in flight and observe
+// whether Flush overlaps it.
+type gateDev struct {
+	blockdev.Device
+	started          chan struct{}
+	release          chan struct{}
+	inFlight         atomic.Int32
+	flushDuringWrite atomic.Bool
+}
+
+func (d *gateDev) WriteAt(p []byte, lba uint64) error {
+	d.inFlight.Add(1)
+	select {
+	case d.started <- struct{}{}:
+	default:
+	}
+	<-d.release
+	err := d.Device.WriteAt(p, lba)
+	d.inFlight.Add(-1)
+	return err
+}
+
+func (d *gateDev) Flush() error {
+	if d.inFlight.Load() != 0 {
+		d.flushDuringWrite.Store(true)
+	}
+	return d.Device.Flush()
+}
+
+// TestFlushSerializesWithWrites is the regression test for the missing
+// write lock in Flush: a sync racing an in-flight fan-out must not reach a
+// replica before the write lands on it.
+func TestFlushSerializesWithWrites(t *testing.T) {
+	ds := disks(t, 2)
+	gate := &gateDev{Device: ds[1], started: make(chan struct{}, 1), release: make(chan struct{})}
+	disp, err := New(ds[0], NamedDevice{Name: "gated", Dev: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := disp.WriteAt(make([]byte, 512), 0); err != nil {
+			t.Errorf("WriteAt: %v", err)
+		}
+	}()
+	<-gate.started
+	go func() {
+		defer wg.Done()
+		if err := disp.Flush(); err != nil {
+			t.Errorf("Flush: %v", err)
+		}
+	}()
+	// Give the Flush goroutine time to hit the write lock (with the bug it
+	// instead reaches the gated replica while the write is parked there).
+	time.Sleep(5 * time.Millisecond)
+	close(gate.release)
+	wg.Wait()
+	if gate.flushDuringWrite.Load() {
+		t.Fatal("Flush reached a replica while a fan-out write was still in flight")
+	}
+}
+
+// TestConcurrentFlushAndWrites lets -race arbitrate: writers, flushers, and
+// closers all exercising the dispatcher at once.
+func TestConcurrentFlushAndWrites(t *testing.T) {
+	ds := disks(t, 3)
+	disp := dispatcher(t, ds)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			p := bytes.Repeat([]byte{byte(g + 1)}, 512)
+			for i := 0; i < 50; i++ {
+				if err := disp.WriteAt(p, uint64(g*8+i%8)); err != nil {
+					t.Errorf("WriteAt: %v", err)
+					return
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := disp.Flush(); err != nil {
+					t.Errorf("Flush: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEvictedReplicaReadmitsAfterResync is the Figure 13 kill/heal chaos
+// scenario at the service level: a replica dies mid-workload (evicted),
+// heals, and a probe re-admits it after copy-from-live resync; at the end it
+// must be byte-identical to the primary. Fault timing is schedule-driven —
+// the clock ticks once per completed write.
+func TestEvictedReplicaReadmitsAfterResync(t *testing.T) {
+	ds := disks(t, 3)
+	fd := blockdev.NewFaultDisk(ds[2])
+	disp, err := New(ds[0],
+		NamedDevice{Name: "replica1", Dev: ds[1]},
+		NamedDevice{Name: "replica2", Dev: fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readmitted atomic.Int32
+	disp.OnReadmit(func(name string) {
+		if name == "replica2" {
+			readmitted.Add(1)
+		}
+	})
+
+	wantErr := errors.New("replica2 host down")
+	sched := faults.NewSchedule()
+	sched.At(10, "kill-replica2", func() { fd.Trip(wantErr) })
+	sched.At(25, "heal-replica2", func() {
+		fd.Heal()
+		if n := disp.Probe(); n != 1 {
+			t.Errorf("Probe re-admitted %d replicas, want 1", n)
+		}
+	})
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		p := make([]byte, 512)
+		for k := range p {
+			p[k] = byte(i*13 + k)
+		}
+		if err := disp.WriteAt(p, uint64(i%64)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		sched.Step()
+		switch {
+		case sched.Now() == 11 && disp.AliveCount() != 2:
+			t.Fatalf("replica2 not evicted after kill: alive=%d", disp.AliveCount())
+		case sched.Now() == 26 && disp.AliveCount() != 3:
+			t.Fatalf("replica2 not re-admitted after heal: alive=%d", disp.AliveCount())
+		}
+	}
+	if err := disp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readmitted.Load(); got != 1 {
+		t.Fatalf("OnReadmit fired %d times, want 1", got)
+	}
+
+	// The healed replica must be byte-identical to the primary — including
+	// the writes it missed while evicted (covered by resync) and the ones
+	// after re-admission (covered by fan-out).
+	pri := make([]byte, 512)
+	rep := make([]byte, 512)
+	for lba := uint64(0); lba < ds[0].Blocks(); lba++ {
+		if err := ds[0].ReadAt(pri, lba); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds[2].ReadAt(rep, lba); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pri, rep) {
+			t.Fatalf("replica2 diverges from primary at lba %d after re-admission", lba)
+		}
+	}
+}
+
+// TestProbeKeepsDeadReplicaEvicted: a probe against a still-failing replica
+// must not re-admit it.
+func TestProbeKeepsDeadReplicaEvicted(t *testing.T) {
+	ds := disks(t, 2)
+	fd := blockdev.NewFaultDisk(ds[1])
+	disp, err := New(ds[0], NamedDevice{Name: "replica1", Dev: fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Trip(errors.New("down"))
+	if err := disp.WriteAt(make([]byte, 512), 0); err != nil {
+		t.Fatalf("WriteAt with one live replica: %v", err)
+	}
+	if disp.AliveCount() != 1 {
+		t.Fatalf("alive = %d, want 1", disp.AliveCount())
+	}
+	if n := disp.Probe(); n != 0 {
+		t.Fatalf("Probe re-admitted %d, want 0", n)
+	}
+	if disp.AliveCount() != 1 {
+		t.Fatal("dead replica re-admitted without heal")
+	}
+	// StartProbing drives the same path in the background; it must notice
+	// the heal eventually.
+	stop := disp.StartProbing(time.Millisecond)
+	defer stop()
+	fd.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for disp.AliveCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background prober never re-admitted the healed replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
