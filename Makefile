@@ -1,12 +1,13 @@
 # Pre-commit gate: `make check` runs the format/vet/build gate plus the
 # race-enabled tests of the packages with the hottest concurrency
-# (metrics, obs, middlebox, netsim, bufpool). `make test` is the full
-# suite. `make bench` prints the data-plane microbenchmarks with
+# (metrics, obs, middlebox, netsim, bufpool, and the scale-out control
+# plane: sdn, splice, vswitch, core, orchestrator). `make test` is the
+# full suite. `make bench` prints the data-plane microbenchmarks with
 # allocation stats and appends a dated before/after summary to
 # BENCH_results.json (via stormbench -fastpath).
 
 GO ?= go
-RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults
+RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool
 
 .PHONY: check fmt vet build test race bench

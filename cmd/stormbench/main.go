@@ -11,6 +11,7 @@
 //	stormbench -table 1        # one table (1 or 3)
 //	stormbench -ablations      # the design-choice sweeps
 //	stormbench -fastpath       # data-plane microbenchmarks vs recorded baseline
+//	stormbench -scale          # throughput-vs-instances scale-out sweep
 //	stormbench -chaos          # failure-injection smoke suite (non-zero exit on data loss)
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
@@ -44,6 +45,7 @@ type benchResults struct {
 	Ablations           map[string][]experiments.AblationRow `json:"ablations,omitempty"`
 	Replication         *experiments.ReplicationRun          `json:"replication,omitempty"`
 	FastPath            []experiments.FastPathRun            `json:"fastpath,omitempty"`
+	Scaling             []experiments.ScalingRun             `json:"scaling,omitempty"`
 	Chaos               []experiments.ChaosResult            `json:"chaos,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
@@ -54,6 +56,7 @@ func main() {
 		table      = flag.Int("table", 0, "run a single table (1 or 3); 0 = all")
 		ablations  = flag.Bool("ablations", false, "run only the ablation sweeps")
 		fastpath   = flag.Bool("fastpath", false, "run only the data-plane microbenchmarks (before/after comparison)")
+		scale      = flag.Bool("scale", false, "run only the scale-out throughput-vs-instances sweep")
 		chaos      = flag.Bool("chaos", false, "run only the failure-injection smoke suite (exit non-zero on data loss)")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
@@ -67,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *table, *ablations, *fastpath, *chaos, *ops, *repDur, *jsonPath)
+	err = run(*fig, *table, *ablations, *fastpath, *scale, *chaos, *ops, *repDur, *jsonPath)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
@@ -110,9 +113,9 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func run(fig, table int, ablationsOnly, fastpathOnly, chaosOnly bool, ops int, repDur time.Duration, jsonPath string) error {
+func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly bool, ops int, repDur time.Duration, jsonPath string) error {
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !chaosOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -156,6 +159,22 @@ func run(fig, table int, ablationsOnly, fastpathOnly, chaosOnly bool, ops int, r
 			Rows: rows,
 		}}
 		if fastpathOnly {
+			return nil
+		}
+	}
+
+	if scaleOnly || all {
+		section("Scale-out: aggregate write throughput vs group size")
+		rows, err := experiments.Scaling(nil, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScaling(rows))
+		results.Scaling = []experiments.ScalingRun{{
+			When: time.Now().UTC().Format(time.RFC3339),
+			Rows: rows,
+		}}
+		if scaleOnly {
 			return nil
 		}
 	}
@@ -278,17 +297,19 @@ func run(fig, table int, ablationsOnly, fastpathOnly, chaosOnly bool, ops int, r
 	return nil
 }
 
-// writeResults marshals the collected rows to path. The fastpath section is
-// a dated history: a new run appends to the entries already in the file, and
-// runs that skipped the fast-path benchmarks (e.g. -fig 4) carry the
-// existing entries forward rather than erasing them.
+// writeResults marshals the collected rows to path. The fastpath and
+// scaling sections are dated histories: a new run appends to the entries
+// already in the file, and runs that skipped those suites (e.g. -fig 4)
+// carry the existing entries forward rather than erasing them.
 func writeResults(path string, r *benchResults) error {
 	if old, err := os.ReadFile(path); err == nil {
 		var prev struct {
 			FastPath []experiments.FastPathRun `json:"fastpath"`
+			Scaling  []experiments.ScalingRun  `json:"scaling"`
 		}
 		if json.Unmarshal(old, &prev) == nil {
 			r.FastPath = append(prev.FastPath, r.FastPath...)
+			r.Scaling = append(prev.Scaling, r.Scaling...)
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -184,6 +184,33 @@ func (c *Cloud) pickHost() string {
 	return h.Name()
 }
 
+// PlaceHosts picks n compute hosts for a middle-box group, spreading the
+// members across the least-loaded hosts (guests already placed count as
+// load) so a scaled group doesn't stack its instances on one machine.
+func (c *Cloud) PlaceHosts(n int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	load := make(map[string]int, len(c.computes))
+	for _, vm := range c.vms {
+		load[vm.Host]++
+	}
+	for _, mb := range c.mbs {
+		load[mb.Host]++
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		best := ""
+		for _, h := range c.computes {
+			if best == "" || load[h.Name()] < load[best] {
+				best = h.Name()
+			}
+		}
+		load[best]++
+		out = append(out, best)
+	}
+	return out
+}
+
 // LaunchVM boots a tenant VM on the named compute host ("" picks one).
 func (c *Cloud) LaunchVM(name, host string) (*VM, error) {
 	if host == "" {
@@ -291,6 +318,10 @@ type MBSpec struct {
 	BuildServices func(mb *MiddleBox) ([]middlebox.ServiceFactory, error)
 	// JournalCapacity bounds the active relay's NVRAM buffer.
 	JournalCapacity int
+	// Cost is the relay's interception cost model; a zero model keeps the
+	// relay's defaults. CopyThreads in particular sizes the instance's
+	// concurrent copy paths (its per-instance throughput ceiling).
+	Cost middlebox.CostModel
 }
 
 // LaunchMiddleBox provisions a middle-box VM running a relay with the given
@@ -329,6 +360,7 @@ func (c *Cloud) LaunchMiddleBox(spec MBSpec) (*MiddleBox, error) {
 		Endpoint:        ep,
 		Services:        services,
 		JournalCapacity: spec.JournalCapacity,
+		Cost:            spec.Cost,
 		CPU:             h.CPU(),
 		Obs:             obs.Default(),
 	})
@@ -364,6 +396,29 @@ func (c *Cloud) MiddleBox(name string) (*MiddleBox, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
 	}
 	return mb, nil
+}
+
+// RemoveMiddleBox tears down a middle-box VM: the relay stops, the splice
+// plane forgets the station, and the host releases the guest's address so
+// the slot can be reused. The orchestrator calls this only after the
+// instance has drained (no sessions, empty journal) — tearing down a live
+// instance severs its established connections.
+func (c *Cloud) RemoveMiddleBox(name string) error {
+	c.mu.Lock()
+	mb, ok := c.mbs[name]
+	if ok {
+		delete(c.mbs, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
+	}
+	mb.Close()
+	c.Plane.UnregisterMB(name)
+	if h := c.Fabric.Host(mb.Host); h != nil {
+		h.RemoveGuest(mb.InstanceIP)
+	}
+	return nil
 }
 
 // MBAttachVolume attaches a volume directly to a middle-box VM over the

@@ -39,11 +39,25 @@ type AttachedVolume struct {
 	Device *initiator.Device
 }
 
+// MBInstance is one member of a scalable middle-box instance group.
+type MBInstance struct {
+	// Name is the station name, "<tenant>-<mb>-<seq>".
+	Name string
+	// Host is the compute host placing the instance.
+	Host string
+	// MB is the provisioned relay VM; nil for forward-type instances,
+	// which are pure routing hops.
+	MB *cloud.MiddleBox
+}
+
 // TenantDeployment is the realized state of one applied policy.
 type TenantDeployment struct {
 	Tenant string
-	// MBs maps middle-box names to their provisioned VMs.
+	// MBs maps fixed (non-scalable) middle-box names to their VMs.
 	MBs map[string]*cloud.MiddleBox
+	// Groups maps scalable middle-box names to their current instance
+	// groups in steering order.
+	Groups map[string][]*MBInstance
 	// Monitors exposes the monitoring engine per monitor middle-box (the
 	// tenant's log/alert retrieval interface).
 	Monitors map[string]*monitor.Monitor
@@ -56,7 +70,14 @@ type TenantDeployment struct {
 	// Volumes holds the attached volumes keyed "vm/volumeID".
 	Volumes map[string]*AttachedVolume
 
-	mu sync.Mutex
+	platform *Platform
+	pol      *policy.Policy
+
+	mu       sync.Mutex
+	groupSeq map[string]int // next instance index per group (never reused)
+
+	// scaleMu serializes Scale / BeginDrain / FinishDrain per deployment.
+	scaleMu sync.Mutex
 }
 
 // setDispatcher records a replication middle-box's live dispatcher.
@@ -79,12 +100,17 @@ type Platform struct {
 
 	mu      sync.Mutex
 	tenants map[string]*TenantDeployment
+	pending map[string]bool // tenants with an Apply in flight
 	nextGW  int
 }
 
 // New builds a platform over the cloud.
 func New(c *cloud.Cloud) *Platform {
-	return &Platform{cloud: c, tenants: make(map[string]*TenantDeployment)}
+	return &Platform{
+		cloud:   c,
+		tenants: make(map[string]*TenantDeployment),
+		pending: make(map[string]bool),
+	}
 }
 
 // Cloud returns the underlying infrastructure.
@@ -104,32 +130,56 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
+	// Reserve the tenant name before provisioning anything, so a duplicate
+	// Apply racing this one fails immediately instead of both provisioning
+	// and the loser leaking its resources.
 	p.mu.Lock()
-	if _, ok := p.tenants[pol.Tenant]; ok {
+	if _, ok := p.tenants[pol.Tenant]; ok || p.pending[pol.Tenant] {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("core: tenant %q already has a deployment", pol.Tenant)
 	}
+	p.pending[pol.Tenant] = true
 	p.mu.Unlock()
 
 	dep := &TenantDeployment{
 		Tenant:         pol.Tenant,
 		MBs:            make(map[string]*cloud.MiddleBox),
+		Groups:         make(map[string][]*MBInstance),
 		Monitors:       make(map[string]*monitor.Monitor),
 		Dispatchers:    make(map[string]*replica.Dispatcher),
 		ReplicaVolumes: make(map[string][]*volume.Volume),
 		Volumes:        make(map[string]*AttachedVolume),
+		platform:       p,
+		pol:            pol,
+		groupSeq:       make(map[string]int),
 	}
+	committed := false
+	defer func() {
+		if !committed {
+			p.cleanupPartial(dep)
+		}
+		p.mu.Lock()
+		delete(p.pending, pol.Tenant)
+		p.mu.Unlock()
+	}()
 
-	// Provision middle-boxes (forward-type boxes need no relay VM service
-	// stack; they are pure routing hops and need no provisioning here).
+	// Provision middle-boxes. Scalable boxes become instance groups seeded
+	// at their minimum size; fixed forward-type boxes need no relay VM (they
+	// are pure routing hops resolved at chain build time).
 	specs := make(map[string]*policy.MiddleBoxSpec)
 	for i := range pol.MiddleBoxes {
 		spec := &pol.MiddleBoxes[i]
 		specs[spec.Name] = spec
+		if spec.Scalable() {
+			if err := p.provisionGroupInstances(pol, spec, dep, spec.EffectiveMinInstances()); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if spec.Type == policy.TypeForward {
 			continue
 		}
-		mb, err := p.provisionMB(pol, spec, dep)
+		mb, err := p.provisionMB(pol, spec, dep, pol.Tenant+"-"+spec.Name, spec.Host)
 		if err != nil {
 			return nil, err
 		}
@@ -148,11 +198,93 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 	p.mu.Lock()
 	p.tenants[pol.Tenant] = dep
 	p.mu.Unlock()
+	committed = true
 	return dep, nil
 }
 
-// provisionMB launches one service middle-box.
-func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, dep *TenantDeployment) (*cloud.MiddleBox, error) {
+// cleanupPartial unwinds whatever a failed Apply managed to provision.
+func (p *Platform) cleanupPartial(dep *TenantDeployment) {
+	for _, av := range dep.Volumes {
+		_ = av.Device.Close()
+		p.cloud.Plane.Undeploy(av.DeploymentID)
+		_ = p.cloud.Volumes.MarkDetached(av.VolumeID)
+	}
+	for _, insts := range dep.Groups {
+		for _, in := range insts {
+			if in.MB != nil {
+				_ = p.cloud.RemoveMiddleBox(in.Name)
+			}
+		}
+	}
+	for _, mb := range dep.MBs {
+		_ = p.cloud.RemoveMiddleBox(mb.Name)
+	}
+}
+
+// provisionGroupInstances launches count new members of a scalable
+// middle-box group, spread over the least-loaded hosts, and appends them to
+// the deployment's group state. Instance indices are never reused so a
+// re-grown group cannot collide with a draining predecessor's station name.
+func (p *Platform) provisionGroupInstances(pol *policy.Policy, spec *policy.MiddleBoxSpec, dep *TenantDeployment, count int) error {
+	hosts := p.cloud.PlaceHosts(count)
+	for i := 0; i < count; i++ {
+		dep.mu.Lock()
+		idx := dep.groupSeq[spec.Name]
+		dep.groupSeq[spec.Name] = idx + 1
+		dep.mu.Unlock()
+		name := fmt.Sprintf("%s-%s-%d", pol.Tenant, spec.Name, idx)
+		host := spec.Host
+		if host == "" {
+			host = hosts[i]
+		}
+		in := &MBInstance{Name: name, Host: host}
+		if spec.Type != policy.TypeForward {
+			mb, err := p.provisionMB(pol, spec, dep, name, host)
+			if err != nil {
+				return err
+			}
+			in.MB = mb
+		}
+		dep.mu.Lock()
+		dep.Groups[spec.Name] = append(dep.Groups[spec.Name], in)
+		dep.mu.Unlock()
+	}
+	return nil
+}
+
+// relayCost maps a spec's sizing knobs onto the relay cost model. With no
+// knobs set it returns the zero model (the relay substitutes its defaults);
+// with any interception param set it starts from the defaults so the other
+// fields stay calibrated.
+func relayCost(spec *policy.MiddleBoxSpec) (middlebox.CostModel, error) {
+	cm := middlebox.CostModel{CopyThreads: spec.CopyThreads()}
+	perBatch, batchBytes := spec.Params["interceptPerBatchNs"], spec.Params["interceptBatchBytes"]
+	if perBatch == "" && batchBytes == "" {
+		return cm, nil
+	}
+	def := middlebox.DefaultCostModel()
+	def.CopyThreads = cm.CopyThreads
+	cm = def
+	if perBatch != "" {
+		n, err := strconv.Atoi(perBatch)
+		if err != nil || n < 0 {
+			return cm, fmt.Errorf("core: middle-box %q: bad interceptPerBatchNs %q", spec.Name, perBatch)
+		}
+		cm.ActivePerBatch = time.Duration(n) * time.Nanosecond
+	}
+	if batchBytes != "" {
+		n, err := strconv.Atoi(batchBytes)
+		if err != nil || n <= 0 {
+			return cm, fmt.Errorf("core: middle-box %q: bad interceptBatchBytes %q", spec.Name, batchBytes)
+		}
+		cm.BatchSize = n
+	}
+	return cm, nil
+}
+
+// provisionMB launches one service middle-box VM under the given station
+// name and placement.
+func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, dep *TenantDeployment, name, host string) (*cloud.MiddleBox, error) {
 	mode := middlebox.Active
 	if spec.EffectiveMode() == policy.ModePassive {
 		mode = middlebox.Passive
@@ -187,11 +319,16 @@ func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, d
 			return nil, fmt.Errorf("core: middle-box %q: unsupported type %q", spec.Name, spec.Type)
 		}
 	}
+	cost, err := relayCost(spec)
+	if err != nil {
+		return nil, err
+	}
 	return p.cloud.LaunchMiddleBox(cloud.MBSpec{
-		Name:          pol.Tenant + "-" + spec.Name,
-		Host:          spec.Host,
+		Name:          name,
+		Host:          host,
 		Mode:          mode,
 		BuildServices: build,
+		Cost:          cost,
 	})
 }
 
@@ -302,25 +439,7 @@ func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs m
 		return nil, err
 	}
 
-	// Build the SDN chain from the policy order.
-	var chain []sdn.MBSpec
-	for _, name := range vb.Chain {
-		spec := specs[name]
-		if spec.Type == policy.TypeForward {
-			host := spec.Host
-			if host == "" {
-				host = p.pickOtherHost(vm.Host)
-			}
-			chain = append(chain, sdn.MBSpec{
-				Name: tenant + "-" + name, Host: host, Mode: vswitch.ModeForward,
-			})
-			continue
-		}
-		mb := dep.MBs[name]
-		chain = append(chain, sdn.MBSpec{
-			Name: mb.Name, Host: mb.Host, Mode: vswitch.ModeTerminate, RelayAddr: mb.RelayAddr,
-		})
-	}
+	chain := p.buildChain(tenant, vb, specs, dep, vm.Host)
 
 	ingressHost := vb.IngressHost
 	if ingressHost == "" {
@@ -348,28 +467,7 @@ func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs m
 		p.cloud.Plane.Undeploy(d.ID)
 		return nil, err
 	}
-	var dev *initiator.Device
-	err = p.cloud.Plane.AtomicAttach(d, func() error {
-		conn, err := vm.Endpoint.DialAddr(d.TargetAddr)
-		if err != nil {
-			return err
-		}
-		sess, err := initiator.Login(conn, initiator.Config{
-			InitiatorIQN: "iqn.2016-04.edu.purdue.storm:init:" + vb.VM,
-			TargetIQN:    vol.IQN,
-			AttachedVM:   vb.VM,
-			Obs:          obs.Default(),
-		})
-		if err != nil {
-			_ = conn.Close()
-			return err
-		}
-		dev, err = initiator.OpenDevice(sess)
-		if err != nil {
-			_ = sess.Close()
-		}
-		return err
-	})
+	dev, err := p.attachDevice(vm, d, vb.VM, vol.IQN)
 	if err != nil {
 		_ = p.cloud.Volumes.MarkDetached(vol.ID)
 		p.cloud.Plane.Undeploy(d.ID)
@@ -382,6 +480,111 @@ func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs m
 		DeploymentID: d.ID,
 		Device:       dev,
 	}, nil
+}
+
+// attachDevice logs a VM into its volume under the deployment's capture
+// rule (AtomicAttach) and opens the block device. The capture rule exists
+// only for the duration of the attach, so a reconnect must come back
+// through here to be spliced into the chain.
+func (p *Platform) attachDevice(vm *cloud.VM, d *splice.Deployment, vmName, iqn string) (*initiator.Device, error) {
+	var dev *initiator.Device
+	err := p.cloud.Plane.AtomicAttach(d, func() error {
+		conn, err := vm.Endpoint.DialAddr(d.TargetAddr)
+		if err != nil {
+			return err
+		}
+		sess, err := initiator.Login(conn, initiator.Config{
+			InitiatorIQN: "iqn.2016-04.edu.purdue.storm:init:" + vmName,
+			TargetIQN:    iqn,
+			AttachedVM:   vmName,
+			Obs:          obs.Default(),
+		})
+		if err != nil {
+			_ = conn.Close()
+			return err
+		}
+		dev, err = initiator.OpenDevice(sess)
+		if err != nil {
+			_ = sess.Close()
+		}
+		return err
+	})
+	return dev, err
+}
+
+// Reattach re-runs the atomic attachment for a binding whose VM-side
+// device was closed (a VM reconnect). The new flow dials under a fresh
+// capture rule and is hashed by the steering group onto its current
+// non-draining members, so reconnects naturally migrate off a draining
+// instance. The binding's Device handle is replaced.
+func (t *TenantDeployment) Reattach(key string) error {
+	av, ok := t.Volumes[key]
+	if !ok {
+		return fmt.Errorf("core: tenant %q has no attached volume %q", t.Tenant, key)
+	}
+	vm, err := t.platform.cloud.VM(av.VM)
+	if err != nil {
+		return err
+	}
+	vol, err := t.platform.cloud.Volumes.Get(av.VolumeID)
+	if err != nil {
+		return err
+	}
+	d := t.platform.cloud.Plane.Deployment(av.DeploymentID)
+	if d == nil {
+		return fmt.Errorf("core: deployment %q is gone", av.DeploymentID)
+	}
+	dev, err := t.platform.attachDevice(vm, d, av.VM, vol.IQN)
+	if err != nil {
+		return fmt.Errorf("core: reattach %s: %w", av.DeploymentID, err)
+	}
+	av.Device = dev
+	return nil
+}
+
+// buildChain renders a volume binding's middle-box list into SDN chain
+// specs from the deployment's current state: fixed boxes become single
+// stations, scalable boxes become select groups over their live instances.
+func (p *Platform) buildChain(tenant string, vb policy.VolumeBinding, specs map[string]*policy.MiddleBoxSpec, dep *TenantDeployment, vmHost string) []sdn.MBSpec {
+	var chain []sdn.MBSpec
+	for _, name := range vb.Chain {
+		spec := specs[name]
+		if spec.Scalable() {
+			mode := vswitch.ModeTerminate
+			if spec.Type == policy.TypeForward {
+				mode = vswitch.ModeForward
+			}
+			dep.mu.Lock()
+			insts := append([]*MBInstance(nil), dep.Groups[name]...)
+			dep.mu.Unlock()
+			members := make([]sdn.Instance, len(insts))
+			for i, in := range insts {
+				members[i] = sdn.Instance{Name: in.Name, Host: in.Host}
+				if in.MB != nil {
+					members[i].RelayAddr = in.MB.RelayAddr
+				}
+			}
+			chain = append(chain, sdn.MBSpec{
+				Name: tenant + "-" + name, Mode: mode, Instances: members,
+			})
+			continue
+		}
+		if spec.Type == policy.TypeForward {
+			host := spec.Host
+			if host == "" {
+				host = p.pickOtherHost(vmHost)
+			}
+			chain = append(chain, sdn.MBSpec{
+				Name: tenant + "-" + name, Host: host, Mode: vswitch.ModeForward,
+			})
+			continue
+		}
+		mb := dep.MBs[name]
+		chain = append(chain, sdn.MBSpec{
+			Name: mb.Name, Host: mb.Host, Mode: vswitch.ModeTerminate, RelayAddr: mb.RelayAddr,
+		})
+	}
+	return chain
 }
 
 // pickOtherHost returns a compute host different from avoid when possible.
@@ -407,13 +610,27 @@ func (p *Platform) Teardown(tenant string) error {
 	if !ok {
 		return fmt.Errorf("core: tenant %q has no deployment", tenant)
 	}
+	// Serialize against in-flight scale operations on this deployment.
+	dep.scaleMu.Lock()
+	defer dep.scaleMu.Unlock()
 	for _, av := range dep.Volumes {
 		_ = av.Device.Close()
 		p.cloud.Plane.Undeploy(av.DeploymentID)
 		_ = p.cloud.Volumes.MarkDetached(av.VolumeID)
 	}
+	dep.mu.Lock()
+	var groupInsts []*MBInstance
+	for _, insts := range dep.Groups {
+		groupInsts = append(groupInsts, insts...)
+	}
+	dep.mu.Unlock()
+	for _, in := range groupInsts {
+		if in.MB != nil {
+			_ = p.cloud.RemoveMiddleBox(in.Name)
+		}
+	}
 	for _, mb := range dep.MBs {
-		mb.Close()
+		_ = p.cloud.RemoveMiddleBox(mb.Name)
 	}
 	return nil
 }
@@ -430,4 +647,238 @@ func (p *Platform) Deployment(tenant string) (*TenantDeployment, bool) {
 // the on-demand scaling interface.
 func (p *Platform) UpdateChain(deploymentID string, chain []sdn.MBSpec) error {
 	return p.cloud.Plane.UpdateChain(deploymentID, chain)
+}
+
+// spec returns the deployment's policy spec for a middle-box name.
+func (t *TenantDeployment) spec(mb string) *policy.MiddleBoxSpec {
+	for i := range t.pol.MiddleBoxes {
+		if t.pol.MiddleBoxes[i].Name == mb {
+			return &t.pol.MiddleBoxes[i]
+		}
+	}
+	return nil
+}
+
+// ScaleBounds returns a scalable middle-box's configured instance bounds.
+func (t *TenantDeployment) ScaleBounds(mb string) (min, max int, err error) {
+	spec := t.spec(mb)
+	if spec == nil {
+		return 0, 0, fmt.Errorf("core: tenant %q has no middle-box %q", t.Tenant, mb)
+	}
+	if !spec.Scalable() {
+		return 0, 0, fmt.Errorf("core: middle-box %q is not scalable", mb)
+	}
+	return spec.EffectiveMinInstances(), spec.EffectiveMaxInstances(), nil
+}
+
+// Group returns a snapshot of a scalable middle-box's current instances.
+func (t *TenantDeployment) Group(mb string) []*MBInstance {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*MBInstance(nil), t.Groups[mb]...)
+}
+
+// instance finds a group member by station name.
+func (t *TenantDeployment) instance(mb, inst string) *MBInstance {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, in := range t.Groups[mb] {
+		if in.Name == inst {
+			return in
+		}
+	}
+	return nil
+}
+
+// steeringGroup returns the vswitch select group steering flows across the
+// middle-box's instances (nil before any chain is installed).
+func (t *TenantDeployment) steeringGroup(mb string) *vswitch.Group {
+	return t.platform.cloud.Controller.Group(t.Tenant + "-" + mb)
+}
+
+// reinstallChains pushes the middle-box's current group membership to every
+// deployed chain steering through it.
+func (t *TenantDeployment) reinstallChains(mbName string) error {
+	specs := make(map[string]*policy.MiddleBoxSpec, len(t.pol.MiddleBoxes))
+	for i := range t.pol.MiddleBoxes {
+		specs[t.pol.MiddleBoxes[i].Name] = &t.pol.MiddleBoxes[i]
+	}
+	for _, vb := range t.pol.Volumes {
+		uses := false
+		for _, n := range vb.Chain {
+			if n == mbName {
+				uses = true
+			}
+		}
+		if !uses {
+			continue
+		}
+		vmHost := ""
+		if vm, err := t.platform.cloud.VM(vb.VM); err == nil {
+			vmHost = vm.Host
+		}
+		chain := t.platform.buildChain(t.Tenant, vb, specs, t, vmHost)
+		id := fmt.Sprintf("%s/%s/%s", t.Tenant, vb.VM, vb.Volume)
+		if err := t.platform.UpdateChain(id, chain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scale grows a scalable middle-box group to n instances and installs the
+// updated steering rules; established flows keep their serving instance.
+// Scaling down must go through BeginDrain/FinishDrain so in-flight sessions
+// and journaled writes survive.
+func (t *TenantDeployment) Scale(mbName string, n int) error {
+	t.scaleMu.Lock()
+	defer t.scaleMu.Unlock()
+	spec := t.spec(mbName)
+	if spec == nil {
+		return fmt.Errorf("core: tenant %q has no middle-box %q", t.Tenant, mbName)
+	}
+	if !spec.Scalable() {
+		return fmt.Errorf("core: middle-box %q is not scalable (maxInstances %d)", mbName, spec.EffectiveMaxInstances())
+	}
+	cur := len(t.Group(mbName))
+	switch {
+	case n < 1 || n > spec.EffectiveMaxInstances():
+		return fmt.Errorf("core: middle-box %q: target size %d outside [1,%d]", mbName, n, spec.EffectiveMaxInstances())
+	case n < cur:
+		return fmt.Errorf("core: middle-box %q: scale-down from %d to %d must drain (BeginDrain/FinishDrain)", mbName, cur, n)
+	case n == cur:
+		return nil
+	}
+	if err := t.platform.provisionGroupInstances(t.pol, spec, t, n-cur); err != nil {
+		return err
+	}
+	return t.reinstallChains(mbName)
+}
+
+// BeginDrain starts winding an instance down: the steering group stops
+// hashing new flows to it, and its relay refuses new sessions, so the
+// member quiesces as established sessions log out.
+func (t *TenantDeployment) BeginDrain(mbName, inst string) error {
+	t.scaleMu.Lock()
+	defer t.scaleMu.Unlock()
+	in := t.instance(mbName, inst)
+	if in == nil {
+		return fmt.Errorf("core: middle-box %q has no instance %q", mbName, inst)
+	}
+	// Steering first: reconnects of flows bound here rebind elsewhere.
+	if g := t.steeringGroup(mbName); g != nil {
+		g.SetDraining(inst, true)
+	}
+	if in.MB != nil {
+		in.MB.Relay.Drain()
+	}
+	return nil
+}
+
+// CancelDrain returns a draining instance to full service.
+func (t *TenantDeployment) CancelDrain(mbName, inst string) error {
+	t.scaleMu.Lock()
+	defer t.scaleMu.Unlock()
+	in := t.instance(mbName, inst)
+	if in == nil {
+		return fmt.Errorf("core: middle-box %q has no instance %q", mbName, inst)
+	}
+	if g := t.steeringGroup(mbName); g != nil {
+		g.SetDraining(inst, false)
+	}
+	if in.MB != nil {
+		in.MB.Relay.CancelDrain()
+	}
+	return nil
+}
+
+// DrainStatus reports an instance's wind-down progress. Forward instances
+// hold no sessions or journal, so they quiesce the moment steering stops.
+func (t *TenantDeployment) DrainStatus(mbName, inst string) (middlebox.DrainStatus, error) {
+	in := t.instance(mbName, inst)
+	if in == nil {
+		return middlebox.DrainStatus{}, fmt.Errorf("core: middle-box %q has no instance %q", mbName, inst)
+	}
+	if in.MB == nil {
+		g := t.steeringGroup(mbName)
+		return middlebox.DrainStatus{Draining: g != nil && g.Draining(inst)}, nil
+	}
+	return in.MB.Relay.DrainStatus(), nil
+}
+
+// FinishDrain completes a zero-loss scale-down: it verifies the instance
+// has fully quiesced (no sessions, empty journal), removes it from the
+// steering group, and tears the VM down. It refuses to run on an instance
+// still holding sessions or journaled bytes, and never empties a group.
+func (t *TenantDeployment) FinishDrain(mbName, inst string) error {
+	t.scaleMu.Lock()
+	defer t.scaleMu.Unlock()
+	in := t.instance(mbName, inst)
+	if in == nil {
+		return fmt.Errorf("core: middle-box %q has no instance %q", mbName, inst)
+	}
+	if len(t.Group(mbName)) <= 1 {
+		return fmt.Errorf("core: middle-box %q: refusing to drain the last instance", mbName)
+	}
+	if in.MB != nil {
+		if !in.MB.Relay.Quiesced() {
+			st := in.MB.Relay.DrainStatus()
+			return fmt.Errorf("core: instance %q not quiesced (draining=%v sessions=%d journal=%dB)",
+				inst, st.Draining, st.Sessions, st.JournalBytes)
+		}
+	} else if g := t.steeringGroup(mbName); g == nil || !g.Draining(inst) {
+		return fmt.Errorf("core: instance %q is not draining", inst)
+	}
+	t.mu.Lock()
+	insts := t.Groups[mbName]
+	for i, e := range insts {
+		if e == in {
+			t.Groups[mbName] = append(insts[:i:i], insts[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+	// Reinstalling the chains shrinks the select group, which also prunes
+	// the removed member's flow bindings and drain mark.
+	if err := t.reinstallChains(mbName); err != nil {
+		return err
+	}
+	if in.MB != nil {
+		return t.platform.cloud.RemoveMiddleBox(in.Name)
+	}
+	return nil
+}
+
+// MemberStatus is one group member's scale/drain snapshot.
+type MemberStatus struct {
+	Name         string
+	Host         string
+	Draining     bool
+	Sessions     int
+	JournalBytes int
+	// CopyThreads is the member's concurrent copy bound — the denominator
+	// for utilization (0 = unbounded).
+	CopyThreads int
+}
+
+// GroupStatus snapshots every member of a scalable middle-box group.
+func (t *TenantDeployment) GroupStatus(mbName string) []MemberStatus {
+	g := t.steeringGroup(mbName)
+	insts := t.Group(mbName)
+	out := make([]MemberStatus, 0, len(insts))
+	for _, in := range insts {
+		ms := MemberStatus{Name: in.Name, Host: in.Host}
+		if g != nil {
+			ms.Draining = g.Draining(in.Name)
+		}
+		if in.MB != nil {
+			st := in.MB.Relay.DrainStatus()
+			ms.Draining = ms.Draining || st.Draining
+			ms.Sessions = st.Sessions
+			ms.JournalBytes = st.JournalBytes
+			ms.CopyThreads = in.MB.Relay.CopyThreads()
+		}
+		out = append(out, ms)
+	}
+	return out
 }

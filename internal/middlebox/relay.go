@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockdev"
@@ -55,6 +56,13 @@ type CostModel struct {
 	MTU int
 	// BatchSize is the TCP-stack copy granularity for active accounting.
 	BatchSize int
+	// CopyThreads bounds the relay VM's concurrent packet-copy paths: the
+	// paper identifies the intra-host packet copy as single-threaded, so a
+	// small middle-box VM serializes interception across its sessions and
+	// becomes a per-instance throughput ceiling — the saturation signal the
+	// scale-out orchestrator reacts to. 0 leaves copies unbounded (the
+	// legacy behaviour, a VM with as many vCPUs as sessions).
+	CopyThreads int
 }
 
 // DefaultJournalCapacity bounds the active relay's NVRAM buffer when the
@@ -140,6 +148,11 @@ type Config struct {
 	Logger *log.Logger
 }
 
+// ErrDraining reports a login refused because the relay is draining: the
+// orchestrator has stopped steering new flows here ahead of a scale-down,
+// and the relay refuses new sessions while the established ones log out.
+var ErrDraining = errors.New("middlebox: relay is draining")
+
 // Relay is a middle-box's storage relay: pseudo-server toward the source,
 // pseudo-client toward the next hop, with the tenant's service chain in
 // between.
@@ -151,6 +164,16 @@ type Relay struct {
 
 	journalMu  sync.Mutex
 	journalAll []*Journal // every journal created for active sessions
+
+	draining atomic.Bool
+	sessions atomic.Int64
+
+	// copyGate, when non-nil, serializes interception across the relay's
+	// sessions (CostModel.CopyThreads concurrent copies).
+	copyGate chan struct{}
+
+	sessionsGauge *obs.Gauge
+	busyNS        *obs.Counter
 }
 
 // NewRelay builds a relay from the configuration.
@@ -161,10 +184,17 @@ func NewRelay(cfg Config) (*Relay, error) {
 	if cfg.Dial == nil && cfg.Endpoint == nil {
 		return nil, errors.New("middlebox: relay needs Dial or Endpoint")
 	}
-	if cfg.Cost == (CostModel{}) {
-		cfg.Cost = DefaultCostModel()
+	if threads := cfg.Cost.CopyThreads; cfg.Cost == (CostModel{CopyThreads: threads}) {
+		def := DefaultCostModel()
+		def.CopyThreads = threads
+		cfg.Cost = def
 	}
 	r := &Relay{cfg: cfg, journals: make(chan *Journal, 64)}
+	if cfg.Cost.CopyThreads > 0 {
+		r.copyGate = make(chan struct{}, cfg.Cost.CopyThreads)
+	}
+	r.sessionsGauge = cfg.Obs.Gauge("relay." + cfg.Name + ".sessions")
+	r.busyNS = cfg.Obs.Counter("relay." + cfg.Name + ".busy_ns")
 	r.srv = target.NewServer(
 		target.WithResolver(r.resolve),
 		target.WithLogger(cfg.Logger),
@@ -177,6 +207,70 @@ func (r *Relay) Serve(ln net.Listener) { r.srv.Serve(ln) }
 
 // Close stops the relay and drains sessions.
 func (r *Relay) Close() { r.srv.Close() }
+
+// Drain puts the relay into draining mode: new sessions are refused with
+// ErrDraining while established sessions keep running. Together with the
+// steering layer's drain mark (no new flows hash here) this quiesces the
+// instance so a scale-down can tear it down with zero data loss.
+func (r *Relay) Drain() { r.draining.Store(true) }
+
+// CancelDrain returns a draining relay to normal service.
+func (r *Relay) CancelDrain() { r.draining.Store(false) }
+
+// Draining reports whether the relay refuses new sessions.
+func (r *Relay) Draining() bool { return r.draining.Load() }
+
+// ActiveSessions returns the number of live front sessions.
+func (r *Relay) ActiveSessions() int { return int(r.sessions.Load()) }
+
+// CopyThreads returns the relay's interception concurrency bound (0 =
+// unbounded); the orchestrator uses it as the utilization denominator.
+func (r *Relay) CopyThreads() int { return r.cfg.Cost.CopyThreads }
+
+// JournalBytes returns the early-acknowledged write bytes still unapplied
+// across every session journal — data that would be lost if the instance
+// were torn down now.
+func (r *Relay) JournalBytes() int {
+	total := 0
+	for _, j := range r.AllJournals() {
+		total += j.UsedBytes()
+	}
+	return total
+}
+
+// JournalPending returns the journaled-but-unapplied entry count across
+// every session journal.
+func (r *Relay) JournalPending() int {
+	total := 0
+	for _, j := range r.AllJournals() {
+		total += j.Pending()
+	}
+	return total
+}
+
+// Quiesced reports whether a draining relay has fully wound down: no live
+// sessions and an empty write-back journal.
+func (r *Relay) Quiesced() bool {
+	return r.Draining() && r.ActiveSessions() == 0 && r.JournalBytes() == 0 && r.JournalPending() == 0
+}
+
+// DrainStatus is a snapshot of the relay's wind-down progress.
+type DrainStatus struct {
+	Draining       bool
+	Sessions       int
+	JournalBytes   int
+	JournalPending int
+}
+
+// DrainStatus reports the relay's current drain progress.
+func (r *Relay) DrainStatus() DrainStatus {
+	return DrainStatus{
+		Draining:       r.Draining(),
+		Sessions:       r.ActiveSessions(),
+		JournalBytes:   r.JournalBytes(),
+		JournalPending: r.JournalPending(),
+	}
+}
 
 // Journals returns a channel delivering the journal of each active-mode
 // session as it is created (for observability and tests). Delivery is
@@ -243,6 +337,9 @@ func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, erro
 // resolve is the pseudo-server's device resolver: it opens the backend stack
 // through openBackend and adds the mode-specific decorators.
 func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error) {
+	if r.draining.Load() {
+		return nil, false, ErrDraining
+	}
 	next := r.cfg.NextHop
 	if next.IsZero() {
 		nc, ok := conn.(*netsim.Conn)
@@ -280,10 +377,21 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		// down clean; journals holding failures (or bytes) stay for audit.
 		stack = &closeHookDevice{Device: stack, hook: func() { r.retireJournal(j) }}
 	}
-	stack = newInterceptDevice(stack, r.cfg.Mode, r.cfg.Cost, r.cfg.CPU)
+	id := newInterceptDevice(stack, r.cfg.Mode, r.cfg.Cost, r.cfg.CPU)
+	id.gate = r.copyGate
+	id.busy = r.busyNS
+	stack = id
 	// The outermost probe times the whole relay service path: interception,
 	// tenant services, journaling, and the downstream forward.
 	stack = blockdev.NewObservedDisk(stack, r.cfg.Obs, obs.RelayServiceStage(r.cfg.Name))
+	// Count the session for drain tracking; the hook fires when the
+	// pseudo-server closes the session's device at logout.
+	r.sessions.Add(1)
+	r.sessionsGauge.Add(1)
+	stack = &closeHookDevice{Device: stack, hook: func() {
+		r.sessions.Add(-1)
+		r.sessionsGauge.Add(-1)
+	}}
 	return stack, true, nil
 }
 
@@ -326,6 +434,10 @@ type interceptDevice struct {
 	mode Mode
 	cost CostModel
 	cpu  *metrics.CPUAccount
+	// gate, when non-nil, bounds concurrent copies across the relay's
+	// sessions (CostModel.CopyThreads); busy accumulates charged copy time.
+	gate chan struct{}
+	busy *obs.Counter
 }
 
 var _ blockdev.Device = (*interceptDevice)(nil)
@@ -339,7 +451,14 @@ func (d *interceptDevice) charge(n int) {
 	if c <= 0 {
 		return
 	}
+	if d.gate != nil {
+		d.gate <- struct{}{}
+	}
 	simtime.Sleep(c)
+	if d.gate != nil {
+		<-d.gate
+	}
+	d.busy.Add(int64(c))
 	if d.cpu != nil {
 		d.cpu.Charge("intercept", c)
 	}

@@ -64,6 +64,18 @@ func (h *Host) NewGuest(name, instanceIP string) (*Endpoint, error) {
 	return ep, nil
 }
 
+// RemoveGuest releases a guest's instance-network address so the host can
+// place another guest there (scale-down teardown). Endpoints holding the
+// address keep working until closed; only the ownership registration goes.
+func (h *Host) RemoveGuest(instanceIP string) {
+	if instanceIP == "" {
+		return
+	}
+	h.fabric.mu.Lock()
+	defer h.fabric.mu.Unlock()
+	delete(h.guestIPs, guestKey{InstanceNet, instanceIP})
+}
+
 // Endpoint is a dialing/listening identity attached to a host: either a
 // host-level process or a guest VM.
 type Endpoint struct {

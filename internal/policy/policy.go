@@ -43,13 +43,28 @@ type MiddleBoxSpec struct {
 	Host string `json:"host,omitempty"`
 	// Mode selects active or passive relaying (active by default).
 	Mode Mode `json:"mode,omitempty"`
-	// VCPUs and MemoryMB size the middle-box VM.
+	// VCPUs and MemoryMB size the middle-box VM. VCPUs also bounds the
+	// relay's concurrent packet-copy paths unless the "copyThreads" param
+	// overrides it.
 	VCPUs    int `json:"vcpus,omitempty"`
 	MemoryMB int `json:"memoryMB,omitempty"`
+	// MinInstances / MaxInstances turn the middle-box into an elastic
+	// instance group: the platform provisions MinInstances members up
+	// front (default 1) and the orchestrator may grow the group to
+	// MaxInstances (default MinInstances) under load. Only stateless
+	// services — encryption and forward — may scale beyond one instance;
+	// monitors reconstruct a single file-system view and replication owns
+	// its backup volumes, so splitting their flows would diverge state.
+	MinInstances int `json:"minInstances,omitempty"`
+	MaxInstances int `json:"maxInstances,omitempty"`
 	// Params carries service-specific settings:
 	//   encryption:  "key" (64 hex chars)
 	//   replication: "replicas" (total copies, >= 2)
 	//   access-monitor: "watch" (comma-separated path prefixes)
+	// plus relay tuning knobs:
+	//   "copyThreads"         concurrent copy paths (overrides VCPUs)
+	//   "interceptPerBatchNs" active-relay per-batch copy cost
+	//   "interceptBatchBytes" active-relay copy batch size
 	Params map[string]string `json:"params,omitempty"`
 }
 
@@ -132,6 +147,19 @@ func (p *Policy) Validate() error {
 		if mb.Type == TypeForward && mb.Mode != "" && mb.Mode != ModeForward {
 			return fmt.Errorf("policy: middle-box %q: forward type cannot run a relay", mb.Name)
 		}
+		if mb.MinInstances < 0 || mb.MaxInstances < 0 {
+			return fmt.Errorf("policy: middle-box %q: negative instance bounds", mb.Name)
+		}
+		min, max := mb.EffectiveMinInstances(), mb.EffectiveMaxInstances()
+		if max > 16 {
+			return fmt.Errorf("policy: middle-box %q: maxInstances %d exceeds the cap of 16", mb.Name, max)
+		}
+		if max < min {
+			return fmt.Errorf("policy: middle-box %q: maxInstances %d below minInstances %d", mb.Name, max, min)
+		}
+		if max > 1 && mb.Type != TypeEncryption && mb.Type != TypeForward {
+			return fmt.Errorf("policy: middle-box %q: type %q cannot scale beyond one instance", mb.Name, mb.Type)
+		}
 	}
 	if len(p.Volumes) == 0 {
 		return fmt.Errorf("policy: at least one volume binding required")
@@ -184,4 +212,41 @@ func (m *MiddleBoxSpec) Key() ([]byte, error) {
 func (m *MiddleBoxSpec) Replicas() int {
 	n, _ := strconv.Atoi(m.Params["replicas"])
 	return n
+}
+
+// EffectiveMinInstances resolves the group's initial size (default 1).
+func (m *MiddleBoxSpec) EffectiveMinInstances() int {
+	if m.MinInstances <= 0 {
+		return 1
+	}
+	return m.MinInstances
+}
+
+// EffectiveMaxInstances resolves the group's growth ceiling (default the
+// minimum: a fixed-size group).
+func (m *MiddleBoxSpec) EffectiveMaxInstances() int {
+	if m.MaxInstances <= 0 {
+		return m.EffectiveMinInstances()
+	}
+	return m.MaxInstances
+}
+
+// Scalable reports whether the middle-box is an elastic instance group.
+func (m *MiddleBoxSpec) Scalable() bool {
+	return m.EffectiveMaxInstances() > 1
+}
+
+// CopyThreads resolves the relay's concurrent copy-path bound: the
+// "copyThreads" param when set, otherwise the VM's vCPU count, otherwise 0
+// (unbounded).
+func (m *MiddleBoxSpec) CopyThreads() int {
+	if v := m.Params["copyThreads"]; v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			return n
+		}
+	}
+	if m.VCPUs > 0 {
+		return m.VCPUs
+	}
+	return 0
 }

@@ -140,6 +140,24 @@ func (p *Plane) RegisterMB(info MBInfo) error {
 	return nil
 }
 
+// UnregisterMB removes a middle-box registration and releases its protected
+// address — the scale-down teardown counterpart of RegisterMB. Unknown names
+// are a no-op. Established connections through the instance keep flowing
+// (routes resolve at dial time); the orchestrator only calls this once the
+// instance has drained.
+func (p *Plane) UnregisterMB(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info, ok := p.mbs[name]
+	if !ok {
+		return
+	}
+	delete(p.mbs, name)
+	if info.InstanceIP != "" {
+		delete(p.protected, info.InstanceIP)
+	}
+}
+
 // Deploy installs a deployment: the gateway pair joins the protected set
 // and the chain's flow rules are pushed to the virtual switches.
 func (p *Plane) Deploy(d *Deployment) error {

@@ -75,11 +75,18 @@ func (m Match) Matches(f netsim.Flow, station string) bool {
 type Action struct {
 	Mode Mode
 	// Station names the next middle-box (its host for forwarding mode).
+	// For group actions it names the group; the serving instance comes
+	// from Group.Select.
 	Station string
 	// Host is the physical host the station runs on.
 	Host string
 	// TerminateAddr is the relay listener address for ModeTerminate.
 	TerminateAddr netsim.Addr
+	// Group, when non-nil, makes this a select-group action: the next
+	// station is not fixed but resolved per flow with sticky affinity.
+	// Station/Host/TerminateAddr above are ignored in favour of the
+	// selected member's.
+	Group *Group
 }
 
 // Rule is a prioritized flow-table entry.

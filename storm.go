@@ -44,6 +44,7 @@ import (
 	"repro/internal/minidb"
 	"repro/internal/netsim"
 	"repro/internal/objstore"
+	"repro/internal/orchestrator"
 	"repro/internal/policy"
 	"repro/internal/semantic"
 	"repro/internal/services/crypt"
@@ -86,6 +87,19 @@ type (
 	MiddleBoxSpec = policy.MiddleBoxSpec
 	// VolumeBinding routes one VM's volume through a middle-box chain.
 	VolumeBinding = policy.VolumeBinding
+)
+
+// Scale-out orchestration types.
+type (
+	// Orchestrator is the autoscaling control loop for elastic middle-box
+	// instance groups (minInstances/maxInstances in a MiddleBoxSpec).
+	Orchestrator = orchestrator.Orchestrator
+	// OrchestratorConfig tunes the reconcile loop.
+	OrchestratorConfig = orchestrator.Config
+	// MemberStatus reports one group member's sessions and drain progress.
+	MemberStatus = core.MemberStatus
+	// MBInstance is one member of a middle-box instance group.
+	MBInstance = core.MBInstance
 )
 
 // Service types.
@@ -158,6 +172,10 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) { return cloud.New(cfg) }
 
 // NewPlatform wraps a cloud with the StorM control plane.
 func NewPlatform(c *Cloud) *Platform { return core.New(c) }
+
+// NewOrchestrator builds the autoscaling control loop for middle-box
+// instance groups; Manage enrolls a tenant's group, Start runs the loop.
+func NewOrchestrator(cfg OrchestratorConfig) *Orchestrator { return orchestrator.New(cfg) }
 
 // ParsePolicy decodes and validates a JSON tenant policy.
 func ParsePolicy(data []byte) (*Policy, error) { return policy.Parse(data) }
