@@ -1,16 +1,18 @@
 # Pre-commit gate: `make check` runs the format/vet/build gate plus the
 # race-enabled tests of the packages with the hottest concurrency
-# (metrics, obs, middlebox, netsim, bufpool, and the scale-out control
-# plane: sdn, splice, vswitch, core, orchestrator). `make test` is the
-# full suite. `make bench` prints the data-plane microbenchmarks with
-# allocation stats and appends a dated before/after summary to
-# BENCH_results.json (via stormbench -fastpath).
+# (metrics, obs, middlebox, netsim, bufpool, the durable WAL, and the
+# scale-out control plane: sdn, splice, vswitch, core, orchestrator).
+# `make test` is the full suite. `make bench` prints the data-plane
+# microbenchmarks with allocation stats and appends a dated before/after
+# summary to BENCH_results.json (via stormbench -fastpath). `make crash`
+# runs the WAL durability-cost sweep and the kill/replay scenarios
+# (stormbench -crash, non-zero exit on data loss).
 
 GO ?= go
-RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator
+RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench crash
 
 check: fmt vet build race
 
@@ -35,3 +37,6 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench 'PDU|Encode|Writeback|Chain|GetRelease' -benchmem $(BENCH_PKGS)
 	$(GO) run ./cmd/stormbench -fastpath
+
+crash:
+	$(GO) run ./cmd/stormbench -crash

@@ -13,6 +13,7 @@
 //	stormbench -fastpath       # data-plane microbenchmarks vs recorded baseline
 //	stormbench -scale          # throughput-vs-instances scale-out sweep
 //	stormbench -chaos          # failure-injection smoke suite (non-zero exit on data loss)
+//	stormbench -crash          # WAL durability cost + kill/replay suite (non-zero exit on data loss)
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 //	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -47,6 +48,7 @@ type benchResults struct {
 	FastPath            []experiments.FastPathRun            `json:"fastpath,omitempty"`
 	Scaling             []experiments.ScalingRun             `json:"scaling,omitempty"`
 	Chaos               []experiments.ChaosResult            `json:"chaos,omitempty"`
+	Crash               []experiments.CrashRun               `json:"crash,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
@@ -58,6 +60,7 @@ func main() {
 		fastpath   = flag.Bool("fastpath", false, "run only the data-plane microbenchmarks (before/after comparison)")
 		scale      = flag.Bool("scale", false, "run only the scale-out throughput-vs-instances sweep")
 		chaos      = flag.Bool("chaos", false, "run only the failure-injection smoke suite (exit non-zero on data loss)")
+		crash      = flag.Bool("crash", false, "run only the WAL durability-cost and kill/replay suite (exit non-zero on data loss)")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
@@ -70,7 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *table, *ablations, *fastpath, *scale, *chaos, *ops, *repDur, *jsonPath)
+	err = run(*fig, *table, *ablations, *fastpath, *scale, *chaos, *crash, *ops, *repDur, *jsonPath)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
@@ -113,9 +116,9 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly bool, ops int, repDur time.Duration, jsonPath string) error {
+func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, crashOnly bool, ops int, repDur time.Duration, jsonPath string) error {
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -146,6 +149,25 @@ func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly bool,
 			}
 		}
 		if chaosOnly {
+			return nil
+		}
+	}
+
+	if crashOnly || all {
+		section("Crash durability: WAL fsync cost and kill/replay")
+		crashRun, err := experiments.RunCrashSuite()
+		if err != nil {
+			return err
+		}
+		crashRun.When = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.FormatCrash(crashRun))
+		results.Crash = []experiments.CrashRun{*crashRun}
+		for _, r := range crashRun.Replay {
+			if r.DataLoss {
+				return fmt.Errorf("crash scenario %s lost data: %s", r.Scenario, r.Detail)
+			}
+		}
+		if crashOnly {
 			return nil
 		}
 	}
@@ -306,10 +328,12 @@ func writeResults(path string, r *benchResults) error {
 		var prev struct {
 			FastPath []experiments.FastPathRun `json:"fastpath"`
 			Scaling  []experiments.ScalingRun  `json:"scaling"`
+			Crash    []experiments.CrashRun    `json:"crash"`
 		}
 		if json.Unmarshal(old, &prev) == nil {
 			r.FastPath = append(prev.FastPath, r.FastPath...)
 			r.Scaling = append(prev.Scaling, r.Scaling...)
+			r.Crash = append(prev.Crash, r.Crash...)
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/initiator"
@@ -188,6 +189,14 @@ func (c *Cloud) pickHost() string {
 // members across the least-loaded hosts (guests already placed count as
 // load) so a scaled group doesn't stack its instances on one machine.
 func (c *Cloud) PlaceHosts(n int) []string {
+	return c.PlaceHostsAvoiding(n, nil)
+}
+
+// PlaceHostsAvoiding is PlaceHosts with a deny-list: hosts in avoid are
+// skipped unless nothing else exists. Crash recovery uses it to place a
+// replacement instance away from the machine that just took its
+// predecessor down.
+func (c *Cloud) PlaceHostsAvoiding(n int, avoid map[string]bool) []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	load := make(map[string]int, len(c.computes))
@@ -197,10 +206,19 @@ func (c *Cloud) PlaceHosts(n int) []string {
 	for _, mb := range c.mbs {
 		load[mb.Host]++
 	}
+	candidates := make([]*netsim.Host, 0, len(c.computes))
+	for _, h := range c.computes {
+		if !avoid[h.Name()] {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = c.computes // single-host cloud: nowhere else to go
+	}
 	out := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		best := ""
-		for _, h := range c.computes {
+		for _, h := range candidates {
 			if best == "" || load[h.Name()] < load[best] {
 				best = h.Name()
 			}
@@ -318,6 +336,13 @@ type MBSpec struct {
 	BuildServices func(mb *MiddleBox) ([]middlebox.ServiceFactory, error)
 	// JournalCapacity bounds the active relay's NVRAM buffer.
 	JournalCapacity int
+	// JournalDir, when set, gives the relay a crash-durable journal: a
+	// per-session WAL under this directory that survives CrashMiddleBox
+	// and can be replayed by a replacement via Relay.RecoverFrom.
+	JournalDir string
+	// JournalSyncWindow is the durable journal's group-commit fsync window
+	// (0 = sync every append).
+	JournalSyncWindow time.Duration
 	// Cost is the relay's interception cost model; a zero model keeps the
 	// relay's defaults. CopyThreads in particular sizes the instance's
 	// concurrent copy paths (its per-instance throughput ceiling).
@@ -355,14 +380,16 @@ func (c *Cloud) LaunchMiddleBox(spec MBSpec) (*MiddleBox, error) {
 		}
 	}
 	relay, err := middlebox.NewRelay(middlebox.Config{
-		Name:            name,
-		Mode:            spec.Mode,
-		Endpoint:        ep,
-		Services:        services,
-		JournalCapacity: spec.JournalCapacity,
-		Cost:            spec.Cost,
-		CPU:             h.CPU(),
-		Obs:             obs.Default(),
+		Name:              name,
+		Mode:              spec.Mode,
+		Endpoint:          ep,
+		Services:          services,
+		JournalCapacity:   spec.JournalCapacity,
+		JournalDir:        spec.JournalDir,
+		JournalSyncWindow: spec.JournalSyncWindow,
+		Cost:              spec.Cost,
+		CPU:               h.CPU(),
+		Obs:               obs.Default(),
 	})
 	if err != nil {
 		return nil, err
@@ -414,6 +441,32 @@ func (c *Cloud) RemoveMiddleBox(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
 	}
 	mb.Close()
+	c.Plane.UnregisterMB(name)
+	if h := c.Fabric.Host(mb.Host); h != nil {
+		h.RemoveGuest(mb.InstanceIP)
+	}
+	return nil
+}
+
+// CrashMiddleBox simulates the middle-box VM dying: the relay crash-stops
+// (journals freeze, appliers halt, sessions sever — see Relay.Kill), the
+// splice plane forgets the station, and the host reclaims the guest slot.
+// Unlike RemoveMiddleBox there is no drain: acknowledged-but-unapplied
+// writes survive only in the relay's durable journal directory, which is
+// deliberately left on disk for a replacement instance to recover.
+func (c *Cloud) CrashMiddleBox(name string) error {
+	c.mu.Lock()
+	mb, ok := c.mbs[name]
+	if ok {
+		delete(c.mbs, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
+	}
+	obs.Default().Eventf("cloud", "middle-box %s crashed on %s", name, mb.Host)
+	mb.Relay.Kill()
+	_ = mb.listener.Close()
 	c.Plane.UnregisterMB(name)
 	if h := c.Fabric.Host(mb.Host); h != nil {
 		h.RemoveGuest(mb.InstanceIP)

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -102,6 +103,11 @@ type Platform struct {
 	tenants map[string]*TenantDeployment
 	pending map[string]bool // tenants with an Apply in flight
 	nextGW  int
+
+	// stateDir roots the durable per-instance journal directories
+	// (<stateDir>/<instance name>). Empty disables durable journaling even
+	// for policies that request it.
+	stateDir string
 }
 
 // New builds a platform over the cloud.
@@ -115,6 +121,36 @@ func New(c *cloud.Cloud) *Platform {
 
 // Cloud returns the underlying infrastructure.
 func (p *Platform) Cloud() *cloud.Cloud { return p.cloud }
+
+// SetStateDir points the platform at the directory holding durable
+// middle-box journals. Policies with the "durableJournal" param refuse to
+// deploy until this is set: a WAL with nowhere durable to live would
+// silently void the crash contract.
+func (p *Platform) SetStateDir(dir string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stateDir = dir
+}
+
+// StateDir returns the durable-journal root ("" when unset).
+func (p *Platform) StateDir() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stateDir
+}
+
+// journalDir returns the durable journal directory for an instance name
+// ("" when the spec does not request one).
+func (p *Platform) journalDir(spec *policy.MiddleBoxSpec, name string) (string, error) {
+	if !spec.DurableJournal() {
+		return "", nil
+	}
+	root := p.StateDir()
+	if root == "" {
+		return "", fmt.Errorf("core: middle-box %q requests durableJournal but the platform has no state dir (SetStateDir)", spec.Name)
+	}
+	return filepath.Join(root, name), nil
+}
 
 // allocGatewayIP hands out gateway addresses in the tenant network space.
 func (p *Platform) allocGatewayIP() string {
@@ -323,12 +359,18 @@ func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, d
 	if err != nil {
 		return nil, err
 	}
+	jdir, err := p.journalDir(spec, name)
+	if err != nil {
+		return nil, err
+	}
 	return p.cloud.LaunchMiddleBox(cloud.MBSpec{
-		Name:          name,
-		Host:          host,
-		Mode:          mode,
-		BuildServices: build,
-		Cost:          cost,
+		Name:              name,
+		Host:              host,
+		Mode:              mode,
+		BuildServices:     build,
+		Cost:              cost,
+		JournalDir:        jdir,
+		JournalSyncWindow: spec.JournalFsyncWindow(),
 	})
 }
 
@@ -854,11 +896,112 @@ type MemberStatus struct {
 	Name         string
 	Host         string
 	Draining     bool
+	Crashed      bool
 	Sessions     int
 	JournalBytes int
 	// CopyThreads is the member's concurrent copy bound — the denominator
 	// for utilization (0 = unbounded).
 	CopyThreads int
+}
+
+// RecoverInstance replaces a crashed group member: it verifies the member's
+// relay crash-stopped, removes it from the steering group, provisions a
+// replacement on a surviving host under a fresh (never reused) instance
+// index, replays the crashed instance's durable journals through the
+// replacement's service chain, and re-attaches every volume steered through
+// the group so parked flows resume. It returns the replacement instance and
+// how many journal records the replay delivered — writes the crashed relay
+// acknowledged but never applied to the backing volume.
+func (t *TenantDeployment) RecoverInstance(mbName, inst string) (*MBInstance, int, error) {
+	t.scaleMu.Lock()
+	defer t.scaleMu.Unlock()
+	spec := t.spec(mbName)
+	if spec == nil {
+		return nil, 0, fmt.Errorf("core: tenant %q has no middle-box %q", t.Tenant, mbName)
+	}
+	in := t.instance(mbName, inst)
+	if in == nil {
+		return nil, 0, fmt.Errorf("core: middle-box %q has no instance %q", mbName, inst)
+	}
+	if in.MB == nil {
+		return nil, 0, fmt.Errorf("core: instance %q is a forward hop; nothing to recover", inst)
+	}
+	if !in.MB.Relay.Killed() {
+		return nil, 0, fmt.Errorf("core: instance %q has not crashed", inst)
+	}
+	p := t.platform
+
+	// The crashed member leaves the group; its instance index is burned so
+	// the replacement's station name can never collide with stale steering
+	// state.
+	t.mu.Lock()
+	insts := t.Groups[mbName]
+	for i, e := range insts {
+		if e == in {
+			t.Groups[mbName] = append(insts[:i:i], insts[i+1:]...)
+			break
+		}
+	}
+	idx := t.groupSeq[mbName]
+	t.groupSeq[mbName] = idx + 1
+	t.mu.Unlock()
+
+	name := fmt.Sprintf("%s-%s-%d", t.Tenant, mbName, idx)
+	host := spec.Host
+	if host == "" {
+		host = p.cloud.PlaceHostsAvoiding(1, map[string]bool{in.Host: true})[0]
+	}
+	mb, err := p.provisionMB(t.pol, spec, t, name, host)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: replacement for crashed %q: %w", inst, err)
+	}
+	repl := &MBInstance{Name: name, Host: host, MB: mb}
+	t.mu.Lock()
+	t.Groups[mbName] = append(t.Groups[mbName], repl)
+	t.mu.Unlock()
+
+	// Reinstalling the chains swaps the select-group membership and prunes
+	// the dead member's flow bindings, so reconnects hash onto survivors.
+	if err := t.reinstallChains(mbName); err != nil {
+		return repl, 0, err
+	}
+
+	// Replay the crashed instance's durable journals through the
+	// replacement's service chain before any client traffic reconnects:
+	// recovered writes land first, so a retried in-flight write can never be
+	// overwritten by an older journal record.
+	replayed := 0
+	if dir, derr := p.journalDir(spec, inst); derr == nil && dir != "" {
+		n, rerr := mb.Relay.RecoverFrom(dir)
+		if rerr != nil {
+			return repl, n, fmt.Errorf("core: journal replay of crashed %q: %w", inst, rerr)
+		}
+		replayed = n
+	}
+
+	// Un-park: re-run the atomic attachment for every volume steered
+	// through this group. The old VM-side devices died with the relay.
+	for _, vb := range t.pol.Volumes {
+		uses := false
+		for _, n := range vb.Chain {
+			if n == mbName {
+				uses = true
+			}
+		}
+		if !uses {
+			continue
+		}
+		key := vb.VM + "/" + vb.Volume
+		if av, ok := t.Volumes[key]; ok {
+			_ = av.Device.Close()
+		}
+		if err := t.Reattach(key); err != nil {
+			return repl, replayed, err
+		}
+	}
+	obs.Default().Eventf("core", "tenant %s: crashed %s/%s recovered onto %s (host %s, %d journal records replayed)",
+		t.Tenant, mbName, inst, name, host, replayed)
+	return repl, replayed, nil
 }
 
 // GroupStatus snapshots every member of a scalable middle-box group.
@@ -872,6 +1015,7 @@ func (t *TenantDeployment) GroupStatus(mbName string) []MemberStatus {
 			ms.Draining = g.Draining(in.Name)
 		}
 		if in.MB != nil {
+			ms.Crashed = in.MB.Relay.Killed()
 			st := in.MB.Relay.DrainStatus()
 			ms.Draining = ms.Draining || st.Draining
 			ms.Sessions = st.Sessions

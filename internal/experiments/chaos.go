@@ -31,9 +31,12 @@ type ChaosResult struct {
 	// JournalFailures counts write attempts the outage failed (later
 	// replayed); zero faults hitting the data path makes the run vacuous,
 	// so the scenario reports it.
-	JournalFailures int    `json:"journal_failures,omitempty"`
-	DataLoss        bool   `json:"data_loss"`
-	Detail          string `json:"detail"`
+	JournalFailures int `json:"journal_failures,omitempty"`
+	// Replayed counts journal records a crash recovery delivered to the
+	// backend (kill/replay scenarios).
+	Replayed int    `json:"replayed,omitempty"`
+	DataLoss bool   `json:"data_loss"`
+	Detail   string `json:"detail"`
 }
 
 // RunChaosSuite executes every chaos scenario and returns the results.
@@ -68,7 +71,7 @@ func FormatChaos(results []ChaosResult) string {
 // chaosRelayWorkload runs one VM→active-relay→target write workload over
 // the netsim fabric, cutting the relay→storage link at the given logical
 // ticks, and returns the read-back content hash plus the session journal.
-func chaosRelayWorkload(cuts ...uint64) (sum [32]byte, j *middlebox.Journal, err error) {
+func chaosRelayWorkload(cuts ...uint64) (sum [32]byte, j middlebox.Journal, err error) {
 	model := netsim.Model{MTU: 8 * 1024, Bandwidth: 1 << 32,
 		Latency: map[netsim.HopKind]time.Duration{}, PerPacket: map[netsim.HopKind]time.Duration{}}
 	fab := netsim.NewFabric(model)

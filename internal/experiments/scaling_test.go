@@ -151,6 +151,13 @@ func drainEqualityRun(t *testing.T, drain bool) map[string][32]byte {
 	write("vmA", 2)
 	write("vmB", 2)
 
+	// Writes are early-acked; flush so the backing store holds every
+	// acknowledged byte before it is hashed.
+	for vm, id := range vols {
+		if err := dep.Volumes[vm+"/"+id].Device.Flush(); err != nil {
+			t.Fatalf("flush %s: %v", vm, err)
+		}
+	}
 	hashes := make(map[string][32]byte, len(vols))
 	for vm, id := range vols {
 		vol, err := c.Volumes.Get(id)

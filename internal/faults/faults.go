@@ -86,6 +86,28 @@ func (s *Schedule) Fired() []string {
 	return append([]string(nil), s.fired...)
 }
 
+// CrashPoint derives a deterministic logical tick in [lo, hi) from a seed:
+// the arbitrary-but-reproducible "kill the process here" point crash tests
+// sweep. Distinct seeds spread across the range; the same seed always
+// lands on the same tick.
+func CrashPoint(seed int64, lo, hi uint64) uint64 {
+	if hi <= lo {
+		return lo
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return lo + uint64(rng.Int63n(int64(hi-lo)))
+}
+
+// Crash registers kill on sched at a seed-chosen tick in [lo, hi) and
+// returns the chosen tick. The kill runs mid-workload, after the event
+// that advances the clock to the tick — a process dying between two
+// acknowledged operations.
+func Crash(sched *Schedule, seed int64, lo, hi uint64, kill func()) uint64 {
+	tick := CrashPoint(seed, lo, hi)
+	sched.At(tick, "crash", kill)
+	return tick
+}
+
 // Backoff computes capped exponential delays with deterministic jitter:
 // attempt n waits in [d/2, d) where d = min(Base·2ⁿ, Cap), the half-range
 // drawn from a seeded generator so a given seed always produces the same

@@ -122,7 +122,7 @@ func TestRelayRetiresJournalsAcrossSessionChurn(t *testing.T) {
 // the given logical ticks, and returns the content hash read back through
 // the relay plus the session journal for post-run audit. Fault timing is
 // purely schedule-driven: the clock advances once per acknowledged write.
-func chaosRun(t *testing.T, cuts ...uint64) ([32]byte, *Journal) {
+func chaosRun(t *testing.T, cuts ...uint64) ([32]byte, Journal) {
 	t.Helper()
 	model := netsim.Model{MTU: 8 * 1024, Bandwidth: 1 << 32,
 		Latency: map[netsim.HopKind]time.Duration{}, PerPacket: map[netsim.HopKind]time.Duration{}}

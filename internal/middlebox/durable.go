@@ -1,0 +1,214 @@
+package middlebox
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bufpool"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// DurableJournal is the crash-durable Journal: every append is written to a
+// segmented on-disk WAL and fsynced before Append returns, so the early-ack
+// contract holds across a middle-box crash — the paper's NVRAM journal
+// realized with a write-ahead log. The in-memory entry map mirrors the
+// unapplied set for the hot paths (dispatch, drain gates, backend-outage
+// replay); the WAL is the recovery truth a replacement instance reopens.
+type DurableJournal struct {
+	mu       sync.Mutex
+	log      *wal.Log
+	capacity int
+	used     int
+	pending  int
+	entries  map[uint64]*Entry
+	failures failureRing
+	closed   bool
+
+	usedGauge *obs.Gauge
+}
+
+// NewDurableJournal creates a journal backed by a fresh WAL in dir. Meta
+// identifies the journal to recovery (the relay records the backend volume
+// and next hop). Capacity bounds in-flight bytes (0 means unbounded); opts
+// tunes segment size and the group-commit fsync window.
+func NewDurableJournal(dir string, meta wal.Meta, capacity int, opts wal.Options) (*DurableJournal, error) {
+	log, err := wal.Create(dir, meta, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableJournal{
+		log:       log,
+		capacity:  capacity,
+		entries:   make(map[uint64]*Entry),
+		failures:  newFailureRing(),
+		usedGauge: obs.Default().Gauge("journal.used_bytes"),
+	}, nil
+}
+
+// Dir returns the WAL directory a recovery scan would reopen.
+func (j *DurableJournal) Dir() string { return j.log.Dir() }
+
+// Append journals the write durably: it returns only after the record is
+// fsynced (possibly batched with concurrent appends by the group-commit
+// window), which is what licenses the relay to early-ack. The WAL write
+// happens outside the journal mutex so completes and drain polls never
+// stall behind an fsync.
+func (j *DurableJournal) Append(lba uint64, data []byte) (uint64, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrJournalClosed
+	}
+	if j.capacity > 0 && j.used+len(data) > j.capacity {
+		used := j.used
+		j.mu.Unlock()
+		obs.Default().Eventf("journal", "full: %d bytes used of %d, falling back to write-through", used, j.capacity)
+		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, used, j.capacity)
+	}
+	// Reserve the bytes so concurrent appends cannot oversubscribe while
+	// this one is out fsyncing.
+	j.used += len(data)
+	j.usedGauge.Add(int64(len(data)))
+	j.mu.Unlock()
+
+	seq, err := j.log.Append(lba, data)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.used -= len(data)
+		j.usedGauge.Add(-int64(len(data)))
+		if j.closed {
+			return 0, ErrJournalClosed
+		}
+		return 0, err
+	}
+	if j.closed {
+		// Killed while the append was in flight: the record may be on
+		// disk, but the source was never acked — recovery replaying it is
+		// harmless (idempotent), acking here would be wrong.
+		j.used -= len(data)
+		j.usedGauge.Add(-int64(len(data)))
+		return 0, ErrJournalClosed
+	}
+	dbuf := bufpool.Get(len(data))
+	copy(dbuf.B, data)
+	j.entries[seq] = &Entry{
+		Seq:   seq,
+		LBA:   lba,
+		Data:  dbuf.B,
+		State: StateAcked,
+		dbuf:  dbuf,
+	}
+	j.pending++
+	return seq, nil
+}
+
+// Complete marks the entry applied or failed. Success writes a buffered
+// commit record — its durability is not awaited because losing a commit
+// only costs an idempotent replay, never an acknowledged write.
+func (j *DurableJournal) Complete(seq uint64, applyErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	e, ok := j.entries[seq]
+	if !ok {
+		return
+	}
+	if e.State == StateAcked {
+		j.pending--
+	}
+	if applyErr != nil {
+		e.State = StateFailed
+		e.ApplyErr = applyErr
+		j.failures.add(fmt.Errorf("middlebox: journal seq %d (lba %d): %w", seq, e.LBA, applyErr))
+		return
+	}
+	e.State = StateApplied
+	j.used -= len(e.Data)
+	j.usedGauge.Add(-int64(len(e.Data)))
+	delete(j.entries, seq)
+	e.Data = nil
+	e.dbuf.Release()
+	e.dbuf = nil
+	if err := j.log.Commit(seq); err != nil {
+		obs.Default().Eventf("journal", "durable commit seq %d: %v", seq, err)
+	}
+}
+
+// Unapplied returns the unapplied entries sorted by sequence number.
+func (j *DurableJournal) Unapplied() []*Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]*Entry, 0, len(j.entries))
+	for _, e := range j.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Pending returns the StateAcked entry count (counter, not a scan).
+func (j *DurableJournal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending
+}
+
+// UsedBytes returns the bytes held by unapplied entries.
+func (j *DurableJournal) UsedBytes() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.used
+}
+
+// Failures returns the capped window of backend apply errors.
+func (j *DurableJournal) Failures() []error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failures.snapshot()
+}
+
+// FailuresDropped reports failures discarded by the capped window.
+func (j *DurableJournal) FailuresDropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failures.dropped
+}
+
+// Kill simulates the middle-box dying: the journal freezes mid-flight and
+// the WAL directory is left exactly as the crash found it for a
+// replacement instance to reopen and replay.
+func (j *DurableJournal) Kill() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	j.mu.Unlock()
+	j.log.Kill()
+}
+
+// Close releases the journal. Clean (nothing unapplied, no failures) means
+// every acknowledged write reached the backend — the WAL owes recovery
+// nothing and its directory is deleted. A dirty journal keeps its WAL on
+// disk for replay or audit.
+func (j *DurableJournal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	clean := len(j.entries) == 0 && j.failures.count() == 0
+	j.mu.Unlock()
+	if clean {
+		return j.log.Remove()
+	}
+	return j.log.Close()
+}

@@ -28,6 +28,10 @@ import (
 // until space frees up.
 var ErrJournalFull = errors.New("middlebox: journal full")
 
+// ErrJournalClosed reports an append against a journal that has been closed
+// or crash-killed.
+var ErrJournalClosed = errors.New("middlebox: journal closed")
+
 // EntryState tracks a journaled write through its lifecycle.
 type EntryState int
 
@@ -58,25 +62,112 @@ type Entry struct {
 // Journal is the middle-box's non-volatile write buffer: a copy of every
 // early-acknowledged packet is kept until delivered and acknowledged by the
 // next hop (Section III-B's consistency mechanism for the split
-// connections). The in-memory implementation stands in for NVRAM; Capacity
-// bounds outstanding bytes.
-type Journal struct {
+// connections). MemJournal stands in for NVRAM; DurableJournal backs the
+// same contract with an on-disk WAL that survives a middle-box crash.
+type Journal interface {
+	// Append records a write before it is acknowledged to the source,
+	// copying the data. Durable implementations do not return until the
+	// record would survive a crash. Fails with ErrJournalFull at capacity.
+	Append(lba uint64, data []byte) (uint64, error)
+	// Complete marks the entry applied (applyErr nil) or failed, releasing
+	// its space on success.
+	Complete(seq uint64, applyErr error)
+	// Unapplied returns a snapshot of every entry whose data has not
+	// reached the backend — StateAcked and StateFailed alike — sorted by
+	// sequence number. Callers must treat the entries as read-only.
+	Unapplied() []*Entry
+	// Pending returns the number of journaled-but-unapplied StateAcked
+	// entries.
+	Pending() int
+	// UsedBytes returns the bytes held by unapplied entries.
+	UsedBytes() int
+	// Failures returns backend apply errors recorded after early
+	// acknowledgement — the data-loss surface fault-tolerance machinery
+	// must cover. The slice is bounded; FailuresDropped counts overflow.
+	Failures() []error
+	// FailuresDropped reports how many failures fell out of the bounded
+	// Failures window.
+	FailuresDropped() int
+	// Kill freezes the journal as a simulated crash would: appends and
+	// completes fail or no-op, and durable state is left on disk exactly
+	// as the crash found it.
+	Kill()
+	// Close releases the journal. A clean journal (nothing unapplied, no
+	// failures) also releases any durable state; a dirty one keeps it for
+	// recovery.
+	Close() error
+}
+
+// maxFailures bounds the per-journal failure list: under a long backend
+// outage every parked write eventually fails and an unbounded slice grows
+// without limit. We keep the oldest half (how the outage began) and a ring
+// of the newest half (where it stands now) and count the middle.
+const maxFailures = 32
+
+// failureRing is the capped first/last-N failure window shared by journal
+// implementations. Not safe for concurrent use; callers hold their own
+// mutex.
+type failureRing struct {
+	first   []error // the first maxFailures/2 ever recorded
+	last    []error // ring of the most recent maxFailures/2
+	lastPos int
+	dropped int
+
+	droppedCounter *obs.Counter
+}
+
+func newFailureRing() failureRing {
+	return failureRing{droppedCounter: obs.Default().Counter("journal.failures_dropped")}
+}
+
+func (r *failureRing) add(err error) {
+	if len(r.first) < maxFailures/2 {
+		r.first = append(r.first, err)
+		return
+	}
+	if len(r.last) < maxFailures/2 {
+		r.last = append(r.last, err)
+		return
+	}
+	// Overwrite the oldest of the recent ring; one failure leaves the window.
+	r.last[r.lastPos] = err
+	r.lastPos = (r.lastPos + 1) % len(r.last)
+	r.dropped++
+	r.droppedCounter.Inc()
+}
+
+func (r *failureRing) snapshot() []error {
+	out := make([]error, 0, len(r.first)+len(r.last))
+	out = append(out, r.first...)
+	out = append(out, r.last[r.lastPos:]...)
+	out = append(out, r.last[:r.lastPos]...)
+	return out
+}
+
+func (r *failureRing) count() int { return len(r.first) + len(r.last) }
+
+// MemJournal is the in-memory Journal: capacity-bounded, fast, and lost
+// with the process — the data-loss surface the durable variant closes.
+type MemJournal struct {
 	mu       sync.Mutex
 	capacity int
 	used     int
+	pending  int
 	nextSeq  uint64
 	entries  map[uint64]*Entry
-	failures []error
+	failures failureRing
+	closed   bool
 
 	usedGauge *obs.Gauge
 }
 
-// NewJournal creates a journal holding up to capacity bytes of
+// NewJournal creates an in-memory journal holding up to capacity bytes of
 // unacknowledged write data (0 means unbounded).
-func NewJournal(capacity int) *Journal {
-	return &Journal{
+func NewJournal(capacity int) *MemJournal {
+	return &MemJournal{
 		capacity:  capacity,
 		entries:   make(map[uint64]*Entry),
+		failures:  newFailureRing(),
 		usedGauge: obs.Default().Gauge("journal.used_bytes"),
 	}
 }
@@ -84,9 +175,12 @@ func NewJournal(capacity int) *Journal {
 // Append records a write before it is acknowledged to the source. The data
 // is copied (NVRAM persistence). It fails with ErrJournalFull when capacity
 // would be exceeded.
-func (j *Journal) Append(lba uint64, data []byte) (uint64, error) {
+func (j *MemJournal) Append(lba uint64, data []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrJournalClosed
+	}
 	if j.capacity > 0 && j.used+len(data) > j.capacity {
 		obs.Default().Eventf("journal", "full: %d bytes used of %d, falling back to write-through", j.used, j.capacity)
 		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, j.used, j.capacity)
@@ -103,23 +197,30 @@ func (j *Journal) Append(lba uint64, data []byte) (uint64, error) {
 	}
 	j.entries[e.Seq] = e
 	j.used += len(data)
+	j.pending++
 	j.usedGauge.Add(int64(len(data)))
 	return e.Seq, nil
 }
 
 // Complete marks the entry applied (applyErr nil) or failed, releasing its
 // space on success.
-func (j *Journal) Complete(seq uint64, applyErr error) {
+func (j *MemJournal) Complete(seq uint64, applyErr error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
 	e, ok := j.entries[seq]
 	if !ok {
 		return
 	}
+	if e.State == StateAcked {
+		j.pending--
+	}
 	if applyErr != nil {
 		e.State = StateFailed
 		e.ApplyErr = applyErr
-		j.failures = append(j.failures, fmt.Errorf("middlebox: journal seq %d (lba %d): %w", seq, e.LBA, applyErr))
+		j.failures.add(fmt.Errorf("middlebox: journal seq %d (lba %d): %w", seq, e.LBA, applyErr))
 		return
 	}
 	e.State = StateApplied
@@ -135,7 +236,7 @@ func (j *Journal) Complete(seq uint64, applyErr error) {
 // backend — StateAcked (never dispatched) and StateFailed (dispatched, backend
 // rejected) alike — sorted by sequence number. Recovery replays this list in
 // order; callers must treat the entries as read-only.
-func (j *Journal) Unapplied() []*Entry {
+func (j *MemJournal) Unapplied() []*Entry {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	out := make([]*Entry, 0, len(j.entries))
@@ -146,8 +247,18 @@ func (j *Journal) Unapplied() []*Entry {
 	return out
 }
 
-// Pending returns the number of journaled-but-unapplied entries.
-func (j *Journal) Pending() int {
+// Pending returns the number of journaled-but-unapplied entries. It is a
+// counter maintained by Append/Complete, not a scan — drain quiesce gates
+// and recovery loops poll it hot.
+func (j *MemJournal) Pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pending
+}
+
+// pendingScan recounts pending entries the slow way; tests assert it always
+// matches the counter.
+func (j *MemJournal) pendingScan() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	n := 0
@@ -160,7 +271,7 @@ func (j *Journal) Pending() int {
 }
 
 // UsedBytes returns the bytes held by unapplied entries.
-func (j *Journal) UsedBytes() int {
+func (j *MemJournal) UsedBytes() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.used
@@ -168,9 +279,34 @@ func (j *Journal) UsedBytes() int {
 
 // Failures returns backend apply errors recorded after early
 // acknowledgement — the data-loss surface existing fault-tolerance
-// machinery must cover (Section III-B).
-func (j *Journal) Failures() []error {
+// machinery must cover (Section III-B). The window is capped at maxFailures
+// (oldest and newest halves); FailuresDropped counts what fell out.
+func (j *MemJournal) Failures() []error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return append([]error(nil), j.failures...)
+	return j.failures.snapshot()
+}
+
+// FailuresDropped reports how many failures the capped window discarded.
+func (j *MemJournal) FailuresDropped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failures.dropped
+}
+
+// Kill freezes the journal: a crashed middle-box can neither ack new writes
+// nor complete old ones. In-memory state is unrecoverable by design — that
+// is exactly the gap DurableJournal closes.
+func (j *MemJournal) Kill() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+}
+
+// Close releases the journal.
+func (j *MemJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	return nil
 }

@@ -1,0 +1,207 @@
+package middlebox
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestPendingCounterMatchesScan drives a randomized append/complete/fail/
+// replay workload and asserts after every step that the O(1) pending
+// counter agrees with a full scan of the entry map.
+func TestPendingCounterMatchesScan(t *testing.T) {
+	j := NewJournal(0)
+	rng := rand.New(rand.NewSource(7))
+	var acked, failed []uint64
+	applyErr := errors.New("backend down")
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // append
+			seq, err := j.Append(uint64(rng.Intn(1024))*8, []byte("pending-counter"))
+			if err != nil {
+				t.Fatalf("step %d: Append: %v", step, err)
+			}
+			acked = append(acked, seq)
+		case op < 7 && len(acked) > 0: // complete success
+			i := rng.Intn(len(acked))
+			j.Complete(acked[i], nil)
+			acked = append(acked[:i], acked[i+1:]...)
+		case op < 9 && len(acked) > 0: // complete failure
+			i := rng.Intn(len(acked))
+			j.Complete(acked[i], applyErr)
+			failed = append(failed, acked[i])
+			acked = append(acked[:i], acked[i+1:]...)
+		case len(failed) > 0: // replay a failed entry to success
+			i := rng.Intn(len(failed))
+			j.Complete(failed[i], nil)
+			failed = append(failed[:i], failed[i+1:]...)
+		}
+		if got, want := j.Pending(), j.pendingScan(); got != want {
+			t.Fatalf("step %d: Pending() = %d, scan = %d", step, got, want)
+		}
+		if want := len(acked); j.Pending() != want {
+			t.Fatalf("step %d: Pending() = %d, model says %d", step, j.Pending(), want)
+		}
+	}
+	// Double-completes and completes of unknown seqs must not skew the counter.
+	j.Complete(999999, nil)
+	j.Complete(999999, applyErr)
+	for _, seq := range acked {
+		j.Complete(seq, nil)
+		j.Complete(seq, nil)
+	}
+	for _, seq := range failed {
+		j.Complete(seq, nil)
+	}
+	if got, want := j.Pending(), j.pendingScan(); got != 0 || want != 0 {
+		t.Fatalf("drained journal: Pending() = %d, scan = %d, want 0", got, want)
+	}
+}
+
+// TestFailuresWindowBounded exercises the capped first/last failure ring:
+// a long outage must not grow memory without limit, the earliest and the
+// most recent failures must both survive, and the dropped count must make
+// the arithmetic add up.
+func TestFailuresWindowBounded(t *testing.T) {
+	j := NewJournal(0)
+	const total = 500
+	for i := 0; i < total; i++ {
+		seq, err := j.Append(uint64(i)*8, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Complete(seq, fmt.Errorf("outage failure #%d", i))
+	}
+	fails := j.Failures()
+	if len(fails) > maxFailures {
+		t.Fatalf("Failures() returned %d errors, cap is %d", len(fails), maxFailures)
+	}
+	if got, want := j.FailuresDropped(), total-maxFailures; got != want {
+		t.Fatalf("FailuresDropped() = %d, want %d", got, want)
+	}
+	// Window shape: oldest failures first, newest failures last.
+	if !strings.Contains(fails[0].Error(), "failure #0") {
+		t.Errorf("first failure lost: %v", fails[0])
+	}
+	if !strings.Contains(fails[len(fails)-1].Error(), fmt.Sprintf("failure #%d", total-1)) {
+		t.Errorf("latest failure lost: %v", fails[len(fails)-1])
+	}
+	// The recent half must be the contiguous most-recent failures in order.
+	for i, f := range fails[maxFailures/2:] {
+		want := fmt.Sprintf("failure #%d", total-maxFailures/2+i)
+		if !strings.Contains(f.Error(), want) {
+			t.Fatalf("recent window[%d] = %v, want %s", i, f, want)
+		}
+	}
+}
+
+// TestFailuresUnderCapKeepsAll verifies no dropping below the cap.
+func TestFailuresUnderCapKeepsAll(t *testing.T) {
+	j := NewJournal(0)
+	for i := 0; i < maxFailures; i++ {
+		seq, err := j.Append(uint64(i)*8, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Complete(seq, fmt.Errorf("failure #%d", i))
+	}
+	if got := len(j.Failures()); got != maxFailures {
+		t.Fatalf("Failures() = %d errors, want all %d", got, maxFailures)
+	}
+	if got := j.FailuresDropped(); got != 0 {
+		t.Fatalf("FailuresDropped() = %d below cap, want 0", got)
+	}
+}
+
+// TestDurableJournalContract runs the durable implementation through the
+// same lifecycle MemJournal covers and checks crash-visible state: appends
+// survive a Kill and reopen; a clean Close deletes the WAL.
+func TestDurableJournalContract(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := NewDurableJournal(dir, wal.Meta{Attrs: map[string]string{"iqn": "iqn.test:v"}}, 0, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := j.Append(0, []byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := j.Append(512, []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := j.Pending(), 2; got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	j.Complete(s1, nil)
+	if got := j.Pending(); got != 1 {
+		t.Fatalf("Pending after complete = %d, want 1", got)
+	}
+	if got := j.UsedBytes(); got != len("second") {
+		t.Fatalf("UsedBytes = %d, want %d", got, len("second"))
+	}
+	un := j.Unapplied()
+	if len(un) != 1 || un[0].Seq != s2 || string(un[0].Data) != "second" {
+		t.Fatalf("Unapplied = %+v, want just seq %d", un, s2)
+	}
+	j.Kill()
+	if _, err := j.Append(1024, []byte("dead")); !errors.Is(err, ErrJournalClosed) {
+		t.Fatalf("Append after Kill: %v, want ErrJournalClosed", err)
+	}
+
+	// The WAL must hold exactly the uncommitted write.
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("Open killed journal's WAL: %v", err)
+	}
+	if len(rec.Records) != 1 || rec.Records[0].Seq != s2 || string(rec.Records[0].Data) != "second" {
+		t.Fatalf("WAL recovery = %+v, want the single unapplied write", rec.Records)
+	}
+	if rec.Meta.Attrs["iqn"] != "iqn.test:v" {
+		t.Fatalf("meta lost: %+v", rec.Meta)
+	}
+}
+
+func TestDurableJournalCleanCloseRemovesWAL(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := NewDurableJournal(dir, wal.Meta{}, 0, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := j.Append(0, []byte("applied"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Complete(seq, nil)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := wal.Open(dir, wal.Options{}); err == nil {
+		t.Fatalf("clean Close left the WAL behind")
+	}
+}
+
+func TestDurableJournalCapacityBackpressure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	j, err := NewDurableJournal(dir, wal.Meta{}, 8, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	seq, err := j.Append(0, []byte("12345678"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(8, []byte("x")); !errors.Is(err, ErrJournalFull) {
+		t.Fatalf("over-capacity append: %v, want ErrJournalFull", err)
+	}
+	j.Complete(seq, nil)
+	if _, err := j.Append(8, []byte("x")); err != nil {
+		t.Fatalf("append after space freed: %v", err)
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/target"
+	"repro/internal/wal"
 )
 
 // Mode selects the relay's interception strategy (Section III-B).
@@ -130,6 +134,15 @@ type Config struct {
 	// JournalCapacity bounds the active relay's NVRAM buffer in bytes
 	// (0 = unbounded).
 	JournalCapacity int
+	// JournalDir, when set for an active relay, makes every session journal
+	// crash-durable: a segmented WAL under JournalDir/sess-<n> that a
+	// replacement instance can reopen with RecoverFrom after this one dies.
+	// Empty keeps the in-memory journal (fast, lost on crash).
+	JournalDir string
+	// JournalSyncWindow is the durable journal's group-commit window: how
+	// long an append may wait to share an fsync with its neighbours. 0
+	// syncs on every append (strictest latency, most fsyncs).
+	JournalSyncWindow time.Duration
 	// Recovery shapes the active relay's backend-reopen policy (attempt
 	// bounds, backoff, retry counts). The Reopen hook is supplied by the
 	// relay itself — it re-dials the next hop and rebuilds the service
@@ -160,13 +173,16 @@ type Relay struct {
 	cfg Config
 	srv *target.Server
 
-	journals chan *Journal // best-effort stream of newly created journals
+	journals chan Journal // best-effort stream of newly created journals
 
 	journalMu  sync.Mutex
-	journalAll []*Journal // every journal created for active sessions
+	journalAll []Journal          // every journal created for active sessions
+	wbAll      []*WriteBackDevice // live write-back devices (for crash kill)
 
 	draining atomic.Bool
 	sessions atomic.Int64
+	sessSeq  atomic.Int64 // names per-session durable journal directories
+	killed   atomic.Bool
 
 	// copyGate, when non-nil, serializes interception across the relay's
 	// sessions (CostModel.CopyThreads concurrent copies).
@@ -189,7 +205,7 @@ func NewRelay(cfg Config) (*Relay, error) {
 		def.CopyThreads = threads
 		cfg.Cost = def
 	}
-	r := &Relay{cfg: cfg, journals: make(chan *Journal, 64)}
+	r := &Relay{cfg: cfg, journals: make(chan Journal, 64)}
 	if cfg.Cost.CopyThreads > 0 {
 		r.copyGate = make(chan struct{}, cfg.Cost.CopyThreads)
 	}
@@ -277,15 +293,15 @@ func (r *Relay) DrainStatus() DrainStatus {
 // best-effort: when no consumer keeps up, journals are still retained in the
 // registry (AllJournals) and the drop is counted under
 // "relay.journal_stream_drops".
-func (r *Relay) Journals() <-chan *Journal { return r.journals }
+func (r *Relay) Journals() <-chan Journal { return r.journals }
 
 // AllJournals returns every journal created for this relay's active-mode
 // sessions, in creation order. Unlike the Journals stream it never loses an
 // entry, so post-run fault audits (Journal.Failures) see every session.
-func (r *Relay) AllJournals() []*Journal {
+func (r *Relay) AllJournals() []Journal {
 	r.journalMu.Lock()
 	defer r.journalMu.Unlock()
-	return append([]*Journal(nil), r.journalAll...)
+	return append([]Journal(nil), r.journalAll...)
 }
 
 // openBackend dials the next hop, logs in with the front session's target
@@ -358,7 +374,22 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		if capacity == 0 {
 			capacity = DefaultJournalCapacity
 		}
-		j := NewJournal(capacity)
+		var j Journal
+		if r.cfg.JournalDir != "" {
+			dir := filepath.Join(r.cfg.JournalDir, fmt.Sprintf("sess-%d", r.sessSeq.Add(1)))
+			dj, err := NewDurableJournal(dir, wal.Meta{Attrs: map[string]string{
+				"iqn":     iqn,
+				"net":     strconv.Itoa(int(next.Net)),
+				"nexthop": next.String(),
+			}}, capacity, wal.Options{SyncWindow: r.cfg.JournalSyncWindow})
+			if err != nil {
+				_ = stack.Close()
+				return nil, false, fmt.Errorf("middlebox: durable journal: %w", err)
+			}
+			j = dj
+		} else {
+			j = NewJournal(capacity)
+		}
 		r.journalMu.Lock()
 		r.journalAll = append(r.journalAll, j)
 		r.journalMu.Unlock()
@@ -372,10 +403,19 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		}
 		rc := r.cfg.Recovery
 		rc.Reopen = func() (blockdev.Device, error) { return r.openBackend(iqn, next) }
-		stack = NewWriteBackRecovering(stack, j, rc)
+		wb := NewWriteBackRecovering(stack, j, rc)
+		r.journalMu.Lock()
+		r.wbAll = append(r.wbAll, wb)
+		r.journalMu.Unlock()
+		stack = wb
 		// Retire the journal from the registry once the session tears
 		// down clean; journals holding failures (or bytes) stay for audit.
-		stack = &closeHookDevice{Device: stack, hook: func() { r.retireJournal(j) }}
+		// Closing the journal lets a clean durable journal delete its WAL.
+		stack = &closeHookDevice{Device: stack, hook: func() {
+			r.retireJournal(j)
+			r.retireWriteBack(wb)
+			_ = j.Close()
+		}}
 	}
 	id := newInterceptDevice(stack, r.cfg.Mode, r.cfg.Cost, r.cfg.CPU)
 	id.gate = r.copyGate
@@ -395,12 +435,136 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 	return stack, true, nil
 }
 
+// retireWriteBack drops a closed session's write-back device from the
+// crash-kill registry.
+func (r *Relay) retireWriteBack(wb *WriteBackDevice) {
+	r.journalMu.Lock()
+	defer r.journalMu.Unlock()
+	for i, e := range r.wbAll {
+		if e == wb {
+			r.wbAll = append(r.wbAll[:i], r.wbAll[i+1:]...)
+			return
+		}
+	}
+}
+
+// Kill crash-stops the relay: every session journal freezes (nothing is
+// acknowledged or marked applied past this instant — the durability cut
+// line), the write-back appliers stop without draining, and the
+// pseudo-server aborts its sessions. In-memory journal contents are lost,
+// exactly as a real middle-box crash would lose NVRAM-less state; durable
+// journals keep their WAL directories on disk for a replacement instance's
+// RecoverFrom.
+func (r *Relay) Kill() {
+	if !r.killed.CompareAndSwap(false, true) {
+		return
+	}
+	obs.Default().Eventf("relay", "%s: crash-killed (%d sessions)", r.cfg.Name, r.sessions.Load())
+	for _, j := range r.AllJournals() {
+		j.Kill()
+	}
+	r.journalMu.Lock()
+	wbs := append([]*WriteBackDevice(nil), r.wbAll...)
+	r.journalMu.Unlock()
+	for _, wb := range wbs {
+		wb.Kill()
+	}
+	r.srv.Close()
+}
+
+// Killed reports whether the relay was crash-stopped.
+func (r *Relay) Killed() bool { return r.killed.Load() }
+
+// RecoverFrom replays a crashed predecessor's durable journals: it scans
+// dir (the predecessor's JournalDir) for per-session WALs, reopens each,
+// pushes the surviving unapplied records in sequence order through a
+// freshly built backend service chain (the journal holds pre-service data,
+// so encryption and friends must run again), flushes, and deletes the WAL.
+// Replay is idempotent — records whose writes also landed before the crash
+// simply overwrite with identical bytes. It returns the number of records
+// replayed; a corrupt WAL or unreachable backend aborts with the WAL kept
+// on disk for another attempt.
+func (r *Relay) RecoverFrom(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil // predecessor never journaled a session
+		}
+		return 0, fmt.Errorf("middlebox: recover from %s: %w", dir, err)
+	}
+	replays := obs.Default().Counter("journal.replays")
+	replayed := obs.Default().Counter("journal.replayed_records")
+	total := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sessDir := filepath.Join(dir, e.Name())
+		log, rec, err := wal.Open(sessDir, wal.Options{SyncWindow: r.cfg.JournalSyncWindow})
+		if err != nil {
+			return total, fmt.Errorf("middlebox: recover %s: %w", sessDir, err)
+		}
+		n, err := r.replayRecovered(rec)
+		if err != nil {
+			_ = log.Close() // keep the WAL for another attempt
+			return total, fmt.Errorf("middlebox: recover %s: %w", sessDir, err)
+		}
+		total += n
+		replays.Inc()
+		replayed.Add(int64(n))
+		obs.Default().Eventf("relay", "%s: recovered session journal %s: %d record(s) replayed (torn=%v)",
+			r.cfg.Name, e.Name(), n, rec.Torn)
+		if err := log.Remove(); err != nil {
+			return total, fmt.Errorf("middlebox: remove replayed journal %s: %w", sessDir, err)
+		}
+	}
+	return total, nil
+}
+
+// replayRecovered delivers one recovered journal's records to the backend
+// named by its meta, through a rebuilt service chain.
+func (r *Relay) replayRecovered(rec *wal.Recovery) (int, error) {
+	if len(rec.Records) == 0 {
+		return 0, nil
+	}
+	iqn := rec.Meta.Attrs["iqn"]
+	if iqn == "" {
+		return 0, errors.New("journal meta lacks target iqn")
+	}
+	netNum, err := strconv.Atoi(rec.Meta.Attrs["net"])
+	if err != nil {
+		return 0, fmt.Errorf("journal meta network: %w", err)
+	}
+	next, err := netsim.ParseHostPort(netsim.Network(netNum), rec.Meta.Attrs["nexthop"])
+	if err != nil {
+		return 0, fmt.Errorf("journal meta next hop: %w", err)
+	}
+	stack, err := r.openBackend(iqn, next)
+	if err != nil {
+		return 0, err
+	}
+	for _, rc := range rec.Records {
+		if err := stack.WriteAt(rc.Data, rc.LBA); err != nil {
+			_ = stack.Close()
+			return 0, fmt.Errorf("replay seq %d (lba %d): %w", rc.Seq, rc.LBA, err)
+		}
+	}
+	if err := stack.Flush(); err != nil {
+		_ = stack.Close()
+		return 0, fmt.Errorf("flush after replay: %w", err)
+	}
+	if err := stack.Close(); err != nil {
+		return 0, err
+	}
+	return len(rec.Records), nil
+}
+
 // retireJournal drops j from the registry if its session ended with nothing
 // pending, no stranded bytes, and no recorded failures. Journals that still
 // hold early-acked data or failure records are kept so post-run audits
 // (AllJournals → Failures) see every loss surface; without retirement the
 // registry grows without bound across session churn.
-func (r *Relay) retireJournal(j *Journal) {
+func (r *Relay) retireJournal(j Journal) {
 	if j.Pending() != 0 || j.UsedBytes() != 0 || len(j.Failures()) != 0 {
 		return
 	}

@@ -75,7 +75,7 @@ type WriteBackDevice struct {
 	dev      blockdev.Device // current backend; swapped during recovery (under mu)
 	bs       int             // backend geometry, fixed across reopens
 	nblocks  uint64
-	journal  *Journal
+	journal  Journal
 	rec      RecoveryConfig
 	maxTries int
 	backoff  *faults.Backoff
@@ -131,13 +131,13 @@ var _ blockdev.Device = (*WriteBackDevice)(nil)
 
 // NewWriteBack wraps dev with active-relay write-back semantics using the
 // given journal. Without a recovery path, the first backend failure sticks.
-func NewWriteBack(dev blockdev.Device, journal *Journal) *WriteBackDevice {
+func NewWriteBack(dev blockdev.Device, journal Journal) *WriteBackDevice {
 	return NewWriteBackRecovering(dev, journal, RecoveryConfig{})
 }
 
 // NewWriteBackRecovering wraps dev like NewWriteBack and arms the recovery
 // path when rc.Reopen is non-nil.
-func NewWriteBackRecovering(dev blockdev.Device, journal *Journal, rc RecoveryConfig) *WriteBackDevice {
+func NewWriteBackRecovering(dev blockdev.Device, journal Journal, rc RecoveryConfig) *WriteBackDevice {
 	if rc.MaxReopens <= 0 {
 		rc.MaxReopens = 4
 	}
@@ -164,7 +164,7 @@ func NewWriteBackRecovering(dev blockdev.Device, journal *Journal, rc RecoveryCo
 }
 
 // Journal returns the backing journal.
-func (w *WriteBackDevice) Journal() *Journal { return w.journal }
+func (w *WriteBackDevice) Journal() Journal { return w.journal }
 
 // BlockSize implements blockdev.Device.
 func (w *WriteBackDevice) BlockSize() int { return w.bs }
@@ -313,6 +313,30 @@ func (w *WriteBackDevice) Close() error {
 	dev := w.dev
 	w.mu.Unlock()
 	return dev.Close()
+}
+
+// Kill simulates the middle-box process dying mid-flight: the journal
+// freezes first (no write acked or marked applied after this instant — the
+// durability cut line recovery reasons from), then the appliers stop
+// without draining and the backend session drops. Writes the appliers had
+// already issued may still land on the backend; replaying their journal
+// records is idempotent, so that race is harmless.
+func (w *WriteBackDevice) Kill() {
+	w.journal.Kill()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	w.wg.Wait()
+	w.recWG.Wait()
+	w.mu.Lock()
+	dev := w.dev
+	w.mu.Unlock()
+	_ = dev.Close()
 }
 
 // Pending returns the number of journaled-but-unapplied writes. Coalesced

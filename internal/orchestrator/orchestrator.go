@@ -144,6 +144,30 @@ func (o *Orchestrator) reconcileGroup(g *managedGroup) {
 		return
 	}
 
+	// Crashed members come first: a dead relay serves nothing, so the loop
+	// replaces it immediately — outside the utilization state machine and
+	// regardless of cooldown — keeping the group at its current size. The
+	// replacement replays the crashed member's durable journals before any
+	// flow rebinds to it.
+	for _, ms := range dep.GroupStatus(g.mb) {
+		if !ms.Crashed {
+			continue
+		}
+		repl, replayed, err := dep.RecoverInstance(g.mb, ms.Name)
+		if err != nil {
+			o.logf("recover %s/%s %s: %v", g.tenant, g.mb, ms.Name, err)
+			return
+		}
+		o.cfg.Obs.Eventf("orchestrator", "replaced crashed %s/%s member %s with %s (%d journal records replayed)",
+			g.tenant, g.mb, ms.Name, repl.Name, replayed)
+		delete(g.lastBusy, ms.Name)
+		if g.draining == ms.Name {
+			g.draining = ""
+		}
+		g.cooldown = o.cfg.CooldownRounds
+		return // one action per pass
+	}
+
 	// Finish an in-flight drain once the member has quiesced.
 	if g.draining != "" {
 		st, err := dep.DrainStatus(g.mb, g.draining)

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"time"
 )
 
 // ServiceType names a middle-box service.
@@ -65,6 +66,11 @@ type MiddleBoxSpec struct {
 	//   "copyThreads"         concurrent copy paths (overrides VCPUs)
 	//   "interceptPerBatchNs" active-relay per-batch copy cost
 	//   "interceptBatchBytes" active-relay copy batch size
+	// and durability knobs (active relays only):
+	//   "durableJournal"      "true" backs the write journal with an on-disk
+	//                         WAL that survives a middle-box crash
+	//   "journalFsyncWindow"  WAL group-commit window as a Go duration
+	//                         ("0", "1ms", ...); 0 fsyncs every append
 	Params map[string]string `json:"params,omitempty"`
 }
 
@@ -160,6 +166,21 @@ func (p *Policy) Validate() error {
 		if max > 1 && mb.Type != TypeEncryption && mb.Type != TypeForward {
 			return fmt.Errorf("policy: middle-box %q: type %q cannot scale beyond one instance", mb.Name, mb.Type)
 		}
+		switch mb.Params["durableJournal"] {
+		case "", "false":
+		case "true":
+			if mb.EffectiveMode() != ModeActive {
+				return fmt.Errorf("policy: middle-box %q: durableJournal requires an active relay", mb.Name)
+			}
+		default:
+			return fmt.Errorf("policy: middle-box %q: durableJournal must be true or false", mb.Name)
+		}
+		if v := mb.Params["journalFsyncWindow"]; v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return fmt.Errorf("policy: middle-box %q: bad journalFsyncWindow %q", mb.Name, v)
+			}
+		}
 	}
 	if len(p.Volumes) == 0 {
 		return fmt.Errorf("policy: at least one volume binding required")
@@ -234,6 +255,23 @@ func (m *MiddleBoxSpec) EffectiveMaxInstances() int {
 // Scalable reports whether the middle-box is an elastic instance group.
 func (m *MiddleBoxSpec) Scalable() bool {
 	return m.EffectiveMaxInstances() > 1
+}
+
+// DurableJournal reports whether the middle-box asked for a crash-durable
+// (file-backed WAL) write journal via the "durableJournal" param.
+func (m *MiddleBoxSpec) DurableJournal() bool {
+	return m.Params["durableJournal"] == "true"
+}
+
+// JournalFsyncWindow resolves the "journalFsyncWindow" param — the durable
+// journal's group-commit window. Zero (the default) fsyncs inline on every
+// append.
+func (m *MiddleBoxSpec) JournalFsyncWindow() time.Duration {
+	d, err := time.ParseDuration(m.Params["journalFsyncWindow"])
+	if err != nil || d < 0 {
+		return 0
+	}
+	return d
 }
 
 // CopyThreads resolves the relay's concurrent copy-path bound: the

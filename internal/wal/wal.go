@@ -1,0 +1,739 @@
+// Package wal is the crash-durable backing store for the middle-box
+// journal: a segmented, file-backed write-ahead log standing in for the
+// NVRAM the paper's active relay journals early-acknowledged writes to
+// (Section III-B). Every record is length-prefixed and CRC32C-protected
+// and carries a monotonic sequence number; appends become durable through
+// a group-commit fsync (a configurable window batches concurrent appends
+// into one sync), commits are buffered markers that let whole segments be
+// compacted away once every append they hold has been applied, and Open
+// replays the surviving records after a crash — tolerating a torn final
+// record while refusing (with ErrCorrupt) logs damaged anywhere else.
+//
+// On-disk layout: dir/NNNNNNNN.seg files with contiguous indices. Each
+// record is
+//
+//	| payload length uint32 | crc32c(payload) uint32 | payload |
+//
+// (little-endian), where payload starts with a one-byte type and the
+// record's sequence number:
+//
+//	meta:   attrs as JSON — written first in every segment so compaction
+//	        can drop old segments without losing the log's identity
+//	append: LBA uint64 followed by the write data
+//	commit: nothing further — the append with this seq reached the backend
+//
+// A crash can only tear the tail of the newest segment: record writes are
+// appended in order and fsync covers the whole file prefix, so the durable
+// image is always a prefix of what was written. Recovery leans on exactly
+// that — an unreadable record mid-log means corruption, not a crash.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrCorrupt reports damage recovery cannot attribute to a torn final
+// write: a bad record with more log after it, an impossible length, or a
+// sequence regression. Callers must treat the log as unrecoverable rather
+// than trust any suffix.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrClosed reports use of a closed (or crash-killed) log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Record types.
+const (
+	recMeta   byte = 1
+	recAppend byte = 2
+	recCommit byte = 3
+)
+
+// recHeaderSize is the fixed per-record header: length + CRC.
+const recHeaderSize = 8
+
+// maxRecordBytes bounds a single record's payload; anything larger in a
+// header is corruption, not a real record.
+const maxRecordBytes = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta identifies a log to its recovery consumer: free-form attributes
+// written at the head of every segment (the middle-box relay stores the
+// backend IQN and next-hop address so a replacement instance knows where
+// to replay).
+type Meta struct {
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Record is one unapplied append returned by recovery.
+type Record struct {
+	Seq  uint64
+	LBA  uint64
+	Data []byte
+}
+
+// Recovery is what Open found on disk.
+type Recovery struct {
+	// Records are the appends with no commit marker, in sequence order —
+	// the acknowledged writes whose delivery the crash cut off.
+	Records []Record
+	// Meta is the log identity from the oldest surviving segment.
+	Meta Meta
+	// Torn reports that the final record was partially written and has
+	// been truncated away.
+	Torn bool
+	// TruncatedBytes is how much tail the torn-record cleanup removed.
+	TruncatedBytes int64
+}
+
+// Options tunes a log.
+type Options struct {
+	// SegmentBytes caps each segment file (default 1 MiB). Appends larger
+	// than the cap get a segment of their own.
+	SegmentBytes int
+	// SyncWindow is the group-commit window: an append becomes durable at
+	// the next fsync, which the syncer issues at most once per window, so
+	// concurrent appends share one disk flush at the cost of up to one
+	// window of added ack latency. 0 syncs inline on every append (still
+	// batching appends that piled up behind the sync mutex).
+	SyncWindow time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// Log is an open write-ahead log.
+type Log struct {
+	dir  string
+	opts Options
+	meta Meta
+
+	mu       sync.Mutex
+	f        *os.File
+	firstSeg int
+	curSeg   int
+	curSize  int64
+	nextSeq  uint64
+	live     map[int]int    // segment index -> appends not yet committed
+	segOf    map[uint64]int // append seq -> segment holding it
+	closed   bool
+	killed   bool
+
+	// Group commit: writeIdx counts records written, syncIdx the highest
+	// writeIdx covered by an fsync. Appenders wait until syncIdx reaches
+	// their record; the window syncer (or an inline sync at window 0)
+	// advances it.
+	syncCond  *sync.Cond
+	writeIdx  uint64
+	syncIdx   uint64
+	syncErr   error
+	dirty     bool
+	syncerNow chan struct{} // wakes the window syncer
+	syncerWG  sync.WaitGroup
+
+	fsyncs    *obs.Counter
+	appends   *obs.Counter
+	compacted *obs.Counter
+	segGauge  *obs.Gauge
+}
+
+// Create initializes a fresh log in dir (created if missing; must hold no
+// existing segments) and writes the meta record durably before returning.
+func Create(dir string, meta Meta, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
+	}
+	if segs, err := listSegments(dir); err != nil {
+		return nil, err
+	} else if len(segs) > 0 {
+		return nil, fmt.Errorf("wal: create %s: log already exists (use Open)", dir)
+	}
+	l := newLog(dir, meta, opts)
+	if err := l.openSegment(0); err != nil {
+		return nil, err
+	}
+	if err := l.writeMetaLocked(); err != nil {
+		_ = l.f.Close()
+		return nil, err
+	}
+	if err := l.f.Sync(); err != nil {
+		_ = l.f.Close()
+		return nil, fmt.Errorf("wal: sync meta: %w", err)
+	}
+	l.startSyncer()
+	return l, nil
+}
+
+// Open recovers an existing log directory: it scans every segment in
+// order, verifies record framing and checksums, truncates a torn final
+// record, and returns the log (ready for further appends) together with
+// the unapplied records. A log damaged anywhere but the torn tail yields
+// ErrCorrupt and no log.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segs) == 0 {
+		return nil, nil, fmt.Errorf("wal: open %s: no segments", dir)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return nil, nil, fmt.Errorf("%w: segment gap %d -> %d", ErrCorrupt, segs[i-1], segs[i])
+		}
+	}
+	rec := &Recovery{}
+	pending := make(map[uint64]Record)
+	segOf := make(map[uint64]int)
+	var maxSeq uint64
+	haveMeta := false
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if !final {
+			// Every live segment starts with a durable meta record; an
+			// empty non-final segment means its contents were destroyed.
+			if fi, err := os.Stat(segPath(dir, seg)); err == nil && fi.Size() == 0 {
+				return nil, nil, fmt.Errorf("%w: empty non-final segment %d", ErrCorrupt, seg)
+			}
+		}
+		keep, err := scanSegment(segPath(dir, seg), final, func(typ byte, seq uint64, payload []byte) error {
+			switch typ {
+			case recMeta:
+				if !haveMeta {
+					if err := json.Unmarshal(payload, &rec.Meta); err != nil {
+						return fmt.Errorf("%w: meta record: %v", ErrCorrupt, err)
+					}
+					haveMeta = true
+				}
+			case recAppend:
+				// Appends take consecutive seqs and compaction only drops
+				// whole leading segments, so within the surviving log the
+				// append seqs are contiguous; a gap means records were
+				// silently lost (e.g. a mid-log truncation on a record
+				// boundary), which torn-write semantics cannot explain.
+				if maxSeq != 0 && seq != maxSeq+1 {
+					return fmt.Errorf("%w: append seq %d after %d (gap or regression)", ErrCorrupt, seq, maxSeq)
+				}
+				maxSeq = seq
+				if len(payload) < 8 {
+					return fmt.Errorf("%w: short append payload", ErrCorrupt)
+				}
+				pending[seq] = Record{
+					Seq:  seq,
+					LBA:  binary.LittleEndian.Uint64(payload),
+					Data: append([]byte(nil), payload[8:]...),
+				}
+				segOf[seq] = seg
+			case recCommit:
+				// A commit for a seq we never saw belongs to an append in
+				// a segment compaction already removed — applied, gone.
+				// It still advances the seq high-water mark: its append
+				// preceded it in time, so seqs must resume above it.
+				delete(pending, seq)
+				delete(segOf, seq)
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+			default:
+				return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if keep >= 0 { // torn tail: truncate to the clean prefix
+			fi, statErr := os.Stat(segPath(dir, seg))
+			if statErr == nil {
+				rec.TruncatedBytes += fi.Size() - keep
+			}
+			if err := os.Truncate(segPath(dir, seg), keep); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			rec.Torn = true
+		}
+	}
+
+	l := newLog(dir, rec.Meta, opts)
+	l.firstSeg = segs[0]
+	l.curSeg = segs[len(segs)-1]
+	l.nextSeq = maxSeq
+	for seq, seg := range segOf {
+		l.segOf[seq] = seg
+		l.live[seg]++
+	}
+	f, err := os.OpenFile(segPath(dir, l.curSeg), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: reopen segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	l.f, l.curSize = f, fi.Size()
+	l.segGauge.Set(int64(l.curSeg - l.firstSeg + 1))
+	if l.curSize == 0 {
+		// The torn-tail truncation ate the whole segment, meta record
+		// included; re-stamp it so this segment stands alone if older
+		// ones compact away.
+		if err := l.writeMetaLocked(); err != nil {
+			_ = f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("wal: sync meta: %w", err)
+		}
+		l.syncIdx = l.writeIdx
+	}
+
+	rec.Records = make([]Record, 0, len(pending))
+	for _, r := range pending {
+		rec.Records = append(rec.Records, r)
+	}
+	sort.Slice(rec.Records, func(a, b int) bool { return rec.Records[a].Seq < rec.Records[b].Seq })
+	l.startSyncer()
+	return l, rec, nil
+}
+
+func newLog(dir string, meta Meta, opts Options) *Log {
+	l := &Log{
+		dir:       dir,
+		opts:      opts.withDefaults(),
+		meta:      meta,
+		live:      make(map[int]int),
+		segOf:     make(map[uint64]int),
+		syncerNow: make(chan struct{}, 1),
+		fsyncs:    obs.Default().Counter("wal.fsyncs"),
+		appends:   obs.Default().Counter("wal.appends"),
+		compacted: obs.Default().Counter("wal.segments_compacted"),
+		segGauge:  obs.Default().Gauge("wal.segments"),
+	}
+	l.syncCond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Meta returns the log's identity attributes.
+func (l *Log) Meta() Meta { return l.meta }
+
+// NextSeq returns the sequence number the next append will take.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq + 1
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.curSeg - l.firstSeg + 1
+}
+
+// Pending returns the number of appended-but-uncommitted records.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segOf)
+}
+
+// Append writes one record and blocks until it is durable (fsynced). The
+// returned sequence number is the handle Commit takes.
+func (l *Log) Append(lba uint64, data []byte) (uint64, error) {
+	payload := make([]byte, 1+8+8+len(data))
+	payload[0] = recAppend
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	l.nextSeq++
+	seq := l.nextSeq
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	binary.LittleEndian.PutUint64(payload[9:], lba)
+	copy(payload[17:], data)
+	idx, err := l.writeRecordLocked(payload)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.segOf[seq] = l.curSeg
+	l.live[l.curSeg]++
+	l.appends.Inc()
+	err = l.waitDurableLocked(idx)
+	l.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Commit marks an append applied. The marker is buffered — it rides the
+// next fsync — because nothing external depends on its durability: losing
+// a commit only means recovery replays an already-applied (idempotent)
+// write. Fully applied segments older than the current one are deleted.
+func (l *Log) Commit(seq uint64) error {
+	payload := make([]byte, 1+8)
+	payload[0] = recCommit
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, ok := l.segOf[seq]; !ok {
+		return fmt.Errorf("wal: commit of unknown seq %d", seq)
+	}
+	if _, err := l.writeRecordLocked(payload); err != nil {
+		return err
+	}
+	seg := l.segOf[seq]
+	delete(l.segOf, seq)
+	l.live[seg]--
+	l.compactLocked()
+	return nil
+}
+
+// Sync forces an fsync covering every record written so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.writeIdx <= l.syncIdx {
+		return l.syncErr
+	}
+	return l.syncLocked()
+}
+
+// Close flushes and closes the log, leaving the directory for a later
+// Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var syncErr error
+	if !l.killed && l.writeIdx > l.syncIdx {
+		syncErr = l.syncLocked()
+	}
+	l.closed = true
+	l.syncCond.Broadcast()
+	f := l.f
+	l.f = nil
+	l.mu.Unlock()
+	close(l.syncerNow)
+	l.syncerWG.Wait()
+	var closeErr error
+	if f != nil {
+		closeErr = f.Close()
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Kill simulates the process dying at this instant: in-flight and future
+// appends fail without their fsync, nothing further reaches the file, and
+// the directory is left exactly as the "crash" found it for a later Open.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.killed = true
+	l.closed = true
+	if l.syncErr == nil {
+		l.syncErr = ErrClosed
+	}
+	l.syncCond.Broadcast()
+	f := l.f
+	l.f = nil
+	l.mu.Unlock()
+	close(l.syncerNow)
+	l.syncerWG.Wait()
+	if f != nil {
+		_ = f.Close()
+	}
+}
+
+// Remove closes the log and deletes its directory — the journal applied
+// everything and owes recovery nothing.
+func (l *Log) Remove() error {
+	_ = l.Close()
+	return os.RemoveAll(l.dir)
+}
+
+// writeRecordLocked frames and writes one record to the current segment,
+// rotating first when the append would overflow it. Returns the record's
+// write index for durability waits. Caller holds l.mu.
+func (l *Log) writeRecordLocked(payload []byte) (uint64, error) {
+	if l.f == nil {
+		return 0, ErrClosed
+	}
+	need := int64(recHeaderSize + len(payload))
+	if l.curSize > 0 && l.curSize+need > int64(l.opts.SegmentBytes) {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[recHeaderSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: write record: %w", err)
+	}
+	l.curSize += int64(len(buf))
+	l.writeIdx++
+	l.dirty = true
+	return l.writeIdx, nil
+}
+
+// writeMetaLocked writes the log's identity record to the current segment.
+func (l *Log) writeMetaLocked() error {
+	attrs, err := json.Marshal(l.meta)
+	if err != nil {
+		return fmt.Errorf("wal: encode meta: %w", err)
+	}
+	payload := make([]byte, 1+8+len(attrs))
+	payload[0] = recMeta
+	copy(payload[9:], attrs)
+	_, err = l.writeRecordLocked(payload)
+	return err
+}
+
+// rotateLocked syncs and closes the current segment and starts the next,
+// re-stamping the meta record so compaction of old segments never loses it.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	l.f = nil
+	if err := l.openSegment(l.curSeg + 1); err != nil {
+		return err
+	}
+	return l.writeMetaLocked()
+}
+
+// openSegment creates segment idx and makes it current. Caller holds l.mu
+// (or owns the log exclusively during Create).
+func (l *Log) openSegment(idx int) error {
+	f, err := os.OpenFile(segPath(l.dir, idx), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	l.f = f
+	l.curSeg = idx
+	l.curSize = 0
+	l.segGauge.Set(int64(l.curSeg - l.firstSeg + 1))
+	return nil
+}
+
+// compactLocked deletes leading segments whose appends are all committed.
+// The current segment always survives. Caller holds l.mu.
+func (l *Log) compactLocked() {
+	for l.firstSeg < l.curSeg && l.live[l.firstSeg] == 0 {
+		if err := os.Remove(segPath(l.dir, l.firstSeg)); err != nil {
+			obs.Default().Eventf("wal", "compact %s segment %d: %v", l.dir, l.firstSeg, err)
+			return
+		}
+		delete(l.live, l.firstSeg)
+		l.firstSeg++
+		l.compacted.Inc()
+	}
+	l.segGauge.Set(int64(l.curSeg - l.firstSeg + 1))
+}
+
+// waitDurableLocked blocks until an fsync covers write index idx. With a
+// sync window it pokes the syncer and waits; at window 0 it syncs inline,
+// and appenders that piled up behind the sync mutex find their records
+// already covered — group commit either way. Caller holds l.mu.
+func (l *Log) waitDurableLocked(idx uint64) error {
+	if l.opts.SyncWindow <= 0 {
+		if l.syncIdx >= idx {
+			return l.syncErr
+		}
+		return l.syncLocked()
+	}
+	select {
+	case l.syncerNow <- struct{}{}:
+	default:
+	}
+	for l.syncIdx < idx && l.syncErr == nil && !l.closed {
+		l.syncCond.Wait()
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	if l.syncIdx < idx {
+		return ErrClosed
+	}
+	return nil
+}
+
+// syncLocked fsyncs the current segment, covering every record written so
+// far. Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return ErrClosed
+	}
+	target := l.writeIdx
+	err := l.f.Sync()
+	l.fsyncs.Inc()
+	if err != nil {
+		err = fmt.Errorf("wal: fsync: %w", err)
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+	} else {
+		l.syncIdx = target
+		l.dirty = false
+	}
+	l.syncCond.Broadcast()
+	return err
+}
+
+// startSyncer launches the window syncer when a group-commit window is
+// configured.
+func (l *Log) startSyncer() {
+	if l.opts.SyncWindow <= 0 {
+		return
+	}
+	l.syncerWG.Add(1)
+	go func() {
+		defer l.syncerWG.Done()
+		for {
+			if _, ok := <-l.syncerNow; !ok {
+				return
+			}
+			time.Sleep(l.opts.SyncWindow)
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}()
+}
+
+// segPath names a segment file.
+func segPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.seg", idx))
+}
+
+// listSegments returns the sorted segment indices present in dir.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var segs []int
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "%08d.seg", &idx); n == 1 {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// scanSegment walks one segment's records, calling visit per record. For
+// the final segment a damaged tail is tolerated when it is consistent with
+// a torn write — the bad record's declared extent runs to (or past) end of
+// file, or everything from the bad record on is zero padding — in which
+// case scanSegment returns the clean-prefix length to truncate to. A good
+// scan returns -1. Damage followed by more data is ErrCorrupt.
+func scanSegment(path string, final bool, visit func(typ byte, seq uint64, payload []byte) error) (truncateTo int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return -1, fmt.Errorf("wal: read segment: %w", err)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		bad := ""
+		var recEnd int64
+		if len(rest) < recHeaderSize {
+			bad, recEnd = "truncated header", int64(len(data))+1
+		} else {
+			plen := int64(binary.LittleEndian.Uint32(rest))
+			crc := binary.LittleEndian.Uint32(rest[4:])
+			recEnd = off + recHeaderSize + plen
+			switch {
+			case plen == 0 || plen > maxRecordBytes:
+				bad = fmt.Sprintf("implausible record length %d", plen)
+			case recEnd > int64(len(data)):
+				bad = "record truncated by EOF"
+			case crc32.Checksum(rest[recHeaderSize:recHeaderSize+plen], castagnoli) != crc:
+				bad = "checksum mismatch"
+			}
+		}
+		if bad == "" {
+			plen := int64(binary.LittleEndian.Uint32(rest))
+			payload := rest[recHeaderSize : recHeaderSize+plen]
+			if len(payload) < 9 {
+				return -1, fmt.Errorf("%w: %s: record without seq at offset %d", ErrCorrupt, path, off)
+			}
+			typ := payload[0]
+			seq := binary.LittleEndian.Uint64(payload[1:9])
+			if err := visit(typ, seq, payload[9:]); err != nil {
+				return -1, fmt.Errorf("%s offset %d: %w", path, off, err)
+			}
+			off = recEnd
+			continue
+		}
+		// Damaged record. Only the newest segment's tail can legitimately
+		// be damaged, and only in ways a torn write produces: the record
+		// runs into EOF, or the rest of the file is zero fill (a partially
+		// persisted extension). Anything else is corruption.
+		if final && (recEnd >= int64(len(data)) || allZero(rest)) {
+			return off, nil
+		}
+		return -1, fmt.Errorf("%w: %s offset %d: %s with %d bytes of log after it",
+			ErrCorrupt, path, off, bad, int64(len(data))-off)
+	}
+	return -1, nil
+}
+
+// allZero reports whether b is nothing but zero padding.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
