@@ -76,9 +76,24 @@ type TenantDeployment struct {
 
 	mu       sync.Mutex
 	groupSeq map[string]int // next instance index per group (never reused)
+	// pendingRecovery holds, per middle-box group, the tails of crash
+	// recoveries that still owe work: the crashed member is replaced, but
+	// journal replay or volume re-attachment failed transiently and must be
+	// re-driven until it succeeds — otherwise acknowledged journaled writes
+	// would be silently stranded on disk.
+	pendingRecovery map[string][]*recoveryTail
 
 	// scaleMu serializes Scale / BeginDrain / FinishDrain per deployment.
 	scaleMu sync.Mutex
+}
+
+// recoveryTail is the remainder of a crash recovery that must eventually
+// succeed: reinstalling the steering chains, replaying the crashed
+// instance's durable journals, and re-attaching the group's volumes.
+type recoveryTail struct {
+	inst string // crashed instance, owner of the journal directory
+	repl string // replacement instance name
+	dir  string // durable journal dir ("" when the spec keeps none)
 }
 
 // setDispatcher records a replication middle-box's live dispatcher.
@@ -178,16 +193,17 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 	p.mu.Unlock()
 
 	dep := &TenantDeployment{
-		Tenant:         pol.Tenant,
-		MBs:            make(map[string]*cloud.MiddleBox),
-		Groups:         make(map[string][]*MBInstance),
-		Monitors:       make(map[string]*monitor.Monitor),
-		Dispatchers:    make(map[string]*replica.Dispatcher),
-		ReplicaVolumes: make(map[string][]*volume.Volume),
-		Volumes:        make(map[string]*AttachedVolume),
-		platform:       p,
-		pol:            pol,
-		groupSeq:       make(map[string]int),
+		Tenant:          pol.Tenant,
+		MBs:             make(map[string]*cloud.MiddleBox),
+		Groups:          make(map[string][]*MBInstance),
+		Monitors:        make(map[string]*monitor.Monitor),
+		Dispatchers:     make(map[string]*replica.Dispatcher),
+		ReplicaVolumes:  make(map[string][]*volume.Volume),
+		Volumes:         make(map[string]*AttachedVolume),
+		platform:        p,
+		pol:             pol,
+		groupSeq:        make(map[string]int),
+		pendingRecovery: make(map[string][]*recoveryTail),
 	}
 	committed := false
 	defer func() {
@@ -905,13 +921,21 @@ type MemberStatus struct {
 }
 
 // RecoverInstance replaces a crashed group member: it verifies the member's
-// relay crash-stopped, removes it from the steering group, provisions a
-// replacement on a surviving host under a fresh (never reused) instance
-// index, replays the crashed instance's durable journals through the
-// replacement's service chain, and re-attaches every volume steered through
-// the group so parked flows resume. It returns the replacement instance and
-// how many journal records the replay delivered — writes the crashed relay
+// relay crash-stopped, provisions a replacement on a surviving host under a
+// fresh (never reused) instance index, swaps it into the steering group,
+// replays the crashed instance's durable journals through the replacement's
+// service chain, and re-attaches every volume steered through the group so
+// parked flows resume. It returns the replacement instance and how many
+// journal records the replay delivered — writes the crashed relay
 // acknowledged but never applied to the backing volume.
+//
+// Recovery is retryable at every failure point: until the replacement is
+// provisioned the crashed member stays in the group (still reported Crashed,
+// so the orchestrator re-runs RecoverInstance), and once the group has been
+// swapped the remaining steps are recorded as a pending-recovery tail that
+// RetryRecoveries re-drives until journal replay and re-attachment succeed.
+// A transient backend error can therefore never strand acknowledged
+// journaled writes on disk.
 func (t *TenantDeployment) RecoverInstance(mbName, inst string) (*MBInstance, int, error) {
 	t.scaleMu.Lock()
 	defer t.scaleMu.Unlock()
@@ -930,22 +954,20 @@ func (t *TenantDeployment) RecoverInstance(mbName, inst string) (*MBInstance, in
 		return nil, 0, fmt.Errorf("core: instance %q has not crashed", inst)
 	}
 	p := t.platform
+	dir, derr := p.journalDir(spec, inst)
+	if derr != nil {
+		dir = "" // journaling misconfigured (caught at Apply); nothing to replay
+	}
 
-	// The crashed member leaves the group; its instance index is burned so
+	// Provision the replacement before touching the group: if this fails the
+	// crashed member is still visible as Crashed and the next reconcile pass
+	// retries the whole recovery. The instance index is burned either way so
 	// the replacement's station name can never collide with stale steering
 	// state.
 	t.mu.Lock()
-	insts := t.Groups[mbName]
-	for i, e := range insts {
-		if e == in {
-			t.Groups[mbName] = append(insts[:i:i], insts[i+1:]...)
-			break
-		}
-	}
 	idx := t.groupSeq[mbName]
 	t.groupSeq[mbName] = idx + 1
 	t.mu.Unlock()
-
 	name := fmt.Sprintf("%s-%s-%d", t.Tenant, mbName, idx)
 	host := spec.Host
 	if host == "" {
@@ -956,25 +978,68 @@ func (t *TenantDeployment) RecoverInstance(mbName, inst string) (*MBInstance, in
 		return nil, 0, fmt.Errorf("core: replacement for crashed %q: %w", inst, err)
 	}
 	repl := &MBInstance{Name: name, Host: host, MB: mb}
+
+	// Swap the group and record the owed tail in the same critical section:
+	// from this instant the member no longer reports Crashed, so any failure
+	// in the remaining steps must leave a pending-recovery record behind or
+	// the journal would never be replayed.
 	t.mu.Lock()
+	insts := t.Groups[mbName]
+	for i, e := range insts {
+		if e == in {
+			t.Groups[mbName] = append(insts[:i:i], insts[i+1:]...)
+			break
+		}
+	}
 	t.Groups[mbName] = append(t.Groups[mbName], repl)
+	tail := &recoveryTail{inst: inst, repl: name, dir: dir}
+	t.pendingRecovery[mbName] = append(t.pendingRecovery[mbName], tail)
 	t.mu.Unlock()
 
+	replayed, err := t.finishRecovery(mbName, tail)
+	if err != nil {
+		return repl, replayed, err
+	}
+	obs.Default().Eventf("core", "tenant %s: crashed %s/%s recovered onto %s (host %s, %d journal records replayed)",
+		t.Tenant, mbName, inst, name, host, replayed)
+	return repl, replayed, nil
+}
+
+// finishRecovery drives a recovery tail to completion: chain reinstall,
+// journal replay, volume re-attachment. On success the tail is cleared; on
+// error it stays pending for RetryRecoveries. Every step tolerates
+// re-execution — reinstallChains rebuilds from current membership, replay
+// of an already-consumed journal dir is a no-op, and re-attachment replaces
+// the device handle it replaced before. Caller holds t.scaleMu.
+func (t *TenantDeployment) finishRecovery(mbName string, tail *recoveryTail) (int, error) {
 	// Reinstalling the chains swaps the select-group membership and prunes
 	// the dead member's flow bindings, so reconnects hash onto survivors.
 	if err := t.reinstallChains(mbName); err != nil {
-		return repl, 0, err
+		return 0, err
 	}
 
-	// Replay the crashed instance's durable journals through the
-	// replacement's service chain before any client traffic reconnects:
-	// recovered writes land first, so a retried in-flight write can never be
-	// overwritten by an older journal record.
+	// Replay the crashed instance's durable journals before any client
+	// traffic reconnects: recovered writes land first, so a retried
+	// in-flight write can never be overwritten by an older journal record.
+	// The replacement's relay hosts the replay; if it is already gone
+	// (scaled away between retries), any surviving relay member serves.
 	replayed := 0
-	if dir, derr := p.journalDir(spec, inst); derr == nil && dir != "" {
-		n, rerr := mb.Relay.RecoverFrom(dir)
-		if rerr != nil {
-			return repl, n, fmt.Errorf("core: journal replay of crashed %q: %w", inst, rerr)
+	if tail.dir != "" {
+		relay := t.instance(mbName, tail.repl)
+		if relay == nil || relay.MB == nil {
+			for _, e := range t.Group(mbName) {
+				if e.MB != nil {
+					relay = e
+					break
+				}
+			}
+		}
+		if relay == nil || relay.MB == nil {
+			return 0, fmt.Errorf("core: no relay instance left in %q to replay %s", mbName, tail.dir)
+		}
+		n, err := relay.MB.Relay.RecoverFrom(tail.dir)
+		if err != nil {
+			return n, fmt.Errorf("core: journal replay of crashed %q: %w", tail.inst, err)
 		}
 		replayed = n
 	}
@@ -996,12 +1061,51 @@ func (t *TenantDeployment) RecoverInstance(mbName, inst string) (*MBInstance, in
 			_ = av.Device.Close()
 		}
 		if err := t.Reattach(key); err != nil {
-			return repl, replayed, err
+			return replayed, err
 		}
 	}
-	obs.Default().Eventf("core", "tenant %s: crashed %s/%s recovered onto %s (host %s, %d journal records replayed)",
-		t.Tenant, mbName, inst, name, host, replayed)
-	return repl, replayed, nil
+
+	t.mu.Lock()
+	tails := t.pendingRecovery[mbName]
+	for i, e := range tails {
+		if e == tail {
+			t.pendingRecovery[mbName] = append(tails[:i:i], tails[i+1:]...)
+			break
+		}
+	}
+	t.mu.Unlock()
+	return replayed, nil
+}
+
+// PendingRecoveries reports how many crash recoveries of this group still
+// owe journal replay or volume re-attachment (see RetryRecoveries).
+func (t *TenantDeployment) PendingRecoveries(mbName string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pendingRecovery[mbName])
+}
+
+// RetryRecoveries re-drives the unfinished tail of earlier crash
+// recoveries whose journal replay or re-attachment failed transiently
+// (backend outage, network cut). It returns the total journal records
+// replayed; on error the remaining tails stay pending for the next retry.
+func (t *TenantDeployment) RetryRecoveries(mbName string) (int, error) {
+	t.scaleMu.Lock()
+	defer t.scaleMu.Unlock()
+	t.mu.Lock()
+	tails := append([]*recoveryTail(nil), t.pendingRecovery[mbName]...)
+	t.mu.Unlock()
+	total := 0
+	for _, tail := range tails {
+		n, err := t.finishRecovery(mbName, tail)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		obs.Default().Eventf("core", "tenant %s: retried recovery of crashed %s/%s (%d journal records replayed)",
+			t.Tenant, mbName, tail.inst, n)
+	}
+	return total, nil
 }
 
 // GroupStatus snapshots every member of a scalable middle-box group.

@@ -171,6 +171,108 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRecoveryRetryAfterTransientReplayFailure: a backend outage during the
+// replacement's journal replay must not strand the crashed member's
+// acknowledged writes. The group swap leaves a pending-recovery tail, the
+// journal stays on disk, and RetryRecoveries re-drives replay and
+// re-attachment to completion once the backend heals — the failure mode
+// where the member no longer reports Crashed so nothing else would retry.
+func TestRecoveryRetryAfterTransientReplayFailure(t *testing.T) {
+	c, p := fastCloud(t)
+	stateDir := t.TempDir()
+	p.SetStateDir(stateDir)
+	_, volID := launchAndVolume(t, c, "vm1")
+	pol := crashPolicy(volID)
+	// Inflate the apply cost further so the short pre-crash burst reliably
+	// leaves acknowledged-but-unapplied records in the journal.
+	pol.MiddleBoxes[0].Params["cipherCostNsPerKiB"] = "1000000"
+	dep, err := p.Apply(pol)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	av := dep.Volumes["vm1/"+volID]
+	serving := servingMember(t, dep, "enc1")
+
+	const writes = 12
+	for i := 0; i < writes; i++ {
+		if err := av.Device.WriteAt(corePattern(i), uint64(i)*8); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := c.CrashMiddleBox(serving.Name); err != nil {
+		t.Fatalf("CrashMiddleBox: %v", err)
+	}
+
+	// Storage outage: the replacement provisions and joins the group, but
+	// journal replay cannot reach the backend.
+	c.Fabric.CutHost(c.StorageHost())
+	repl, _, rerr := dep.RecoverInstance("enc1", serving.Name)
+	if rerr == nil {
+		t.Fatal("RecoverInstance succeeded with the storage host cut")
+	}
+	if repl == nil {
+		t.Fatal("replacement not provisioned despite the replay failure")
+	}
+	if got := dep.PendingRecoveries("enc1"); got != 1 {
+		t.Fatalf("PendingRecoveries = %d after failed replay, want 1", got)
+	}
+	// The swap already happened: nothing reports Crashed anymore, so the
+	// pending tail is the only thing keeping this recovery alive.
+	for _, ms := range dep.GroupStatus("enc1") {
+		if ms.Crashed {
+			t.Fatalf("member %s still reports Crashed after the swap", ms.Name)
+		}
+		if ms.Name == serving.Name {
+			t.Fatal("crashed member still in the group")
+		}
+	}
+	if entries, err := os.ReadDir(filepath.Join(stateDir, serving.Name)); err != nil || len(entries) == 0 {
+		t.Fatalf("journal dir consumed or missing after failed replay (entries=%d err=%v)", len(entries), err)
+	}
+
+	// Retrying against the still-down backend fails and keeps the tail.
+	if _, err := dep.RetryRecoveries("enc1"); err == nil {
+		t.Fatal("RetryRecoveries succeeded with the storage host still cut")
+	}
+	if got := dep.PendingRecoveries("enc1"); got != 1 {
+		t.Fatalf("PendingRecoveries = %d after failed retry, want 1", got)
+	}
+
+	// Heal and retry: the journal replays, volumes re-attach, tail clears.
+	c.Fabric.HealHost(c.StorageHost())
+	n, err := dep.RetryRecoveries("enc1")
+	if err != nil {
+		t.Fatalf("RetryRecoveries after heal: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("healed retry replayed no journal records — the crash never caught unapplied acknowledged writes (vacuous test)")
+	}
+	if got := dep.PendingRecoveries("enc1"); got != 0 {
+		t.Fatalf("PendingRecoveries = %d after successful retry, want 0", got)
+	}
+	if entries, err := os.ReadDir(filepath.Join(stateDir, serving.Name)); err == nil && len(entries) != 0 {
+		t.Fatalf("journal dir still holds %d entries after successful retry", len(entries))
+	}
+
+	// Every acknowledged write survived the outage-interrupted recovery, and
+	// the re-attached data path accepts new I/O.
+	if err := av.Device.Flush(); err != nil {
+		t.Fatalf("Flush after retry: %v", err)
+	}
+	for i := 0; i < writes; i++ {
+		got := make([]byte, 4096)
+		if err := av.Device.ReadAt(got, uint64(i)*8); err != nil {
+			t.Fatalf("read-back %d: %v", i, err)
+		}
+		if !bytes.Equal(got, corePattern(i)) {
+			t.Fatalf("write %d lost across the retried recovery", i)
+		}
+	}
+	if err := av.Device.WriteAt(corePattern(99), uint64(writes)*8); err != nil {
+		t.Fatalf("new write after retried recovery: %v", err)
+	}
+}
+
 // TestDurableJournalRequiresStateDir: a policy asking for durable journals
 // must be refused while the platform has nowhere durable to keep them.
 func TestDurableJournalRequiresStateDir(t *testing.T) {

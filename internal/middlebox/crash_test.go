@@ -1,10 +1,13 @@
 package middlebox
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"repro/internal/initiator"
 	"repro/internal/netsim"
 	"repro/internal/target"
+	"repro/internal/wal"
 )
 
 // slowDisk delays every write so the active relay builds a journal backlog:
@@ -263,6 +267,100 @@ func TestCrashReplayAtManyPoints(t *testing.T) {
 	}
 	if totalReplayed == 0 {
 		t.Fatal("no run replayed any journal record — the crash never caught unapplied acknowledged writes (vacuous test)")
+	}
+}
+
+// TestRecoverFromIsolatesBrokenSessions: one crashed relay can leave
+// several session journals behind, and not all of them healthy — a session
+// dir with no segments (crash between the journal's mkdir and its first
+// durable write) and a corrupt WAL must not block the good session's
+// replay. The empty husk is cleared, the corrupt WAL is kept for another
+// attempt, and the aggregate error is typed.
+func TestRecoverFromIsolatesBrokenSessions(t *testing.T) {
+	h := newCrashHarness(t)
+	stateDir := t.TempDir()
+	dir1 := filepath.Join(stateDir, "mb1")
+	meta := wal.Meta{Attrs: map[string]string{
+		"iqn":     h.iqn,
+		"net":     strconv.Itoa(int(netsim.StorageNet)),
+		"nexthop": "10.0.0.100:3260",
+	}}
+
+	// sess-1: a healthy journal holding three unapplied acknowledged writes.
+	const goodRecords = 3
+	good := filepath.Join(dir1, "sess-1")
+	lg, err := wal.Create(good, meta, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < goodRecords; i++ {
+		if _, err := lg.Append(uint64(i), crashPattern(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lg.Kill()
+
+	// sess-2: the predecessor died between MkdirAll and the first segment
+	// write — an empty directory with nothing recoverable.
+	empty := filepath.Join(dir1, "sess-2")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// sess-3: a journal corrupted mid-log (damage with live log after it).
+	bad := filepath.Join(dir1, "sess-3")
+	lb, err := wal.Create(bad, meta, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := lb.Append(uint64(16+i), crashPattern(16+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lb.Kill()
+	badSeg := filepath.Join(bad, "00000000.seg")
+	segBytes, err := os.ReadFile(badSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segBytes[len(segBytes)/2] ^= 0x40
+	if err := os.WriteFile(badSeg, segBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	relay2, addr2 := h.startRelay(t, filepath.Join(stateDir, "mb2"))
+	n, err := relay2.RecoverFrom(dir1)
+	if n != goodRecords {
+		t.Fatalf("RecoverFrom replayed %d records, want %d from the healthy session", n, goodRecords)
+	}
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("RecoverFrom err = %v, want the corrupt session's typed error", err)
+	}
+	// The healthy session's WAL is consumed, the empty husk cleared, and the
+	// corrupt WAL kept on disk for another attempt.
+	if _, err := os.Stat(good); !os.IsNotExist(err) {
+		t.Fatalf("replayed session dir still present: %v", err)
+	}
+	if _, err := os.Stat(empty); !os.IsNotExist(err) {
+		t.Fatalf("empty session dir not cleared: %v", err)
+	}
+	if _, err := os.Stat(badSeg); err != nil {
+		t.Fatalf("corrupt session WAL not kept for retry: %v", err)
+	}
+	// The replayed records actually reached the backend.
+	sess := h.login(t, addr2, "vm-verify")
+	for i := 0; i < goodRecords; i++ {
+		b, err := sess.Read(uint64(i), 1, 512)
+		if err != nil {
+			t.Fatalf("read-back lba %d: %v", i, err)
+		}
+		if !bytes.Equal(b, crashPattern(i)) {
+			t.Fatalf("lba %d does not hold the replayed record", i)
+		}
+	}
+	if err := sess.Logout(); err != nil {
+		t.Fatal(err)
 	}
 }
 

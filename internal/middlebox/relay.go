@@ -481,9 +481,13 @@ func (r *Relay) Killed() bool { return r.killed.Load() }
 // freshly built backend service chain (the journal holds pre-service data,
 // so encryption and friends must run again), flushes, and deletes the WAL.
 // Replay is idempotent — records whose writes also landed before the crash
-// simply overwrite with identical bytes. It returns the number of records
-// replayed; a corrupt WAL or unreachable backend aborts with the WAL kept
-// on disk for another attempt.
+// simply overwrite with identical bytes. Sessions recover independently: a
+// segment-less session directory (a crash between the journal's mkdir and
+// its first durable record — nothing was ever acknowledged from it) is
+// cleared and skipped, and a corrupt WAL or unreachable backend keeps that
+// session's WAL on disk for another attempt without blocking the remaining
+// sessions' replay. It returns the number of records replayed and the
+// joined per-session errors.
 func (r *Relay) RecoverFrom(dir string) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -495,19 +499,28 @@ func (r *Relay) RecoverFrom(dir string) (int, error) {
 	replays := obs.Default().Counter("journal.replays")
 	replayed := obs.Default().Counter("journal.replayed_records")
 	total := 0
+	var errs []error
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
 		sessDir := filepath.Join(dir, e.Name())
 		log, rec, err := wal.Open(sessDir, wal.Options{SyncWindow: r.cfg.JournalSyncWindow})
+		if errors.Is(err, wal.ErrNoSegments) {
+			// Nothing durable ever landed here; remove the husk if it is
+			// empty (a stray non-empty directory is left alone) and move on.
+			_ = os.Remove(sessDir)
+			continue
+		}
 		if err != nil {
-			return total, fmt.Errorf("middlebox: recover %s: %w", sessDir, err)
+			errs = append(errs, fmt.Errorf("middlebox: recover %s: %w", sessDir, err))
+			continue
 		}
 		n, err := r.replayRecovered(rec)
 		if err != nil {
 			_ = log.Close() // keep the WAL for another attempt
-			return total, fmt.Errorf("middlebox: recover %s: %w", sessDir, err)
+			errs = append(errs, fmt.Errorf("middlebox: recover %s: %w", sessDir, err))
+			continue
 		}
 		total += n
 		replays.Inc()
@@ -515,10 +528,10 @@ func (r *Relay) RecoverFrom(dir string) (int, error) {
 		obs.Default().Eventf("relay", "%s: recovered session journal %s: %d record(s) replayed (torn=%v)",
 			r.cfg.Name, e.Name(), n, rec.Torn)
 		if err := log.Remove(); err != nil {
-			return total, fmt.Errorf("middlebox: remove replayed journal %s: %w", sessDir, err)
+			errs = append(errs, fmt.Errorf("middlebox: remove replayed journal %s: %w", sessDir, err))
 		}
 	}
-	return total, nil
+	return total, errors.Join(errs...)
 }
 
 // replayRecovered delivers one recovered journal's records to the backend

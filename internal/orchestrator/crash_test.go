@@ -130,3 +130,78 @@ func TestReconcileReplacesCrashedMember(t *testing.T) {
 		t.Fatalf("group size after settle pass = %d, want 2", got)
 	}
 }
+
+// TestReconcileRetriesPendingRecovery: when the recovery tail fails after
+// the group swap (storage outage during journal replay / re-attachment),
+// the member no longer reports Crashed, so the pending-recovery tail is the
+// only retry signal left — the control loop must keep re-driving it until
+// it completes.
+func TestReconcileRetriesPendingRecovery(t *testing.T) {
+	c, p, dep, av := crashTestbed(t, "tenantY")
+
+	want := bytes.Repeat([]byte{0xC3}, 4096)
+	if err := av.Device.WriteAt(want, 8); err != nil {
+		t.Fatalf("WriteAt before crash: %v", err)
+	}
+	var victim core.MemberStatus
+	for _, ms := range dep.GroupStatus("enc1") {
+		if ms.Sessions > 0 {
+			victim = ms
+		}
+	}
+	if victim.Name == "" {
+		t.Fatal("no member holds the session")
+	}
+	if err := c.CrashMiddleBox(victim.Name); err != nil {
+		t.Fatalf("CrashMiddleBox: %v", err)
+	}
+	// Storage outage: replacement provisioning succeeds, but the recovery
+	// tail (replay / re-attach) cannot complete.
+	c.Fabric.CutHost(c.StorageHost())
+
+	reg := obs.NewRegistry()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	o := New(Config{Platform: p, Obs: reg, Now: clk.Now})
+	if err := o.Manage("tenantY", "enc1"); err != nil {
+		t.Fatalf("Manage: %v", err)
+	}
+
+	clk.Advance(time.Second)
+	o.Reconcile() // replaces the crashed member; the tail fails and stays pending
+	if got := len(dep.GroupStatus("enc1")); got != 2 {
+		t.Fatalf("group size after replacement = %d, want 2", got)
+	}
+	for _, ms := range dep.GroupStatus("enc1") {
+		if ms.Crashed {
+			t.Fatalf("member %s still reports Crashed after the swap", ms.Name)
+		}
+	}
+	if got := dep.PendingRecoveries("enc1"); got != 1 {
+		t.Fatalf("PendingRecoveries = %d after outage-interrupted recovery, want 1", got)
+	}
+
+	clk.Advance(time.Second)
+	o.Reconcile() // retry against the still-down backend keeps the tail pending
+	if got := dep.PendingRecoveries("enc1"); got != 1 {
+		t.Fatalf("PendingRecoveries = %d while backend still down, want 1", got)
+	}
+
+	c.Fabric.HealHost(c.StorageHost())
+	clk.Advance(time.Second)
+	o.Reconcile() // healed: the loop completes the tail
+	if got := dep.PendingRecoveries("enc1"); got != 0 {
+		t.Fatalf("PendingRecoveries = %d after healed reconcile, want 0", got)
+	}
+
+	// The acknowledged pre-crash write survived and the data path is live.
+	got := make([]byte, 4096)
+	if err := av.Device.ReadAt(got, 8); err != nil {
+		t.Fatalf("ReadAt after retried recovery: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("pre-crash acknowledged write lost across the retried recovery")
+	}
+	if err := av.Device.WriteAt(want, 64); err != nil {
+		t.Fatalf("WriteAt after retried recovery: %v", err)
+	}
+}

@@ -168,6 +168,21 @@ func (o *Orchestrator) reconcileGroup(g *managedGroup) {
 		return // one action per pass
 	}
 
+	// Re-drive recovery tails a transient failure left behind (backend
+	// outage during journal replay, re-attach error): the crashed member is
+	// already replaced and no longer reports Crashed, but its acknowledged
+	// journaled writes are still owed a replay.
+	if dep.PendingRecoveries(g.mb) > 0 {
+		n, err := dep.RetryRecoveries(g.mb)
+		if err != nil {
+			o.logf("retry recovery %s/%s: %v", g.tenant, g.mb, err)
+		} else {
+			o.cfg.Obs.Eventf("orchestrator", "completed pending recovery for %s/%s (%d journal records replayed)",
+				g.tenant, g.mb, n)
+		}
+		return // one action per pass
+	}
+
 	// Finish an in-flight drain once the member has quiesced.
 	if g.draining != "" {
 		st, err := dep.DrainStatus(g.mb, g.draining)

@@ -52,6 +52,13 @@ var ErrCorrupt = errors.New("wal: corrupt log")
 // ErrClosed reports use of a closed (or crash-killed) log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrNoSegments reports an Open of a directory holding no segment files: a
+// log that was never durably created (a crash between the directory's
+// creation and its first segment write), as opposed to a damaged one.
+// Nothing was ever acknowledged from such a log, so callers may treat it as
+// empty.
+var ErrNoSegments = errors.New("wal: no segments")
+
 // Record types.
 const (
 	recMeta   byte = 1
@@ -190,7 +197,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		return nil, nil, err
 	}
 	if len(segs) == 0 {
-		return nil, nil, fmt.Errorf("wal: open %s: no segments", dir)
+		return nil, nil, fmt.Errorf("wal: open %s: %w", dir, ErrNoSegments)
 	}
 	for i := 1; i < len(segs); i++ {
 		if segs[i] != segs[i-1]+1 {
@@ -200,7 +207,12 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	rec := &Recovery{}
 	pending := make(map[uint64]Record)
 	segOf := make(map[uint64]int)
-	var maxSeq uint64
+	// Append contiguity and the commit high-water mark are tracked apart:
+	// a surviving segment can legitimately open with a commit whose seq is
+	// below the next surviving append (a commit-triggered rotation whose
+	// older segments compacted away), so commits must never feed the
+	// append-gap check — they only floor where new sequence numbers resume.
+	var lastAppend, maxCommit uint64
 	haveMeta := false
 	for i, seg := range segs {
 		final := i == len(segs)-1
@@ -226,10 +238,10 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 				// append seqs are contiguous; a gap means records were
 				// silently lost (e.g. a mid-log truncation on a record
 				// boundary), which torn-write semantics cannot explain.
-				if maxSeq != 0 && seq != maxSeq+1 {
-					return fmt.Errorf("%w: append seq %d after %d (gap or regression)", ErrCorrupt, seq, maxSeq)
+				if lastAppend != 0 && seq != lastAppend+1 {
+					return fmt.Errorf("%w: append seq %d after %d (gap or regression)", ErrCorrupt, seq, lastAppend)
 				}
-				maxSeq = seq
+				lastAppend = seq
 				if len(payload) < 8 {
 					return fmt.Errorf("%w: short append payload", ErrCorrupt)
 				}
@@ -246,8 +258,8 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 				// preceded it in time, so seqs must resume above it.
 				delete(pending, seq)
 				delete(segOf, seq)
-				if seq > maxSeq {
-					maxSeq = seq
+				if seq > maxCommit {
+					maxCommit = seq
 				}
 			default:
 				return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
@@ -272,7 +284,10 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	l := newLog(dir, rec.Meta, opts)
 	l.firstSeg = segs[0]
 	l.curSeg = segs[len(segs)-1]
-	l.nextSeq = maxSeq
+	l.nextSeq = lastAppend
+	if maxCommit > l.nextSeq {
+		l.nextSeq = maxCommit
+	}
 	for seq, seg := range segOf {
 		l.segOf[seq] = seg
 		l.live[seg]++
@@ -367,8 +382,11 @@ func (l *Log) Append(lba uint64, data []byte) (uint64, error) {
 		l.mu.Unlock()
 		return 0, ErrClosed
 	}
-	l.nextSeq++
-	seq := l.nextSeq
+	// The sequence number is consumed only once the record is written: a
+	// failed write must leave nextSeq untouched, or the next successful
+	// append would create an on-disk append-seq gap that Open (rightly)
+	// rejects as corruption.
+	seq := l.nextSeq + 1
 	binary.LittleEndian.PutUint64(payload[1:], seq)
 	binary.LittleEndian.PutUint64(payload[9:], lba)
 	copy(payload[17:], data)
@@ -377,6 +395,7 @@ func (l *Log) Append(lba uint64, data []byte) (uint64, error) {
 		l.mu.Unlock()
 		return 0, err
 	}
+	l.nextSeq = seq
 	l.segOf[seq] = l.curSeg
 	l.live[l.curSeg]++
 	l.appends.Inc()

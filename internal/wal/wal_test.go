@@ -165,6 +165,93 @@ func TestCommitSurvivingCompactionIsIgnoredOnOpen(t *testing.T) {
 	}
 }
 
+// TestCommitTriggeredRotationCompactionReopens is the regression test for a
+// recovery bug: when a commit record itself triggers segment rotation, the
+// new segment opens with meta + that commit, and once the older segments
+// compact away the surviving log legitimately starts with a commit whose
+// seq is below the next surviving append. Open must not mistake that shape
+// for an append-seq gap.
+func TestCommitTriggeredRotationCompactionReopens(t *testing.T) {
+	// Sizes tuned so both appends fit segment 0 and the first commit record
+	// overflows it; the intermediate Segments() assertions fail loudly if
+	// the framing arithmetic ever drifts.
+	l, dir := mustCreate(t, Options{SegmentBytes: 256})
+	seq1, err := l.Append(0, bytes.Repeat([]byte{1}, 66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := l.Append(8, bytes.Repeat([]byte{2}, 66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Segments(); got != 1 {
+		t.Fatalf("setup: both appends must share segment 0, Segments = %d", got)
+	}
+	// The commit record overflows segment 0: rotation puts meta + commit(1)
+	// at the head of segment 1.
+	if err := l.Commit(seq1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Segments(); got != 2 {
+		t.Fatalf("setup: commit must trigger rotation, Segments = %d", got)
+	}
+	seq3, err := l.Append(16, []byte("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committing seq2 fully applies segment 0, which compacts away; the
+	// surviving segment now reads meta, commit(1), append(3), commit(2).
+	if err := l.Commit(seq2); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Segments(); got != 1 {
+		t.Fatalf("setup: compaction must drop segment 0, Segments = %d", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, rec, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("Open after commit-triggered rotation + compaction: %v", err)
+	}
+	defer re.Close()
+	if len(rec.Records) != 1 || rec.Records[0].Seq != seq3 || string(rec.Records[0].Data) != "survivor" {
+		t.Fatalf("recovered %+v, want only seq %d", rec.Records, seq3)
+	}
+	// New appends resume above everything ever written.
+	if seq, err := re.Append(24, []byte("next")); err != nil || seq != seq3+1 {
+		t.Fatalf("append after reopen: seq %d err %v, want seq %d", seq, err, seq3+1)
+	}
+}
+
+// TestAppendWriteErrorDoesNotBurnSeq: a failed record write must not consume
+// a sequence number, or the next successful append would leave an on-disk
+// append-seq gap that Open rejects as corruption.
+func TestAppendWriteErrorDoesNotBurnSeq(t *testing.T) {
+	l, _ := mustCreate(t, Options{})
+	if _, err := l.Append(0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	want := l.NextSeq()
+	// Sabotage the segment file handle so the next record write fails.
+	l.mu.Lock()
+	f := l.f
+	l.mu.Unlock()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(8, []byte("fails")); err == nil {
+		t.Fatal("Append on a closed segment file succeeded")
+	}
+	if got := l.NextSeq(); got != want {
+		t.Fatalf("failed append burned a seq: NextSeq = %d, want %d", got, want)
+	}
+	if got := l.Pending(); got != 1 {
+		t.Fatalf("failed append left bookkeeping: Pending = %d, want 1", got)
+	}
+}
+
 func TestTornFinalRecordTruncated(t *testing.T) {
 	l, dir := mustCreate(t, Options{})
 	var keepData = []byte("survives the crash")
