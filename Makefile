@@ -6,13 +6,16 @@
 # microbenchmarks with allocation stats and appends a dated before/after
 # summary to BENCH_results.json (via stormbench -fastpath). `make crash`
 # runs the WAL durability-cost sweep and the kill/replay scenarios
-# (stormbench -crash, non-zero exit on data loss).
+# (stormbench -crash, non-zero exit on data loss). `make trace` runs the
+# end-to-end tracing experiment: slowest traces hop by hop, the per-hop
+# time budget table, and the tracing-overhead measurement appended to
+# BENCH_results.json.
 
 GO ?= go
-RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator
+RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator ./internal/workload
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool
 
-.PHONY: check fmt vet build test race bench crash
+.PHONY: check fmt vet build test race bench crash trace
 
 check: fmt vet build race
 
@@ -40,3 +43,6 @@ bench:
 
 crash:
 	$(GO) run ./cmd/stormbench -crash
+
+trace:
+	$(GO) run ./cmd/stormbench -trace

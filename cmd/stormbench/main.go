@@ -14,6 +14,7 @@
 //	stormbench -scale          # throughput-vs-instances scale-out sweep
 //	stormbench -chaos          # failure-injection smoke suite (non-zero exit on data loss)
 //	stormbench -crash          # WAL durability cost + kill/replay suite (non-zero exit on data loss)
+//	stormbench -trace          # end-to-end tracing: slowest traces hop by hop + overhead
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 //	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -49,6 +50,7 @@ type benchResults struct {
 	Scaling             []experiments.ScalingRun             `json:"scaling,omitempty"`
 	Chaos               []experiments.ChaosResult            `json:"chaos,omitempty"`
 	Crash               []experiments.CrashRun               `json:"crash,omitempty"`
+	Tracing             []experiments.TracingRun             `json:"tracing,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
@@ -61,6 +63,7 @@ func main() {
 		scale      = flag.Bool("scale", false, "run only the scale-out throughput-vs-instances sweep")
 		chaos      = flag.Bool("chaos", false, "run only the failure-injection smoke suite (exit non-zero on data loss)")
 		crash      = flag.Bool("crash", false, "run only the WAL durability-cost and kill/replay suite (exit non-zero on data loss)")
+		trace      = flag.Bool("trace", false, "run only the end-to-end tracing experiment (slowest traces hop by hop + overhead)")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
@@ -73,7 +76,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *table, *ablations, *fastpath, *scale, *chaos, *crash, *ops, *repDur, *jsonPath)
+	err = run(*fig, *table, *ablations, *fastpath, *scale, *chaos, *crash, *trace, *ops, *repDur, *jsonPath)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
@@ -116,9 +119,9 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, crashOnly bool, ops int, repDur time.Duration, jsonPath string) error {
+func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, crashOnly, traceOnly bool, ops int, repDur time.Duration, jsonPath string) error {
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -168,6 +171,23 @@ func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, cras
 			}
 		}
 		if crashOnly {
+			return nil
+		}
+	}
+
+	if traceOnly || all {
+		section("Tracing: end-to-end trace breakdown and overhead")
+		traceRun, err := experiments.Tracing(ops)
+		if err != nil {
+			return err
+		}
+		traceRun.When = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.FormatTracing(traceRun))
+		results.Tracing = []experiments.TracingRun{*traceRun}
+		if traceRun.OverheadPct > 5 {
+			fmt.Printf("WARNING: tracing overhead %.2f%% exceeds the 5%% budget\n", traceRun.OverheadPct)
+		}
+		if traceOnly {
 			return nil
 		}
 	}
@@ -329,11 +349,13 @@ func writeResults(path string, r *benchResults) error {
 			FastPath []experiments.FastPathRun `json:"fastpath"`
 			Scaling  []experiments.ScalingRun  `json:"scaling"`
 			Crash    []experiments.CrashRun    `json:"crash"`
+			Tracing  []experiments.TracingRun  `json:"tracing"`
 		}
 		if json.Unmarshal(old, &prev) == nil {
 			r.FastPath = append(prev.FastPath, r.FastPath...)
 			r.Scaling = append(prev.Scaling, r.Scaling...)
 			r.Crash = append(prev.Crash, r.Crash...)
+			r.Tracing = append(prev.Tracing, r.Tracing...)
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,11 +45,15 @@ func main() {
 	var (
 		policyPath  = flag.String("policy", "", "tenant policy JSON file (default: built-in demo)")
 		hosts       = flag.Int("hosts", 4, "number of compute hosts")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /traces and /debug/pprof on this address (e.g. :9090)")
+		trace       = flag.Bool("trace", false, "enable per-command distributed tracing (tail-sampled; exposed on /traces)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile here")
 		memProfile  = flag.String("memprofile", "", "write a heap profile here on exit")
 	)
 	flag.Parse()
+	if *trace {
+		obs.Default().EnableTracing(obs.TraceConfig{})
+	}
 	stop, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormd:", err)
@@ -104,8 +109,24 @@ func run(policyPath string, hosts int, metricsAddr string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
-		go func() { _ = http.Serve(ln, obs.Default().Handler()) }()
-		fmt.Printf("metrics: http://%s/metrics (text) and /metrics.json\n", ln.Addr())
+
+		// Contention telemetry rides along with the metrics endpoint: the
+		// runtime's mutex/block profilers feed /debug/pprof, and the sampler
+		// publishes the aggregate runtime.* gauges next to the storm metrics.
+		obs.ContentionProfiling(0, 0)
+		sampler := obs.NewRuntimeSampler(obs.Default())
+		sampler.Start(0)
+		defer sampler.Stop()
+
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Default().Handler())
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("metrics: http://%s/metrics (text), /metrics.json, /traces, /debug/pprof\n", ln.Addr())
 	}
 
 	data := []byte(demoPolicy)

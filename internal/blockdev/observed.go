@@ -11,8 +11,16 @@ import (
 // "stage.<stage>.write"). It is the generic per-stage probe of the
 // observability spine: relays wrap their whole service stack in one so the
 // histogram captures service time plus downstream forwarding.
+//
+// When the registry's tracing plane is enabled, each request additionally
+// emits a traced span: a child of the span context bound to the calling
+// goroutine (the relay session's command context), re-bound around the
+// inner call so deeper stages — the relay's forward session, nested
+// devices — parent under this service leg.
 type ObservedDisk struct {
 	dev        Device
+	reg        *obs.Registry
+	stage      string
 	read, wrte obs.Timer
 }
 
@@ -25,9 +33,11 @@ func NewObservedDisk(dev Device, reg *obs.Registry, stage string) Device {
 		return dev
 	}
 	return &ObservedDisk{
-		dev:  dev,
-		read: reg.Timer(obs.StagePrefix + stage + ".read"),
-		wrte: reg.Timer(obs.StagePrefix + stage + ".write"),
+		dev:   dev,
+		reg:   reg,
+		stage: stage,
+		read:  reg.Timer(obs.StagePrefix + stage + ".read"),
+		wrte:  reg.Timer(obs.StagePrefix + stage + ".write"),
 	}
 }
 
@@ -39,6 +49,9 @@ func (d *ObservedDisk) Blocks() uint64 { return d.dev.Blocks() }
 
 // ReadAt implements Device, timing the read.
 func (d *ObservedDisk) ReadAt(p []byte, lba uint64) error {
+	if d.reg.TracingEnabled() {
+		return d.traced("read", p, lba, d.dev.ReadAt)
+	}
 	t0 := time.Now()
 	err := d.dev.ReadAt(p, lba)
 	if err == nil {
@@ -49,10 +62,38 @@ func (d *ObservedDisk) ReadAt(p []byte, lba uint64) error {
 
 // WriteAt implements Device, timing the write.
 func (d *ObservedDisk) WriteAt(p []byte, lba uint64) error {
+	if d.reg.TracingEnabled() {
+		return d.traced("write", p, lba, d.dev.WriteAt)
+	}
 	t0 := time.Now()
 	err := d.dev.WriteAt(p, lba)
 	if err == nil {
 		d.wrte.Since(t0)
+	}
+	return err
+}
+
+// traced runs one request under a traced span, re-binding the goroutine
+// context so downstream spans parent here.
+func (d *ObservedDisk) traced(dir string, p []byte, lba uint64, op func([]byte, uint64) error) error {
+	sp := d.reg.StartTraced(d.stage, dir, len(p))
+	var (
+		prev  obs.SpanContext
+		had   bool
+		bound bool
+	)
+	if sc := sp.Context(); sc.Valid() {
+		prev, had = obs.Bind(sc)
+		bound = true
+	}
+	err := op(p, lba)
+	if bound {
+		obs.Restore(prev, had)
+	}
+	if err == nil {
+		sp.End()
+	} else {
+		sp.Abort()
 	}
 	return err
 }

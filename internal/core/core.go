@@ -717,6 +717,16 @@ func (t *TenantDeployment) spec(mb string) *policy.MiddleBoxSpec {
 	return nil
 }
 
+// LatencySLO returns the middle-box's configured per-command latency
+// objective (zero when the policy sets none or the name is unknown).
+func (t *TenantDeployment) LatencySLO(mb string) time.Duration {
+	spec := t.spec(mb)
+	if spec == nil {
+		return 0
+	}
+	return spec.LatencySLO()
+}
+
 // ScaleBounds returns a scalable middle-box's configured instance bounds.
 func (t *TenantDeployment) ScaleBounds(mb string) (min, max int, err error) {
 	spec := t.spec(mb)
@@ -901,6 +911,9 @@ func (t *TenantDeployment) FinishDrain(mbName, inst string) error {
 	if err := t.reinstallChains(mbName); err != nil {
 		return err
 	}
+	// Retire the departed member's metric series so group churn cannot grow
+	// the registry without bound.
+	obs.Default().RetireInstance(inst)
 	if in.MB != nil {
 		return t.platform.cloud.RemoveMiddleBox(in.Name)
 	}
@@ -995,6 +1008,10 @@ func (t *TenantDeployment) RecoverInstance(mbName, inst string) (*MBInstance, in
 	tail := &recoveryTail{inst: inst, repl: name, dir: dir}
 	t.pendingRecovery[mbName] = append(t.pendingRecovery[mbName], tail)
 	t.mu.Unlock()
+
+	// The crashed member is out of the group for good; drop its metric
+	// series so repeated crash/replace cycles cannot grow the registry.
+	obs.Default().RetireInstance(inst)
 
 	replayed, err := t.finishRecovery(mbName, tail)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/iscsi"
+	"repro/internal/obs"
 	"repro/internal/scsi"
 )
 
@@ -14,7 +15,7 @@ import (
 // response buffer (cold path; the data-path reads go through ReadInto).
 func (s *Session) adminRead(cdb *scsi.CDB, n int) ([]byte, error) {
 	buf := make([]byte, n)
-	got, err := s.execRead(cdb, buf)
+	got, err := s.execRead(cdb, buf, obs.SpanContext{})
 	if err != nil {
 		return nil, err
 	}

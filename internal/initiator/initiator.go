@@ -161,8 +161,7 @@ type Session struct {
 	backoff *faults.Backoff
 	sem     chan struct{}
 
-	readTimer  obs.Timer
-	writeTimer obs.Timer
+	stage string // obs stage name for command spans ("initiator", "relay.<x>.forward")
 }
 
 // doLogin runs the login handshake on conn and returns the negotiated
@@ -245,16 +244,38 @@ func Login(conn net.Conn, cfg Config) (*Session, error) {
 		sem:        make(chan struct{}, cfg.QueueDepth),
 		readerDone: make(chan struct{}),
 	}
-	if cfg.Obs != nil {
-		stage := cfg.Stage
-		if stage == "" {
-			stage = obs.StageInitiator
-		}
-		s.readTimer = cfg.Obs.Timer(obs.StagePrefix + stage + ".read")
-		s.writeTimer = cfg.Obs.Timer(obs.StagePrefix + stage + ".write")
+	s.stage = cfg.Stage
+	if s.stage == "" {
+		s.stage = obs.StageInitiator
 	}
 	go s.readLoop(conn, s.readerDone)
 	return s, nil
+}
+
+// startCmdSpan opens the per-command stage span. With tracing enabled on
+// the session's registry this also assigns (or continues) the command's
+// trace: a fresh trace ID when the calling goroutine is unbound (the VM
+// edge of the chain), a child span when a relay's service leg is driving
+// this session as its downstream forward. Returns the zero span when the
+// session has no registry.
+func (s *Session) startCmdSpan(dir string, bytes int) obs.Span {
+	return s.cfg.Obs.StartTraced(s.stage, dir, bytes)
+}
+
+// putTrace hands the command's span context to the connection's
+// out-of-band trace carrier (keyed by task tag) so the next station can
+// parent its spans under ours. No-op on untraced commands or transports
+// without a carrier.
+func (s *Session) putTrace(itt uint32, sc obs.SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if tbl := obs.CarrierOf(conn); tbl != nil {
+		tbl.Put(itt, sc)
+	}
 }
 
 // Params returns the negotiated operational parameters.
@@ -661,23 +682,25 @@ func (s *Session) ReadInto(dst []byte, lba uint64, blocks uint32, blockSize int)
 	if len(dst) < n {
 		return 0, fmt.Errorf("initiator: destination %d bytes, transfer needs %d", len(dst), n)
 	}
-	var t0 time.Time
-	if s.readTimer.Enabled() {
-		t0 = time.Now()
+	sp := s.startCmdSpan("read", n)
+	if sc := sp.Context(); sc.Valid() {
+		// Bind the command's context so fabric hop charges on this
+		// goroutine (gateway ingress/egress, MB-FWD) join the trace.
+		prev, had := obs.Bind(sc)
+		defer obs.Restore(prev, had)
 	}
-	got, err := s.execRead(&cdb, dst[:n])
+	got, err := s.execRead(&cdb, dst[:n], sp.Context())
 	if err != nil {
+		sp.Abort()
 		return 0, err
 	}
-	if s.readTimer.Enabled() {
-		s.readTimer.Since(t0)
-	}
+	sp.End()
 	return got, nil
 }
 
 // execRead issues a read-direction command whose Data-In sequence fills dst,
 // reissuing it across reconnects while failures stay transient.
-func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
+func (s *Session) execRead(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (int, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	var (
@@ -685,7 +708,7 @@ func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
 		err error
 	)
 	for attempt := 0; attempt < maxCmdAttempts; attempt++ {
-		n, err = s.execReadOnce(cdb, dst)
+		n, err = s.execReadOnce(cdb, dst, sc)
 		if err == nil || !s.retryTransient(err) {
 			return n, err
 		}
@@ -697,7 +720,7 @@ func (s *Session) execRead(cdb *scsi.CDB, dst []byte) (int, error) {
 }
 
 // execReadOnce runs one attempt of a read-direction command.
-func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte) (int, error) {
+func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (int, error) {
 	p := getPending()
 	p.buf = dst
 	p.cmd = iscsi.SCSICommand{
@@ -717,6 +740,7 @@ func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte) (int, error) {
 	p.cmd.ITT = itt
 	p.cmd.CmdSN = cmdSN
 	p.cmd.ExpStatSN = expStatSN
+	s.putTrace(itt, sc)
 	if err := s.send(&p.cmd); err != nil {
 		// Not pooled: a concurrent connFailed may still signal this command.
 		s.unregister(itt)
@@ -752,10 +776,13 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 		return fmt.Errorf("initiator: write length %d is not a multiple of block size %d", len(data), blockSize)
 	}
 	cdb := scsi.WriteCDB(lba, uint32(len(data)/blockSize))
-	var t0 time.Time
-	if s.writeTimer.Enabled() {
-		t0 = time.Now()
-		defer func() { s.writeTimer.Since(t0) }()
+	sp := s.startCmdSpan("write", len(data))
+	defer sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		// Bind the command's context so fabric hop charges on this
+		// goroutine (gateway ingress/egress, MB-FWD) join the trace.
+		prev, had := obs.Bind(sc)
+		defer obs.Restore(prev, had)
 	}
 
 	s.sem <- struct{}{}
@@ -763,7 +790,7 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 
 	var err error
 	for attempt := 0; attempt < maxCmdAttempts; attempt++ {
-		err = s.execWriteOnce(&cdb, data)
+		err = s.execWriteOnce(&cdb, data, sp.Context())
 		if err == nil || !s.retryTransient(err) {
 			return err
 		}
@@ -776,7 +803,7 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 
 // execWriteOnce runs one attempt of a write command: immediate data, then
 // R2T-solicited Data-Out bursts, then the status wait.
-func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte) error {
+func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) error {
 	params := s.Params()
 	// Immediate (unsolicited) data up to FirstBurstLength.
 	immediate := 0
@@ -808,6 +835,7 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte) error {
 	p.cmd.ITT = itt
 	p.cmd.CmdSN = cmdSN
 	p.cmd.ExpStatSN = expStatSN
+	s.putTrace(itt, sc)
 	if err := s.send(&p.cmd); err != nil {
 		// Not pooled: a concurrent connFailed may still signal this command.
 		s.unregister(itt)

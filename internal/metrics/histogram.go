@@ -13,9 +13,14 @@ import (
 
 // Histogram records a set of duration samples and answers aggregate queries.
 // The zero value is ready to use. All methods are safe for concurrent use.
+//
+// Samples are kept in arrival order (so windowed consumers can read
+// increments with SamplesSince); percentile queries sort a reusable
+// scratch copy instead of the sample log itself.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []time.Duration
+	samples []time.Duration // arrival order, never reordered
+	scratch []time.Duration // sorted copy, valid while sorted is true
 	sum     time.Duration
 	min     time.Duration
 	max     time.Duration
@@ -96,29 +101,71 @@ func (h *Histogram) Quantiles(ps ...float64) []time.Duration {
 	return out
 }
 
+// sortedLocked returns the samples in ascending order, (re)building the
+// scratch copy only when new samples arrived since the last query.
+func (h *Histogram) sortedLocked() []time.Duration {
+	if !h.sorted {
+		h.scratch = append(h.scratch[:0], h.samples...)
+		sort.Slice(h.scratch, func(i, j int) bool { return h.scratch[i] < h.scratch[j] })
+		h.sorted = true
+	}
+	return h.scratch
+}
+
 func (h *Histogram) percentileLocked(p float64) time.Duration {
 	n := len(h.samples)
 	if n == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
-	}
+	s := h.sortedLocked()
 	if p <= 0 {
-		return h.samples[0]
+		return s[0]
 	}
 	if p >= 100 {
-		return h.samples[n-1]
+		return s[n-1]
 	}
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return h.samples[lo]
+		return s[lo]
 	}
 	frac := rank - float64(lo)
-	return h.samples[lo] + time.Duration(frac*float64(h.samples[hi]-h.samples[lo]))
+	return s[lo] + time.Duration(frac*float64(s[hi]-s[lo]))
+}
+
+// SamplesSince returns a copy of the samples recorded after a previous
+// call's cursor (0 reads from the beginning) plus the new cursor, letting
+// windowed consumers (SLO trackers) drain a histogram incrementally
+// without resetting it. A cursor from before a Reset yields the full log.
+func (h *Histogram) SamplesSince(cursor int) ([]time.Duration, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cursor < 0 || cursor > len(h.samples) {
+		cursor = 0
+	}
+	var out []time.Duration
+	if cursor < len(h.samples) {
+		out = append(out, h.samples[cursor:]...)
+	}
+	return out, len(h.samples)
+}
+
+// CumulativeBuckets returns, for each upper bound, how many samples are
+// less than or equal to it — Prometheus cumulative `le` semantics. Bounds
+// must be ascending. The total sample count is the implicit +Inf bucket.
+func (h *Histogram) CumulativeBuckets(bounds []time.Duration) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, len(bounds))
+	if len(h.samples) == 0 {
+		return out
+	}
+	s := h.sortedLocked()
+	for i, b := range bounds {
+		out[i] = sort.Search(len(s), func(j int) bool { return s[j] > b })
+	}
+	return out
 }
 
 // Stddev returns the sample standard deviation, or zero for fewer than two

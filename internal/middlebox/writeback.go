@@ -107,6 +107,11 @@ type wbItem struct {
 	ndeps      int       // block owners this write must apply after
 	dependents []*wbItem // later writes waiting on this one
 	dispatched bool
+
+	// tctx is the admitting command's span context: the async backend apply
+	// re-binds it so the forward leg's spans stay causally linked to the
+	// command that early-acked. Coalesced items keep the first admitter's.
+	tctx obs.SpanContext
 }
 
 // appendData grows the item's owned storage with p, upgrading to a larger
@@ -241,6 +246,9 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 	}
 
 	item := &wbItem{lba: lba, end: end, seqs: []uint64{seq}, dbuf: bufpool.Get(len(p))}
+	if tc, ok := obs.Current(); ok {
+		item.tctx = tc
+	}
 	item.data = item.dbuf.B
 	copy(item.data, p)
 	// Arrival-order for conflicts: wait for the current last writer of every
@@ -392,10 +400,15 @@ func (w *WriteBackDevice) applyLoop() {
 		dev := w.dev
 		w.mu.Unlock()
 
+		// Re-bind the admitting command's trace context: the forward leg runs
+		// after the early ack, on an applier goroutine, but its spans should
+		// parent under the command's service span.
+		prev, had := obs.Bind(item.tctx)
 		err := dev.WriteAt(item.data, item.lba)
 		for try := 1; err != nil && try < w.maxTries; try++ {
 			err = dev.WriteAt(item.data, item.lba)
 		}
+		obs.Restore(prev, had)
 		for _, seq := range item.seqs {
 			w.journal.Complete(seq, err)
 		}

@@ -3,6 +3,8 @@ package netsim
 import (
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Route describes where a dialed flow actually lands and what it traverses,
@@ -33,10 +35,12 @@ type Conn struct {
 	remote Addr
 	route  *Route
 	peer   *Conn
-	track  *connTrack // fault-plane registration; shared by both halves
+	track  *connTrack      // fault-plane registration; shared by both halves
+	trace  *obs.TraceTable // per-connection trace carrier; shared by both halves
 }
 
 var _ net.Conn = (*Conn)(nil)
+var _ obs.TraceCarrier = (*Conn)(nil)
 
 // newConnPair builds the two endpoints of a connection whose forward and
 // reverse directions follow the given route under the model. chargeFwd and
@@ -50,12 +54,14 @@ func newConnPair(model Model, route *Route, chargeFwd, chargeRev func(time.Durat
 	fwd := newFramePipe(model.Cost(fwdHops), model.MTU, chargeFwd)
 	rev := newFramePipe(model.Cost(revHops), model.MTU, chargeRev)
 
+	trace := obs.NewTraceTable()
 	d := &Conn{
 		out:    fwd,
 		in:     rev,
 		local:  Addr{Net: route.SrcAsSeen.Net, IP: route.SrcAsSeen.IP, Port: route.SrcAsSeen.Port},
 		remote: route.DialedDst,
 		route:  route,
+		trace:  trace,
 	}
 	a := &Conn{
 		out:    rev,
@@ -63,6 +69,7 @@ func newConnPair(model Model, route *Route, chargeFwd, chargeRev func(time.Durat
 		local:  route.Terminate,
 		remote: route.SrcAsSeen,
 		route:  route,
+		trace:  trace,
 	}
 	d.peer, a.peer = a, d
 	return d, a
@@ -104,6 +111,10 @@ func (c *Conn) RemoteAddr() net.Addr { return c.remote }
 
 // Route returns the resolved route metadata for this connection.
 func (c *Conn) Route() *Route { return c.route }
+
+// TraceTable returns the connection's out-of-band trace carrier, shared
+// by both endpoints (obs.TraceCarrier).
+func (c *Conn) TraceTable() *obs.TraceTable { return c.trace }
 
 // BytesWritten returns the number of payload bytes written on this side.
 func (c *Conn) BytesWritten() int64 { return c.out.bytes() }

@@ -221,6 +221,7 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 		type hopCharge struct {
 			host  *Host
 			timer obs.Timer
+			stage string
 			frac  float64
 		}
 		charges := make([]hopCharge, 0, len(hops))
@@ -229,8 +230,9 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 				continue
 			}
 			hc := hopCharge{
-				host: f.Host(h.Host),
-				frac: float64(f.model.PerPacket[h.Kind]) / float64(sum),
+				host:  f.Host(h.Host),
+				stage: h.Stage,
+				frac:  float64(f.model.PerPacket[h.Kind]) / float64(sum),
 			}
 			if h.Stage != "" {
 				hc.timer = obs.Default().Timer(obs.StagePrefix + h.Stage)
@@ -245,6 +247,9 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 				}
 				if hc.timer.Enabled() {
 					hc.timer.Observe(share)
+					// With tracing on, the hop's share also lands as a span
+					// on whatever trace the writing goroutine carries.
+					obs.Default().RecordHop(hc.stage, share)
 				}
 			}
 		}

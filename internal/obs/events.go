@@ -23,7 +23,7 @@ func (r *Registry) Eventf(kind, format string, args ...any) {
 	if r == nil {
 		return
 	}
-	ev := Event{Time: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	ev := Event{Time: r.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
 	r.evMu.Lock()
 	defer r.evMu.Unlock()
 	if len(r.events) < maxEvents {

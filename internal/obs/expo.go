@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -74,10 +75,33 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// DefaultBuckets is the latency bucket ladder used for Prometheus
+// histogram exposition (upper bounds, ascending). It spans the test bed's
+// modelled path costs (tens of µs) up to fault-injection stalls.
+var DefaultBuckets = []time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+}
+
 // WriteText writes the registry in the Prometheus text exposition format:
-// counters and gauges as single samples, histograms as summaries with
-// p50/p95/p99 quantiles in seconds. Names are prefixed "storm_" and
-// sanitized; output is sorted for determinism.
+// HELP and TYPE lines for every metric, counters and gauges as single
+// samples, histograms with cumulative `le` buckets (including +Inf) plus
+// `_sum` and `_count`. Names are prefixed "storm_" and sanitized; output
+// is sorted for determinism.
 func (r *Registry) WriteText(w io.Writer) error {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap.Counters))
@@ -87,7 +111,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name]); err != nil {
+		_, err := fmt.Fprintf(w, "# HELP %s storm counter %s\n# TYPE %s counter\n%s %d\n",
+			pn, name, pn, pn, snap.Counters[name])
+		if err != nil {
 			return err
 		}
 	}
@@ -99,10 +125,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, name := range names {
 		pn := promName(name)
 		g := snap.Gauges[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n%s_high %d\n", pn, pn, g.Value, pn, g.High); err != nil {
+		_, err := fmt.Fprintf(w,
+			"# HELP %s storm gauge %s\n# TYPE %s gauge\n%s %d\n# HELP %s_high high-water mark of %s\n# TYPE %s_high gauge\n%s_high %d\n",
+			pn, name, pn, pn, g.Value, pn, name, pn, pn, g.High)
+		if err != nil {
 			return err
 		}
 	}
+
+	// Histograms need bucket counts, which the Summary snapshot does not
+	// carry; re-resolve the live histograms for the cumulative `le` rows.
 	names = names[:0]
 	for name := range snap.Histograms {
 		names = append(names, name)
@@ -111,14 +143,22 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for _, name := range names {
 		pn := promName(name) + "_seconds"
 		s := snap.Histograms[name]
-		_, err := fmt.Fprintf(w,
-			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.95\"} %g\n%s{quantile=\"0.99\"} %g\n%s_sum %g\n%s_count %d\n",
-			pn,
-			pn, s.P50.Seconds(),
-			pn, s.P95.Seconds(),
-			pn, s.P99.Seconds(),
-			pn, s.Sum.Seconds(),
-			pn, s.Count)
+		if _, err := fmt.Fprintf(w, "# HELP %s storm latency histogram %s\n# TYPE %s histogram\n", pn, name, pn); err != nil {
+			return err
+		}
+		var buckets []int
+		if h := r.Histogram(name); h != nil {
+			buckets = h.CumulativeBuckets(DefaultBuckets)
+		} else {
+			buckets = make([]int, len(DefaultBuckets))
+		}
+		for i, b := range DefaultBuckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", pn, b.Seconds(), buckets[i]); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			pn, s.Count, pn, s.Sum.Seconds(), pn, s.Count)
 		if err != nil {
 			return err
 		}
@@ -142,7 +182,8 @@ func promName(name string) string {
 }
 
 // Handler serves the registry over HTTP: "/metrics" (Prometheus text),
-// "/metrics.json" (JSON snapshot), and "/" (a short index).
+// "/metrics.json" (JSON snapshot), "/traces" (retained traces, JSON),
+// and "/" (a short index).
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -153,12 +194,25 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := r.Traces()
+		if traces == nil {
+			traces = []TraceRecord{}
+		}
+		b, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(append(b, '\n'))
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "storm metrics: /metrics (Prometheus text), /metrics.json (JSON snapshot)")
+		fmt.Fprintln(w, "storm metrics: /metrics (Prometheus text), /metrics.json (JSON snapshot), /traces (retained traces)")
 	})
 	return mux
 }

@@ -1,0 +1,6 @@
+package obs
+
+// getg returns the calling goroutine's runtime g pointer. The value is
+// only used as an opaque goroutine identity key after checkGetg validates
+// it (see goid); it is never dereferenced.
+func getg() uintptr

@@ -1,0 +1,9 @@
+#include "textflag.h"
+
+// func getg() uintptr
+//
+// Under the register ABI (go1.17+) amd64 permanently reserves R14 for the
+// current goroutine's g pointer, including on entry to ABI0 assembly.
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVQ	R14, ret+0(FP)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package obs
+
+// getg is unavailable on this architecture; goid falls back to parsing
+// the runtime.Stack header.
+func getg() uintptr { return 0 }

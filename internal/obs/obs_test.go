@@ -64,15 +64,17 @@ func TestCounterGaugeBasics(t *testing.T) {
 
 func TestSpanRecordsIntoStageHistogram(t *testing.T) {
 	r := NewRegistry()
+	now := time.Unix(100, 0)
+	r.SetClock(func() time.Time { return now })
 	sp := r.StartSpan("gateway.ingress")
-	time.Sleep(time.Millisecond)
+	now = now.Add(time.Millisecond)
 	sp.End()
 	s := r.Histogram(StagePrefix + "gateway.ingress").Snapshot()
 	if s.Count != 1 {
 		t.Fatalf("span count = %d, want 1", s.Count)
 	}
-	if s.Mean < time.Millisecond {
-		t.Errorf("span mean %v too small", s.Mean)
+	if s.Mean != time.Millisecond {
+		t.Errorf("span mean = %v, want exactly 1ms (fake clock)", s.Mean)
 	}
 }
 
@@ -161,13 +163,17 @@ func TestWriteTextFormat(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
+		"# HELP storm_nat_rewrites storm counter nat.rewrites",
 		"# TYPE storm_nat_rewrites counter",
 		"storm_nat_rewrites 3",
 		"# TYPE storm_journal_used_bytes gauge",
 		"storm_journal_used_bytes 128",
 		"storm_journal_used_bytes_high 128",
-		"# TYPE storm_stage_target_read_seconds summary",
-		`storm_stage_target_read_seconds{quantile="0.5"} 0.002`,
+		"# TYPE storm_stage_target_read_seconds histogram",
+		`storm_stage_target_read_seconds_bucket{le="0.001"} 0`,
+		`storm_stage_target_read_seconds_bucket{le="0.0025"} 1`,
+		`storm_stage_target_read_seconds_bucket{le="+Inf"} 1`,
+		"storm_stage_target_read_seconds_sum 0.002",
 		"storm_stage_target_read_seconds_count 1",
 	} {
 		if !strings.Contains(out, want) {

@@ -13,6 +13,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +121,19 @@ func (t Timer) Since(t0 time.Time) {
 // Enabled reports whether observations are recorded.
 func (t Timer) Enabled() bool { return t.h != nil }
 
+// DroppedMetric names the counter bumped when the series cap rejects a
+// new metric name; RetiredMetric counts series removed by RetireInstance.
+const (
+	DroppedMetric = "obs.metrics_dropped"
+	RetiredMetric = "obs.metrics_retired"
+)
+
+// DefaultSeriesLimit caps the number of named series (counters + gauges +
+// histograms) a registry creates before it starts refusing new names.
+// Per-instance relay metrics would otherwise grow without bound across
+// scale/crash-replace events; see SetSeriesLimit and RetireInstance.
+const DefaultSeriesLimit = 4096
+
 // Registry is a set of named metrics. All methods are safe for concurrent
 // use; a nil *Registry returns nil (no-op) handles.
 type Registry struct {
@@ -127,6 +141,14 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*metrics.Histogram
+	limit    int // series cap; DefaultSeriesLimit when 0
+
+	// clock overrides wall time for span/event/trace timestamps (tests);
+	// nil means time.Now.
+	clock atomic.Pointer[func() time.Time]
+
+	// trace is the tracing plane state; nil until EnableTracing.
+	trace atomic.Pointer[traceState]
 
 	evMu   sync.Mutex
 	events []Event
@@ -140,6 +162,113 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*metrics.Histogram),
 	}
+}
+
+// Now returns the registry's notion of current time: the injected clock if
+// one is set (SetClock), wall time otherwise. Nil-safe.
+func (r *Registry) Now() time.Time {
+	if r != nil {
+		if f := r.clock.Load(); f != nil {
+			return (*f)()
+		}
+	}
+	return time.Now()
+}
+
+// SetClock injects a time source for span, event, and trace timestamps —
+// the simtime-style hook that makes latency tests deterministic. A nil
+// clock restores wall time.
+func (r *Registry) SetClock(now func() time.Time) {
+	if r == nil {
+		return
+	}
+	if now == nil {
+		r.clock.Store(nil)
+		return
+	}
+	r.clock.Store(&now)
+}
+
+// SetSeriesLimit caps the number of distinct metric names this registry
+// will create (n <= 0 restores DefaultSeriesLimit). Creations beyond the
+// cap return nil no-op handles and bump the DroppedMetric counter.
+func (r *Registry) SetSeriesLimit(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// admitLocked reports whether one more series may be created, bumping the
+// drop counter when the cap is hit. Caller holds r.mu. The drop counter
+// itself is exempt so the signal survives a saturated registry.
+func (r *Registry) admitLocked(name string) bool {
+	limit := r.limit
+	if limit <= 0 {
+		limit = DefaultSeriesLimit
+	}
+	if name == DroppedMetric || len(r.counters)+len(r.gauges)+len(r.hists) < limit {
+		return true
+	}
+	c := r.counters[DroppedMetric]
+	if c == nil {
+		c = new(Counter)
+		r.counters[DroppedMetric] = c
+	}
+	c.Inc()
+	return false
+}
+
+// RetireInstance removes every metric series named for a torn-down relay
+// instance — "relay.<inst>.*", "stage.relay.<inst>.*", and
+// "orch.member.<inst>.*" — so per-instance cardinality cannot grow without
+// bound across scale-down and crash-replace events. It returns the number
+// of series removed (also accumulated in the RetiredMetric counter).
+// Handles already held by callers keep working but are no longer exposed.
+func (r *Registry) RetireInstance(inst string) int {
+	if r == nil || inst == "" {
+		return 0
+	}
+	prefixes := []string{
+		"relay." + inst + ".",
+		StagePrefix + "relay." + inst + ".",
+		"orch.member." + inst + ".",
+	}
+	match := func(name string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	r.mu.Lock()
+	n := 0
+	for name := range r.counters {
+		if match(name) {
+			delete(r.counters, name)
+			n++
+		}
+	}
+	for name := range r.gauges {
+		if match(name) {
+			delete(r.gauges, name)
+			n++
+		}
+	}
+	for name := range r.hists {
+		if match(name) {
+			delete(r.hists, name)
+			n++
+		}
+	}
+	r.mu.Unlock()
+	if n > 0 {
+		r.Counter(RetiredMetric).Add(int64(n))
+	}
+	return n
 }
 
 var defaultRegistry = NewRegistry()
@@ -162,6 +291,9 @@ func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
+		if !r.admitLocked(name) {
+			return nil
+		}
 		c = new(Counter)
 		r.counters[name] = c
 	}
@@ -182,6 +314,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g = r.gauges[name]; g == nil {
+		if !r.admitLocked(name) {
+			return nil
+		}
 		g = new(Gauge)
 		r.gauges[name] = g
 	}
@@ -203,6 +338,9 @@ func (r *Registry) Histogram(name string) *metrics.Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
+		if !r.admitLocked(name) {
+			return nil
+		}
 		h = new(metrics.Histogram)
 		r.hists[name] = h
 	}
@@ -244,4 +382,7 @@ func (r *Registry) Reset() {
 	r.events = nil
 	r.evNext = 0
 	r.evMu.Unlock()
+	if ts := r.trace.Load(); ts != nil {
+		ts.reset()
+	}
 }

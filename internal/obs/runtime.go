@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime contention telemetry: mutex/block profile sampling hooks plus a
+// sampler that publishes lock-wait, GC, goroutine, and allocation-rate
+// gauges into a Registry. stormd wires this next to its pprof endpoints
+// so a soak run exposes both the aggregate gauges (cheap, always on) and
+// the full contention profiles (on demand via /debug/pprof/mutex,block).
+
+// ContentionProfiling enables the runtime's mutex and block profilers at
+// the given sampling rates (a mutexFraction of 1 samples every contention
+// event; blockRate is the ns threshold for block events, 1 records all).
+// Pass zeros for moderate defaults suitable for always-on soak telemetry.
+func ContentionProfiling(mutexFraction, blockRate int) {
+	if mutexFraction <= 0 {
+		mutexFraction = 16
+	}
+	if blockRate <= 0 {
+		blockRate = int(100 * time.Microsecond)
+	}
+	runtime.SetMutexProfileFraction(mutexFraction)
+	runtime.SetBlockProfileRate(blockRate)
+}
+
+// RuntimeSampler periodically publishes runtime health gauges:
+//
+//	runtime.goroutines            live goroutine count
+//	runtime.heap_bytes            current heap in use
+//	runtime.alloc_rate_bps        bytes allocated per second since last sample
+//	runtime.lock_wait_us          cumulative mutex wait (from runtime/metrics)
+//	runtime.gc_pause_us           cumulative stop-the-world pause
+//	runtime.gc_cycles             completed GC cycles
+type RuntimeSampler struct {
+	reg *Registry
+
+	mu         sync.Mutex
+	lastAlloc  uint64
+	lastSample time.Time
+	stop       chan struct{}
+	done       chan struct{}
+
+	rtSamples []rtmetrics.Sample
+}
+
+// NewRuntimeSampler builds a sampler publishing into reg.
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		reg: reg,
+		rtSamples: []rtmetrics.Sample{
+			{Name: "/sync/mutex/wait/total:seconds"},
+			{Name: "/gc/pauses:seconds"},
+			{Name: "/gc/cycles/total:gc-cycles"},
+		},
+	}
+}
+
+// Sample takes one reading and updates the gauges. Safe to call directly
+// (tests, one-shot reports) or from the Start loop.
+func (s *RuntimeSampler) Sample() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now := time.Now()
+	s.reg.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	s.reg.Gauge("runtime.heap_bytes").Set(int64(ms.HeapInuse))
+	if !s.lastSample.IsZero() {
+		if dt := now.Sub(s.lastSample).Seconds(); dt > 0 && ms.TotalAlloc >= s.lastAlloc {
+			s.reg.Gauge("runtime.alloc_rate_bps").Set(int64(float64(ms.TotalAlloc-s.lastAlloc) / dt))
+		}
+	}
+	s.lastAlloc = ms.TotalAlloc
+	s.lastSample = now
+
+	rtmetrics.Read(s.rtSamples)
+	for _, sm := range s.rtSamples {
+		switch sm.Name {
+		case "/sync/mutex/wait/total:seconds":
+			if sm.Value.Kind() == rtmetrics.KindFloat64 {
+				s.reg.Gauge("runtime.lock_wait_us").Set(int64(sm.Value.Float64() * 1e6))
+			}
+		case "/gc/pauses:seconds":
+			if sm.Value.Kind() == rtmetrics.KindFloat64Histogram {
+				if h := sm.Value.Float64Histogram(); h != nil {
+					var total float64
+					for i, n := range h.Counts {
+						// Midpoint estimate per bucket; boundary slices are
+						// one longer than counts.
+						lo, hi := h.Buckets[i], h.Buckets[i+1]
+						if lo < 0 || math.IsInf(lo, -1) {
+							lo = 0
+						}
+						if math.IsInf(hi, 1) {
+							hi = lo
+						}
+						total += float64(n) * (lo + hi) / 2
+					}
+					s.reg.Gauge("runtime.gc_pause_us").Set(int64(total * 1e6))
+				}
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if sm.Value.Kind() == rtmetrics.KindUint64 {
+				s.reg.Gauge("runtime.gc_cycles").Set(int64(sm.Value.Uint64()))
+			}
+		}
+	}
+}
+
+// Start launches the sampling loop (default interval 1s). Stop with Stop.
+func (s *RuntimeSampler) Start(interval time.Duration) {
+	if s == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	s.stop, s.done = stop, done
+	s.mu.Unlock()
+	s.Sample()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for the in-flight sample.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SLOTracker maintains a rolling latency window for one middle-box group
+// against its policy `latencySLO` target and publishes the result as
+// gauges the orchestrator (and any /metrics scraper) reads:
+//
+//	slo.<group>.p50_us / p99_us     windowed percentiles (microseconds)
+//	slo.<group>.p99_ms              windowed p99 (milliseconds, rounded up)
+//	slo.<group>.target_us           the latencySLO target
+//	slo.<group>.window_ops          samples in the current window
+//	slo.<group>.burn_permille       error-budget burn rate: the share of
+//	                                windowed ops over target, relative to
+//	                                the allowed share (1000 = burning
+//	                                exactly the budget)
+//
+// Samples are pulled incrementally from the watched stage histograms
+// (metrics.Histogram.SamplesSince), so the tracker piggybacks on the
+// existing instrumentation without touching the hot path. The window is
+// a ring of slots rotated by Tick; expired slots drop off, giving the
+// rolling p50/p99 semantics the cumulative stage histograms cannot.
+type SLOTracker struct {
+	reg    *Registry
+	group  string
+	target time.Duration
+	window time.Duration
+	slots  int
+	// budget is the allowed violation share in permille (default 10 = 1%).
+	budget int64
+
+	mu        sync.Mutex
+	sources   map[string]*sloSource
+	ring      []sloSlot
+	head      int
+	headStart time.Time
+
+	p50us, p99us, p99ms, targetUs, windowOps, burn *Gauge
+}
+
+type sloSource struct {
+	h      *metrics.Histogram
+	cursor int
+}
+
+type sloSlot struct {
+	samples    []time.Duration
+	violations int
+}
+
+// SLOConfig tunes a tracker; zero fields take the defaults.
+type SLOConfig struct {
+	// Window is the rolling window length (default 30s).
+	Window time.Duration
+	// Slots is the window's slot count — roll-over granularity (default 6).
+	Slots int
+	// BudgetPermille is the allowed share of ops over target, in permille
+	// (default 10, i.e. a 99%-under-target objective).
+	BudgetPermille int64
+}
+
+// SLOStatus is a tracker's point-in-time result.
+type SLOStatus struct {
+	Group        string        `json:"group"`
+	Target       time.Duration `json:"target_ns"`
+	P50          time.Duration `json:"p50_ns"`
+	P99          time.Duration `json:"p99_ns"`
+	WindowOps    int           `json:"window_ops"`
+	Violations   int           `json:"violations"`
+	BurnPermille int64         `json:"burn_permille"`
+}
+
+// NewSLOTracker builds a tracker for the named group (conventionally
+// "<tenant>.<mb>") publishing into reg. target is the group's latencySLO.
+func NewSLOTracker(reg *Registry, group string, target time.Duration, cfg SLOConfig) *SLOTracker {
+	if cfg.Window <= 0 {
+		cfg.Window = 30 * time.Second
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 6
+	}
+	if cfg.BudgetPermille <= 0 {
+		cfg.BudgetPermille = 10
+	}
+	prefix := "slo." + group + "."
+	t := &SLOTracker{
+		reg:       reg,
+		group:     group,
+		target:    target,
+		window:    cfg.Window,
+		slots:     cfg.Slots,
+		budget:    cfg.BudgetPermille,
+		sources:   make(map[string]*sloSource),
+		ring:      make([]sloSlot, cfg.Slots),
+		headStart: reg.Now(),
+		p50us:     reg.Gauge(prefix + "p50_us"),
+		p99us:     reg.Gauge(prefix + "p99_us"),
+		p99ms:     reg.Gauge(prefix + "p99_ms"),
+		targetUs:  reg.Gauge(prefix + "target_us"),
+		windowOps: reg.Gauge(prefix + "window_ops"),
+		burn:      reg.Gauge(prefix + "burn_permille"),
+	}
+	t.targetUs.Set(target.Microseconds())
+	return t
+}
+
+// Group returns the tracker's group key.
+func (t *SLOTracker) Group() string { return t.group }
+
+// Watch adds a registry histogram (by name) as a latency source. Adding
+// an already-watched name is a no-op, so callers can re-assert the watch
+// set each pass as group membership changes; watches on retired members
+// go quiet on their own (their histograms stop growing).
+func (t *SLOTracker) Watch(histName string) {
+	if t == nil {
+		return
+	}
+	h := t.reg.Histogram(histName)
+	if h == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.sources[histName]; !ok {
+		// Start at the current tail: pre-existing samples predate the watch.
+		_, cursor := h.SamplesSince(-1)
+		t.sources[histName] = &sloSource{h: h, cursor: cursor}
+	}
+	t.mu.Unlock()
+}
+
+// Unwatch drops a latency source (e.g. a retired member's histogram).
+func (t *SLOTracker) Unwatch(histName string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.sources, histName)
+	t.mu.Unlock()
+}
+
+// Tick pulls new samples from every watched source into the current
+// window slot, rolls expired slots off, and republishes the gauges. Call
+// it from the control loop (the orchestrator reconcile pass).
+func (t *SLOTracker) Tick(now time.Time) SLOStatus {
+	if t == nil {
+		return SLOStatus{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// Roll the ring forward to cover now.
+	slotDur := t.window / time.Duration(t.slots)
+	for !now.Before(t.headStart.Add(slotDur)) {
+		t.head = (t.head + 1) % t.slots
+		t.ring[t.head] = sloSlot{}
+		t.headStart = t.headStart.Add(slotDur)
+		if now.Sub(t.headStart) > t.window {
+			// Idle gap longer than the window: fast-forward.
+			for i := range t.ring {
+				t.ring[i] = sloSlot{}
+			}
+			t.headStart = now
+			break
+		}
+	}
+
+	// Drain new samples into the head slot.
+	slot := &t.ring[t.head]
+	for _, src := range t.sources {
+		samples, cursor := src.h.SamplesSince(src.cursor)
+		src.cursor = cursor
+		for _, d := range samples {
+			slot.samples = append(slot.samples, d)
+			if t.target > 0 && d > t.target {
+				slot.violations++
+			}
+		}
+	}
+
+	// Aggregate the window.
+	var all []time.Duration
+	violations := 0
+	for i := range t.ring {
+		all = append(all, t.ring[i].samples...)
+		violations += t.ring[i].violations
+	}
+	st := SLOStatus{Group: t.group, Target: t.target, WindowOps: len(all), Violations: violations}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		st.P50 = all[(len(all)-1)/2]
+		st.P99 = all[(len(all)-1)*99/100]
+		if t.target > 0 {
+			violPermille := int64(violations) * 1000 / int64(len(all))
+			st.BurnPermille = violPermille * 1000 / t.budget
+		}
+	}
+
+	t.p50us.Set(st.P50.Microseconds())
+	t.p99us.Set(st.P99.Microseconds())
+	t.p99ms.Set(int64((st.P99 + time.Millisecond - 1) / time.Millisecond))
+	t.windowOps.Set(int64(st.WindowOps))
+	t.burn.Set(st.BurnPermille)
+	return st
+}

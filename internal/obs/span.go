@@ -45,25 +45,64 @@ func RelayForwardStage(relay string) string {
 	return "relay." + relay + ".forward"
 }
 
-// Span measures one stage of one command; obtain with StartSpan, finish
-// with End. The zero Span is a no-op.
+// Span measures one stage of one command; obtain with StartSpan (plain
+// histogram span) or StartTraced (also emits a SpanRecord into the
+// registry's trace buffer). The zero Span is a no-op.
 type Span struct {
 	t     Timer
 	start time.Time
+	reg   *Registry
+
+	// trace fields, set by StartTraced when tracing is enabled
+	tr     TraceID
+	id     uint64
+	parent uint64
+	stage  string
+	dir    string
+	bytes  int
+	root   bool
 }
 
 // StartSpan opens a span recording into "stage.<stage>". On a nil
-// registry the span is a no-op.
+// registry the span is a no-op. Timestamps come from the registry clock
+// (SetClock), wall time by default.
 func (r *Registry) StartSpan(stage string) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{t: r.Timer(StagePrefix + stage), start: time.Now()}
+	return Span{t: r.Timer(StagePrefix + stage), reg: r, start: r.Now()}
 }
 
-// End records the span's elapsed time into its stage histogram.
+// Abort discards a traced root span's trace without recording anything —
+// the failed-command path, where a half-collected trace would otherwise
+// linger in the live buffer. Plain and child spans just drop silently.
+func (s Span) Abort() {
+	if s.tr == 0 || !s.root {
+		return
+	}
+	ts := s.reg.trace.Load()
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	delete(ts.live, s.tr)
+	ts.mu.Unlock()
+}
+
+// End records the span's elapsed time into its stage histogram and, for
+// traced spans, lands the SpanRecord on its trace. Ending the root span
+// triggers the trace's retention decision.
 func (s Span) End() {
+	if s.t.h == nil && s.tr == 0 {
+		return
+	}
+	end := s.reg.Now()
 	if s.t.h != nil {
-		s.t.h.Observe(time.Since(s.start))
+		s.t.h.Observe(end.Sub(s.start))
+	}
+	if s.tr != 0 {
+		if ts := s.reg.trace.Load(); ts != nil {
+			ts.spanEnd(s, end)
+		}
 	}
 }

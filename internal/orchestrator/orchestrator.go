@@ -51,6 +51,11 @@ type managedGroup struct {
 	lastTime   time.Time
 	cooldown   int
 	draining   string // member being drained, "" if none
+
+	// SLO tracking (armed when the policy sets a latencySLO for the mb).
+	slo        *obs.SLOTracker
+	sloWatched map[string]bool // member -> watched service histograms
+	sloBurning bool            // last pass exceeded the error budget
 }
 
 // Orchestrator runs the reconcile loop over its managed groups.
@@ -205,6 +210,7 @@ func (o *Orchestrator) reconcileGroup(g *managedGroup) {
 	g.lastTime = now
 	status := dep.GroupStatus(g.mb)
 	o.cfg.Obs.Gauge(fmt.Sprintf("orch.group.%s.%s.size", g.tenant, g.mb)).Set(int64(len(status)))
+	o.trackSLO(g, dep, status, now)
 
 	utils := make([]float64, len(status))
 	allMeasured := true
@@ -271,6 +277,46 @@ func (o *Orchestrator) reconcileGroup(g *managedGroup) {
 		o.cfg.Obs.Eventf("orchestrator", "draining %s/%s member %s (peak util %.0f%%)", g.tenant, g.mb, victim, peak*100)
 		g.draining = victim
 	}
+}
+
+// trackSLO maintains the group's rolling-latency SLO tracker when the
+// policy sets a latencySLO: it re-asserts watches on every live member's
+// service histograms, drops watches on departed members, ticks the window,
+// and publishes the slo.<tenant>.<mb>.* gauges. An error-budget burn above
+// 1000 permille (burning faster than the budget allows) raises an event on
+// the transition — a signal only; scale decisions stay utilization-driven.
+func (o *Orchestrator) trackSLO(g *managedGroup, dep *core.TenantDeployment, status []core.MemberStatus, now time.Time) {
+	target := dep.LatencySLO(g.mb)
+	if target <= 0 {
+		return
+	}
+	if g.slo == nil {
+		g.slo = obs.NewSLOTracker(o.cfg.Obs, g.tenant+"."+g.mb, target, obs.SLOConfig{})
+		g.sloWatched = make(map[string]bool)
+	}
+	live := make(map[string]bool, len(status))
+	for _, ms := range status {
+		live[ms.Name] = true
+		if !g.sloWatched[ms.Name] {
+			g.slo.Watch(obs.StagePrefix + obs.RelayServiceStage(ms.Name) + ".read")
+			g.slo.Watch(obs.StagePrefix + obs.RelayServiceStage(ms.Name) + ".write")
+			g.sloWatched[ms.Name] = true
+		}
+	}
+	for name := range g.sloWatched {
+		if !live[name] {
+			g.slo.Unwatch(obs.StagePrefix + obs.RelayServiceStage(name) + ".read")
+			g.slo.Unwatch(obs.StagePrefix + obs.RelayServiceStage(name) + ".write")
+			delete(g.sloWatched, name)
+		}
+	}
+	st := g.slo.Tick(now)
+	burning := st.BurnPermille > 1000
+	if burning && !g.sloBurning {
+		o.cfg.Obs.Eventf("orchestrator", "SLO burn for %s/%s: p99 %v over target %v (%d of %d ops, burn %d permille)",
+			g.tenant, g.mb, st.P99, st.Target, st.Violations, st.WindowOps, st.BurnPermille)
+	}
+	g.sloBurning = burning
 }
 
 // pickVictim chooses the member to drain: fewest sessions, then lowest

@@ -71,6 +71,10 @@ type MiddleBoxSpec struct {
 	//                         WAL that survives a middle-box crash
 	//   "journalFsyncWindow"  WAL group-commit window as a Go duration
 	//                         ("0", "1ms", ...); 0 fsyncs every append
+	// and observability knobs:
+	//   "latencySLO"          per-command service-latency objective as a Go
+	//                         duration ("2ms", ...); arms the orchestrator's
+	//                         rolling p99/error-budget tracker for the group
 	Params map[string]string `json:"params,omitempty"`
 }
 
@@ -181,6 +185,12 @@ func (p *Policy) Validate() error {
 				return fmt.Errorf("policy: middle-box %q: bad journalFsyncWindow %q", mb.Name, v)
 			}
 		}
+		if v := mb.Params["latencySLO"]; v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return fmt.Errorf("policy: middle-box %q: bad latencySLO %q", mb.Name, v)
+			}
+		}
 	}
 	if len(p.Volumes) == 0 {
 		return fmt.Errorf("policy: at least one volume binding required")
@@ -269,6 +279,17 @@ func (m *MiddleBoxSpec) DurableJournal() bool {
 func (m *MiddleBoxSpec) JournalFsyncWindow() time.Duration {
 	d, err := time.ParseDuration(m.Params["journalFsyncWindow"])
 	if err != nil || d < 0 {
+		return 0
+	}
+	return d
+}
+
+// LatencySLO resolves the "latencySLO" param — the per-command service
+// latency objective the orchestrator tracks for the group. Zero (the
+// default) disables SLO tracking.
+func (m *MiddleBoxSpec) LatencySLO() time.Duration {
+	d, err := time.ParseDuration(m.Params["latencySLO"])
+	if err != nil || d <= 0 {
 		return 0
 	}
 	return d

@@ -7,12 +7,14 @@ import (
 	"net"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/blockdev"
 	"repro/internal/bufpool"
 	"repro/internal/iscsi"
+	"repro/internal/obs"
 	"repro/internal/scsi"
 )
 
@@ -314,7 +316,18 @@ func (ss *session) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
 		return
 	}
 
-	sp := ss.srv.obsReg.StartSpan(ss.srv.obsStage + opSuffix(cdb))
+	// The command's trace context (if any) travels out of band on the
+	// connection, keyed by task tag. Binding it to this goroutine links
+	// every downstream span — the stage span below, a relay's service
+	// device stack, the onward forward session — to the upstream command.
+	if tbl := obs.CarrierOf(ss.conn); tbl != nil {
+		if tsc, ok := tbl.Take(cmd.ITT); ok {
+			prev, had := obs.Bind(tsc)
+			defer obs.Restore(prev, had)
+		}
+	}
+
+	sp := ss.srv.obsReg.StartTraced(ss.srv.obsStage, strings.TrimPrefix(opSuffix(cdb), "."), int(cmd.ExpectedDataTransferLength))
 	defer sp.End()
 
 	var writeBuf []byte

@@ -62,3 +62,62 @@ func TestTracingOverheadOnFioHotPath(t *testing.T) {
 		t.Errorf("tracing overhead ratio = %.3f, want <= ~1.05", ratio)
 	}
 }
+
+// TestTracePlaneOverheadAtDefaultSampling bounds the cost of the full
+// tracing plane — root span per request, goroutine binding, tail-based
+// retention decision — at the default sampling config, against the same
+// instrumented path with the plane off. The PR budget is 5%; comparing
+// per-round minima filters scheduler noise so the assertion can sit at
+// the budget rather than needing extra slack.
+func TestTracePlaneOverheadAtDefaultSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	newDisk := func(reg *obs.Registry) blockdev.Device {
+		mem, err := blockdev.NewMemDisk(512, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := blockdev.NewLatencyDisk(mem, blockdev.ServiceModel{PerRequest: 100 * time.Microsecond})
+		return blockdev.NewObservedDisk(lat, reg, "overhead")
+	}
+	run := func(reg *obs.Registry) time.Duration {
+		res, err := RunFio(FioConfig{
+			Dev:          newDisk(reg),
+			RequestSize:  4096,
+			Threads:      2,
+			ReadFraction: 0.5,
+			Ops:          400,
+			Seed:         7,
+		})
+		if err != nil {
+			t.Fatalf("RunFio: %v", err)
+		}
+		return res.Elapsed
+	}
+
+	regOff := obs.NewRegistry()
+	regOn := obs.NewRegistry()
+	regOn.EnableTracing(obs.TraceConfig{}) // default sampling
+	run(regOff)                            // warm-up
+	run(regOn)
+
+	const rounds = 5
+	minOff, minOn := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := run(regOff); d < minOff {
+			minOff = d
+		}
+		if d := run(regOn); d < minOn {
+			minOn = d
+		}
+	}
+	if len(regOn.Traces()) == 0 {
+		t.Fatal("tracing plane retained no traces")
+	}
+	ratio := float64(minOn) / float64(minOff)
+	t.Logf("plane off=%v on=%v ratio=%.3f", minOff, minOn, ratio)
+	if ratio > 1.05 {
+		t.Errorf("tracing-plane overhead ratio = %.3f, want <= 1.05", ratio)
+	}
+}
