@@ -1,7 +1,8 @@
-# Pre-commit gate: `make check` runs the format/vet/build gate plus the
+# Pre-commit gate: `make check` runs the format/vet/build gate, the
 # race-enabled tests of the packages with the hottest concurrency
-# (metrics, obs, middlebox, netsim, bufpool, the durable WAL, and the
-# scale-out control plane: sdn, splice, vswitch, core, orchestrator).
+# (iscsi, metrics, obs, middlebox, netsim, bufpool, the durable WAL, and
+# the scale-out control plane: sdn, splice, vswitch, core, orchestrator),
+# and the allocs/op regression gate for the zero-copy chain hot path.
 # `make test` is the full suite. `make bench` prints the data-plane
 # microbenchmarks with allocation stats and appends a dated before/after
 # summary to BENCH_results.json (via stormbench -fastpath). `make crash`
@@ -12,12 +13,12 @@
 # BENCH_results.json.
 
 GO ?= go
-RACE_PKGS := ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator ./internal/workload
-BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool
+RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator ./internal/workload
+BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool ./internal/experiments
 
-.PHONY: check fmt vet build test race bench crash trace
+.PHONY: check fmt vet build test race bench allocs crash trace
 
-check: fmt vet build race
+check: fmt vet build race allocs
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -33,6 +34,11 @@ build:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Allocation regression gate for the zero-copy chain hot path (skipped under
+# -race, which instruments allocations).
+allocs:
+	$(GO) test -run TestChainWrite4KAllocBudget -count=1 -v ./internal/experiments | grep -E 'allocs/op|FAIL|ok '
 
 test:
 	$(GO) test ./...

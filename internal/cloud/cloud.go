@@ -347,6 +347,9 @@ type MBSpec struct {
 	// relay's defaults. CopyThreads in particular sizes the instance's
 	// concurrent copy paths (its per-instance throughput ceiling).
 	Cost middlebox.CostModel
+	// ForwardConns widens the relay's downstream (pseudo-client) leg to
+	// this many MC/S connections (default 1).
+	ForwardConns int
 }
 
 // LaunchMiddleBox provisions a middle-box VM running a relay with the given
@@ -388,6 +391,7 @@ func (c *Cloud) LaunchMiddleBox(spec MBSpec) (*MiddleBox, error) {
 		JournalDir:        spec.JournalDir,
 		JournalSyncWindow: spec.JournalSyncWindow,
 		Cost:              spec.Cost,
+		ForwardConns:      spec.ForwardConns,
 		CPU:               h.CPU(),
 		Obs:               obs.Default(),
 	})

@@ -387,6 +387,7 @@ func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, d
 		Cost:              cost,
 		JournalDir:        jdir,
 		JournalSyncWindow: spec.JournalFsyncWindow(),
+		ForwardConns:      spec.ForwardConns(),
 	})
 }
 

@@ -1,0 +1,43 @@
+//go:build !race
+
+// The race detector instruments allocations, so the budget only holds on
+// plain builds; `make check` runs this gate alongside (not inside) the race
+// pass.
+
+package experiments
+
+import "testing"
+
+// chainWrite4KAllocBudget caps the allocations for one 4 KiB write through
+// the full VM→active-relay→target chain. The zero-copy pass landed at
+// ~12 allocs/op (journal-owned buffer aliasing, pooled PDU staging, vectored
+// forward sends); 19 leaves headroom for scheduler noise while still
+// catching any copy or per-PDU allocation sneaking back into the hot path.
+const chainWrite4KAllocBudget = 19
+
+// TestChainWrite4KAllocBudget is the allocs/op regression gate: it measures
+// whole-process allocations per chain write with testing.AllocsPerRun (which
+// covers the relay and target goroutines too, not just the caller) and fails
+// when the budget is exceeded.
+func TestChainWrite4KAllocBudget(t *testing.T) {
+	sess := fastPathChain(t)
+	buf := make([]byte, 4096)
+	// Warm every pool on the path (PDU staging, journal, write-back items)
+	// so the measurement sees steady state, not first-touch growth.
+	for i := 0; i < 64; i++ {
+		if err := sess.Write(uint64((i%64)*8), buf, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var i int
+	avg := testing.AllocsPerRun(200, func() {
+		if err := sess.Write(uint64((i%64)*8), buf, 512); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg > chainWrite4KAllocBudget {
+		t.Errorf("chain 4K write allocates %.1f allocs/op, budget %d (zero-copy hot path regressed)", avg, chainWrite4KAllocBudget)
+	}
+	t.Logf("chain 4K write: %.1f allocs/op (budget %d)", avg, chainWrite4KAllocBudget)
+}

@@ -1,0 +1,13 @@
+package experiments
+
+// Benchmark entry points for the chain microbenchmarks, so the fastpath
+// rows can be run (and profiled) directly with `go test -bench Chain`
+// instead of through stormbench.
+
+import "testing"
+
+func BenchmarkChainWrite4K(b *testing.B) { benchChainWrite4K(b) }
+
+func BenchmarkChainRead4K(b *testing.B) { benchChainRead4K(b) }
+
+func BenchmarkChainWrite64K(b *testing.B) { benchChainWrite64K(b) }

@@ -110,7 +110,9 @@ func chaosRelayWorkload(cuts ...uint64) (sum [32]byte, j middlebox.Journal, err 
 		Endpoint: mbHost.NewEndpoint("relay"),
 		NextHop:  netsim.Addr{Net: netsim.StorageNet, IP: "10.0.0.100", Port: 3260},
 		Cost:     middlebox.CostModel{MTU: 8192, BatchSize: 65536},
-		Recovery: middlebox.RecoveryConfig{BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond},
+		// Chaos runs exercise link cuts against an MC/S downstream leg.
+		ForwardConns: 2,
+		Recovery:     middlebox.RecoveryConfig{BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond},
 	})
 	if err != nil {
 		return sum, nil, err

@@ -121,7 +121,10 @@ func (l *crashLab) startRelay(dir string, window time.Duration) (*middlebox.Rela
 		Cost:              middlebox.CostModel{MTU: 8192, BatchSize: 65536},
 		JournalDir:        dir,
 		JournalSyncWindow: window,
-		Recovery:          middlebox.RecoveryConfig{BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond},
+		// Two forward connections so every crash scenario also proves MC/S
+		// journal replay stays byte-identical.
+		ForwardConns: 2,
+		Recovery:     middlebox.RecoveryConfig{BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond},
 	})
 	if err != nil {
 		return nil, "", err

@@ -67,6 +67,10 @@ var fastPathBaselines = map[string]fastPathBaseline{
 	"writeback_overlap_drain_1024": {metric: 2215},
 	"chain_write_4k":               {ns: 26320, bytes: 33108, allocs: 42},
 	"chain_read_4k":                {ns: 23279, bytes: 35949, allocs: 32},
+	// Measured immediately before the wire-efficiency pass (negotiated
+	// bursts, MC/S forward legs, buffered PDU reads, inline execution,
+	// journal-aliased write-back) on the same harness.
+	"chain_write_64k": {ns: 43000, bytes: 1336, allocs: 21},
 }
 
 // FastPath runs the data-plane microbenchmarks in-process and returns each
@@ -82,6 +86,7 @@ func FastPath() []FastPathRow {
 		fastPathRow("writeback_overlap_drain_1024", "ns/write", func(b *testing.B) { benchDrain(b, 1024, true) }),
 		fastPathRow("chain_write_4k", "", benchChainWrite4K),
 		fastPathRow("chain_read_4k", "", benchChainRead4K),
+		fastPathRow("chain_write_64k", "", benchChainWrite64K),
 	}
 	return rows
 }
@@ -233,12 +238,15 @@ func benchDrain(b *testing.B, depth int, overlap bool) {
 // fastPathChain assembles VM — active relay — target over net.Pipe links
 // (zero modelled interception cost, so the benchmark isolates code-path
 // cost, not the calibrated simulation charges).
-func fastPathChain(b *testing.B) *initiator.Session {
+func fastPathChain(b testing.TB) *initiator.Session {
 	disk, err := blockdev.NewMemDisk(512, 2048)
 	if err != nil {
 		b.Fatal(err)
 	}
-	tsrv := target.NewServer()
+	// The backend serves a memory disk, so quiet connections may execute
+	// commands inline in the read loop (the production stormd backend keeps
+	// per-command goroutines; its disks model seek latency).
+	tsrv := target.NewServer(target.WithInlineExec())
 	const iqn = "iqn.2016-04.edu.purdue.storm:fastpath"
 	if err := tsrv.AddTarget(iqn, disk); err != nil {
 		b.Fatal(err)
@@ -280,6 +288,18 @@ func benchChainWrite4K(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := sess.Write(uint64((i%64)*8), buf, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchChainWrite64K(b *testing.B) {
+	sess := fastPathChain(b)
+	buf := make([]byte, 64*1024)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Write(uint64((i%8)*128), buf, 512); err != nil {
 			b.Fatal(err)
 		}
 	}

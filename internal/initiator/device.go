@@ -69,12 +69,12 @@ func (s *Session) Ping() error {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	p := &pendingCmd{done: make(chan struct{}, 1)}
-	itt, cmdSN, expStatSN, err := s.register(p)
+	itt, cmdSN, expStatSN, sc, err := s.register(p)
 	if err != nil {
 		return err
 	}
 	nop := &iscsi.NopOut{ITT: itt, TTT: 0xFFFFFFFF, CmdSN: cmdSN, ExpStatSN: expStatSN}
-	if err := s.send(nop); err != nil {
+	if err := s.send(sc, nop); err != nil {
 		s.unregister(itt)
 		return err
 	}
@@ -88,7 +88,7 @@ func (s *Session) Discover() ([]string, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	p := &pendingCmd{done: make(chan struct{}, 1)}
-	itt, cmdSN, expStatSN, err := s.register(p)
+	itt, cmdSN, expStatSN, sc, err := s.register(p)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ func (s *Session) Discover() ([]string, error) {
 	req.BHS[5] = byte(len(data) >> 16)
 	req.BHS[6] = byte(len(data) >> 8)
 	req.BHS[7] = byte(len(data))
-	if err := s.send(req); err != nil {
+	if err := s.send(sc, req); err != nil {
 		s.unregister(itt)
 		return nil, err
 	}
@@ -123,41 +123,58 @@ func (s *Session) Discover() ([]string, error) {
 	return names, nil
 }
 
-// Logout ends the session gracefully and closes the connection. The session
+// Logout ends the session gracefully and closes every connection (a session
+// logout on the leading connection closes the whole MC/S set). The session
 // is terminal afterwards: a reconnect-enabled session will not redial.
 func (s *Session) Logout() error {
 	s.mu.Lock()
 	s.cmdSN++
-	req := &iscsi.LogoutRequest{Reason: 0, ITT: s.itt + 1, CmdSN: s.cmdSN, ExpStatSN: s.expStatSN}
+	lead := s.conns[0]
+	req := &iscsi.LogoutRequest{Reason: 0, ITT: s.itt + 1, CmdSN: s.cmdSN, ExpStatSN: lead.expStatSN}
+	conns := append([]*sconn(nil), s.conns...)
 	s.mu.Unlock()
-	err := s.send(req.Encode())
+	err := s.send(lead, req.Encode())
 	s.mu.Lock()
 	if s.closedErr == nil {
 		s.closedErr = ErrSessionClosed
 	}
-	conn := s.conn
-	done := s.readerDone
 	s.mu.Unlock()
-	<-done
-	cerr := conn.Close()
+	<-lead.done
+	var cerr error
+	for _, sc := range conns {
+		e := sc.conn.Close()
+		if sc == lead {
+			cerr = e
+		}
+	}
+	for _, sc := range conns {
+		<-sc.done
+	}
 	if err != nil {
 		return err
 	}
 	return cerr
 }
 
-// Close abandons the session, failing outstanding commands. No reconnect is
-// attempted.
+// Close abandons the session, failing outstanding commands and closing every
+// connection. No reconnect is attempted.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closedErr == nil {
 		s.closedErr = ErrSessionClosed
 	}
-	conn := s.conn
-	done := s.readerDone
+	conns := append([]*sconn(nil), s.conns...)
 	s.mu.Unlock()
-	err := conn.Close()
-	<-done
+	var err error
+	for i, sc := range conns {
+		e := sc.conn.Close()
+		if i == 0 {
+			err = e
+		}
+	}
+	for _, sc := range conns {
+		<-sc.done
+	}
 	return err
 }
 

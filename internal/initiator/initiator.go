@@ -1,7 +1,8 @@
 // Package initiator implements the iSCSI initiator used by tenant VMs (and
 // by the active-relay middle-box's pseudo-client): login with the StorM
 // source-port exposure, tag-based multiplexing of outstanding commands,
-// immediate data, and R2T-solicited Data-Out sequences.
+// immediate data, R2T-solicited Data-Out sequences, and multi-connection
+// sessions (MC/S) for parallel wire legs.
 package initiator
 
 import (
@@ -10,6 +11,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -24,10 +26,11 @@ var (
 	ErrLoginFailed   = errors.New("initiator: login failed")
 )
 
-// transientErr marks a connection-level failure the session may heal from by
-// redialing: the command that observed it is safe to reissue on a fresh
-// connection. Protocol violations and user-initiated closes are never
-// wrapped, so they stay terminal.
+// transientErr marks a connection-level failure the session may heal from —
+// by redialing, or by redistributing onto the session's surviving MC/S
+// connections: the command that observed it is safe to reissue. Protocol
+// violations and user-initiated closes are never wrapped, so they stay
+// terminal.
 type transientErr struct{ err error }
 
 func (e *transientErr) Error() string { return "initiator: connection failure: " + e.err.Error() }
@@ -37,6 +40,9 @@ func (e *transientErr) Unwrap() error { return e.err }
 // reconnects, so a target that repeatedly accepts a login and then wedges
 // cannot trap a caller forever.
 const maxCmdAttempts = 8
+
+// maxConns caps the MC/S connection count per session.
+const maxConns = 8
 
 // Config describes the session to establish.
 type Config struct {
@@ -53,6 +59,15 @@ type Config struct {
 	// QueueDepth bounds locally outstanding commands (default 32,
 	// Open-iSCSI's node.session.queue_depth).
 	QueueDepth int
+	// Conns asks for a multi-connection session (MC/S) of this many
+	// transports (default 1, capped at 8). Commands round-robin across the
+	// connections with per-command allegiance while CmdSN stays on one
+	// session-wide window. Requires DialConn for the extra transports; the
+	// effective count is clamped by the negotiated MaxConnections.
+	Conns int
+	// DialConn dials one additional MC/S transport to the same portal.
+	// Also used to re-establish a failed secondary connection.
+	DialConn func() (net.Conn, error)
 	// Obs optionally records per-command latency spans into the registry
 	// under "stage.<Stage>.read" / "stage.<Stage>.write". Nil disables
 	// tracing (no histogram work on the hot path).
@@ -87,13 +102,16 @@ type Config struct {
 // pendingCmd tracks one outstanding command. The done channel is buffered
 // with capacity 1 and receives exactly one completion signal (the completer
 // deletes the command from the pending map under the session mutex before
-// signalling, so no command can be signalled twice).
+// signalling, so no command can be signalled twice). sc is the connection
+// the command was issued on — its allegiance: R2Ts and completions arrive
+// there, and a failure of that connection fails exactly its commands.
 type pendingCmd struct {
 	buf    []byte // Data-In assembly for reads
 	filled int
 	r2t    chan *iscsi.R2T
 	done   chan struct{}
 	cmd    iscsi.SCSICommand // per-command frame scratch, reused via the pool
+	sc     *sconn
 
 	status byte
 	sense  *scsi.Sense
@@ -126,6 +144,7 @@ func getPending() *pendingCmd {
 func putPending(p *pendingCmd) {
 	p.buf = nil      // don't pin the caller's buffer while pooled
 	p.cmd.Data = nil // likewise for the write payload
+	p.sc = nil
 	for {
 		select {
 		case r := <-p.r2t: // unconsumed R2Ts from an aborted write
@@ -137,26 +156,43 @@ func putPending(p *pendingCmd) {
 	}
 }
 
-// Session is a logged-in iSCSI session. All methods are safe for concurrent
-// use; multiple application threads share one session, as Fio threads share
-// a volume connection in the paper's setup.
-type Session struct {
-	cfg Config
+// sconn is one transport of the session. conns[0] is the leading connection;
+// the rest are MC/S secondaries. Each has its own send lock, wire scratch,
+// read loop, and StatSN expectation — only the CmdSN window is shared.
+type sconn struct {
+	conn net.Conn
+	cid  uint16
 
 	writeMu sync.Mutex
 	wirePDU iscsi.PDU // reusable encode target for outgoing PDUs, guarded by writeMu
 
+	done chan struct{} // closed when this connection's read loop exits
+
+	// dead and expStatSN are guarded by the session mutex.
+	dead      bool
+	expStatSN uint32
+}
+
+// Session is a logged-in iSCSI session. All methods are safe for concurrent
+// use; multiple application threads share one session, as Fio threads share
+// a volume connection in the paper's setup.
+type Session struct {
+	cfg  Config
+	isid [6]byte
+
 	mu          sync.Mutex
-	conn        net.Conn // current transport; replaced by the reconnect path
+	conns       []*sconn // conns[0] is the leading connection
+	rr          uint32   // round-robin cursor for connection allegiance
+	gen         uint64   // bumped when the connection set is rebuilt
+	wantConns   int      // negotiated MC/S width to maintain
+	tsih        uint16
 	params      iscsi.Params
 	itt         uint32
 	cmdSN       uint32
-	expStatSN   uint32
 	pending     map[uint32]*pendingCmd
 	closedErr   error
 	recovering  bool
 	recoverDone chan struct{} // closed when the in-progress recovery settles
-	readerDone  chan struct{} // current read loop's exit signal
 
 	backoff *faults.Backoff
 	sem     chan struct{}
@@ -164,10 +200,21 @@ type Session struct {
 	stage string // obs stage name for command spans ("initiator", "relay.<x>.forward")
 }
 
-// doLogin runs the login handshake on conn and returns the negotiated
-// parameters and the target's initial StatSN. Shared by Login and the
-// reconnect path.
-func doLogin(conn net.Conn, cfg Config) (iscsi.Params, uint32, error) {
+// isidSeq distinguishes concurrent sessions from the same initiator: RFC
+// 7143 keys a session by (InitiatorName, ISID, TargetName), so two live
+// sessions must not share an ISID or the second login reinstates (kills)
+// the first.
+var isidSeq atomic.Uint32
+
+func newISID() [6]byte {
+	n := isidSeq.Add(1)
+	return [6]byte{0x80, 0, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// doLogin runs the login handshake on conn: a leading login when tsih is
+// zero, an MC/S join of connection cid otherwise. It returns the negotiated
+// parameters, the target's initial StatSN, and the session's TSIH.
+func doLogin(conn net.Conn, cfg Config, isid [6]byte, tsih uint16, cid uint16) (iscsi.Params, uint32, uint16, error) {
 	pairs := cfg.Params.Pairs()
 	pairs[iscsi.KeyInitiatorName] = cfg.InitiatorIQN
 	pairs[iscsi.KeyTargetName] = cfg.TargetIQN
@@ -182,36 +229,39 @@ func doLogin(conn net.Conn, cfg Config) (iscsi.Params, uint32, error) {
 		Transit: true,
 		CSG:     iscsi.StageOperational,
 		NSG:     iscsi.StageFullFeature,
-		ISID:    [6]byte{0x80, 0, 0, 0, 0, 1},
+		ISID:    isid,
+		TSIH:    tsih,
+		CID:     cid,
 		ITT:     1,
 		CmdSN:   1,
 		Pairs:   pairs,
 	}
 	if _, err := req.Encode().WriteTo(conn); err != nil {
-		return iscsi.Params{}, 0, fmt.Errorf("initiator: send login: %w", err)
+		return iscsi.Params{}, 0, 0, fmt.Errorf("initiator: send login: %w", err)
 	}
 	pdu, err := iscsi.ReadPDU(conn)
 	if err != nil {
-		return iscsi.Params{}, 0, fmt.Errorf("initiator: read login response: %w", err)
+		return iscsi.Params{}, 0, 0, fmt.Errorf("initiator: read login response: %w", err)
 	}
 	resp, err := iscsi.ParseLoginResponse(pdu)
 	if err != nil {
-		return iscsi.Params{}, 0, err
+		return iscsi.Params{}, 0, 0, err
 	}
 	if resp.StatusClass != iscsi.LoginStatusSuccess {
-		return iscsi.Params{}, 0, fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
+		return iscsi.Params{}, 0, 0, fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
 			ErrLoginFailed, resp.StatusClass, resp.StatusDetail)
 	}
 	params, err := cfg.Params.Negotiate(resp.Pairs)
 	if err != nil {
-		return iscsi.Params{}, 0, err
+		return iscsi.Params{}, 0, 0, err
 	}
-	return params, resp.StatSN, nil
+	return params, resp.StatSN, resp.TSIH, nil
 }
 
 // Login establishes a session over conn. The local TCP source port is
 // exposed in the login text (the paper's modified Login Session code) so the
-// platform can attribute the connection.
+// platform can attribute the connection. With Conns > 1 and a DialConn hook,
+// the session adds MC/S connections up to the negotiated MaxConnections.
 func Login(conn net.Conn, cfg Config) (*Session, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 32
@@ -228,28 +278,112 @@ func Login(conn net.Conn, cfg Config) (*Session, error) {
 	if cfg.RedialBackoffCap <= 0 {
 		cfg.RedialBackoffCap = 100 * time.Millisecond
 	}
-	params, statSN, err := doLogin(conn, cfg)
+	if cfg.Conns > maxConns {
+		cfg.Conns = maxConns
+	}
+	if cfg.Conns > 1 && cfg.Params.EffectiveMaxConnections() < cfg.Conns {
+		// Offer the width we want; negotiation takes the minimum.
+		cfg.Params.MaxConnections = cfg.Conns
+	}
+	isid := newISID()
+	params, statSN, tsih, err := doLogin(conn, cfg, isid, 0, 0)
 	if err != nil {
 		return nil, err
 	}
+	want := cfg.Conns
+	if want < 1 {
+		want = 1
+	}
+	if want > params.EffectiveMaxConnections() {
+		want = params.EffectiveMaxConnections()
+	}
+	if cfg.DialConn == nil {
+		want = 1
+	}
+	lead := &sconn{conn: conn, cid: 0, done: make(chan struct{}), expStatSN: statSN}
 	s := &Session{
-		conn:       conn,
-		params:     params,
-		cfg:        cfg,
-		itt:        1,
-		cmdSN:      2,
-		expStatSN:  statSN,
-		pending:    make(map[uint32]*pendingCmd),
-		backoff:    faults.NewBackoff(cfg.RedialBackoffBase, cfg.RedialBackoffCap, cfg.RedialSeed),
-		sem:        make(chan struct{}, cfg.QueueDepth),
-		readerDone: make(chan struct{}),
+		cfg:       cfg,
+		isid:      isid,
+		conns:     []*sconn{lead},
+		wantConns: want,
+		tsih:      tsih,
+		params:    params,
+		itt:       1,
+		cmdSN:     2,
+		pending:   make(map[uint32]*pendingCmd),
+		backoff:   faults.NewBackoff(cfg.RedialBackoffBase, cfg.RedialBackoffCap, cfg.RedialSeed),
+		sem:       make(chan struct{}, cfg.QueueDepth),
 	}
 	s.stage = cfg.Stage
 	if s.stage == "" {
 		s.stage = obs.StageInitiator
 	}
-	go s.readLoop(conn, s.readerDone)
+	go s.readLoop(lead)
+	// Best-effort MC/S widening: a failed secondary login degrades the
+	// session to fewer connections rather than failing it.
+	for cid := uint16(1); int(cid) < want; cid++ {
+		_ = s.addConn(cid, 0)
+	}
 	return s, nil
+}
+
+// addConn dials, joins, and installs one MC/S secondary connection. gen
+// guards against installing into a session whose connection set was rebuilt
+// (or torn down) while the dial was in flight.
+func (s *Session) addConn(cid uint16, gen uint64) error {
+	conn, err := s.cfg.DialConn()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	tsih := s.tsih
+	stale := s.closedErr != nil || s.gen != gen
+	s.mu.Unlock()
+	if stale {
+		conn.Close()
+		return ErrSessionClosed
+	}
+	_, statSN, _, err := doLogin(conn, s.cfg, s.isid, tsih, cid)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	sc := &sconn{conn: conn, cid: cid, done: make(chan struct{}), expStatSN: statSN}
+	s.mu.Lock()
+	if s.closedErr != nil || s.gen != gen {
+		s.mu.Unlock()
+		conn.Close()
+		return ErrSessionClosed
+	}
+	replaced := false
+	for i, old := range s.conns {
+		if old.cid == cid {
+			s.conns[i] = sc
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.conns = append(s.conns, sc)
+	}
+	s.mu.Unlock()
+	go s.readLoop(sc)
+	return nil
+}
+
+// reattach tries to restore a failed secondary connection in the background
+// with the session's redial backoff, giving up once the connection set is
+// rebuilt or the session closes.
+func (s *Session) reattach(cid uint16, gen uint64) {
+	for attempt := 0; attempt < s.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(s.backoff.Delay(attempt - 1))
+		}
+		err := s.addConn(cid, gen)
+		if err == nil || errors.Is(err, ErrSessionClosed) {
+			return
+		}
+	}
 }
 
 // startCmdSpan opens the per-command stage span. With tracing enabled on
@@ -262,19 +396,15 @@ func (s *Session) startCmdSpan(dir string, bytes int) obs.Span {
 	return s.cfg.Obs.StartTraced(s.stage, dir, bytes)
 }
 
-// putTrace hands the command's span context to the connection's
-// out-of-band trace carrier (keyed by task tag) so the next station can
-// parent its spans under ours. No-op on untraced commands or transports
-// without a carrier.
-func (s *Session) putTrace(itt uint32, sc obs.SpanContext) {
-	if !sc.Valid() {
+// putTrace hands the command's span context to its connection's out-of-band
+// trace carrier (keyed by task tag) so the next station can parent its spans
+// under ours. No-op on untraced commands or transports without a carrier.
+func (s *Session) putTrace(sc *sconn, itt uint32, spanCtx obs.SpanContext) {
+	if !spanCtx.Valid() {
 		return
 	}
-	s.mu.Lock()
-	conn := s.conn
-	s.mu.Unlock()
-	if tbl := obs.CarrierOf(conn); tbl != nil {
-		tbl.Put(itt, sc)
+	if tbl := obs.CarrierOf(sc.conn); tbl != nil {
+		tbl.Put(itt, spanCtx)
 	}
 }
 
@@ -285,11 +415,24 @@ func (s *Session) Params() iscsi.Params {
 	return s.params
 }
 
-// Conn returns the current underlying connection.
+// Conn returns the current leading connection.
 func (s *Session) Conn() net.Conn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.conn
+	return s.conns[0].conn
+}
+
+// NumConns reports how many healthy connections the session currently has.
+func (s *Session) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sc := range s.conns {
+		if !sc.dead {
+			n++
+		}
+	}
+	return n
 }
 
 // localPort extracts the TCP source port from the connection, if available.
@@ -311,42 +454,44 @@ func localPort(conn net.Conn) int {
 
 // readLoop demultiplexes target PDUs to their outstanding commands. The
 // Data-In and Response parse targets live across iterations — each is fully
-// consumed before the next PDU, so the loop itself allocates nothing. conn
-// is this loop's generation of the transport: a reconnect starts a fresh
-// loop, and a stale loop's exit must not disturb the new connection.
-func (s *Session) readLoop(conn net.Conn, done chan struct{}) {
-	defer close(done)
+// consumed before the next PDU, so the loop itself allocates nothing. sc is
+// this loop's connection: a reconnect starts a fresh loop on a fresh sconn,
+// and a stale loop's exit must not disturb the new connection.
+func (s *Session) readLoop(sc *sconn) {
+	defer close(sc.done)
+	pr := iscsi.NewPDUReader(sc.conn)
+	defer pr.Close()
 	var (
 		din  iscsi.DataIn
 		resp iscsi.SCSIResponse
 	)
 	for {
-		pdu, err := iscsi.ReadPDU(conn)
+		pdu, err := pr.ReadPDU()
 		if err != nil {
-			s.connFailed(conn, err, true)
+			s.connFailed(sc, err, true)
 			return
 		}
 		switch pdu.Op() {
 		case iscsi.OpSCSIDataIn:
 			if err := iscsi.ParseDataInInto(&din, pdu); err != nil {
-				s.connFailed(conn, err, false)
+				s.connFailed(sc, err, false)
 				return
 			}
-			if err := s.handleDataIn(&din); err != nil {
-				s.connFailed(conn, err, false)
+			if err := s.handleDataIn(sc, &din); err != nil {
+				s.connFailed(sc, err, false)
 				return
 			}
 		case iscsi.OpSCSIResponse:
 			if err := iscsi.ParseSCSIResponseInto(&resp, pdu); err != nil {
-				s.connFailed(conn, err, false)
+				s.connFailed(sc, err, false)
 				return
 			}
-			s.handleResponse(&resp)
+			s.handleResponse(sc, &resp)
 		case iscsi.OpR2T:
 			r2t := r2tPool.Get().(*iscsi.R2T)
 			if err := iscsi.ParseR2TInto(r2t, pdu); err != nil {
 				r2tPool.Put(r2t)
-				s.connFailed(conn, err, false)
+				s.connFailed(sc, err, false)
 				return
 			}
 			s.mu.Lock()
@@ -360,7 +505,7 @@ func (s *Session) readLoop(conn net.Conn, done chan struct{}) {
 		case iscsi.OpNopIn:
 			n, err := iscsi.ParseNopIn(pdu)
 			if err != nil {
-				s.connFailed(conn, err, false)
+				s.connFailed(sc, err, false)
 				return
 			}
 			s.completeNop(n)
@@ -377,14 +522,14 @@ func (s *Session) readLoop(conn net.Conn, done chan struct{}) {
 				p.done <- struct{}{}
 			}
 		case iscsi.OpLogoutResp:
-			s.connFailed(conn, ErrSessionClosed, false)
+			s.connFailed(sc, ErrSessionClosed, false)
 			return
 		case iscsi.OpReject:
 			rej, _ := iscsi.ParseReject(pdu)
-			s.connFailed(conn, fmt.Errorf("initiator: target rejected PDU (reason 0x%02x)", rej.Reason), false)
+			s.connFailed(sc, fmt.Errorf("initiator: target rejected PDU (reason 0x%02x)", rej.Reason), false)
 			return
 		default:
-			s.connFailed(conn, fmt.Errorf("initiator: unexpected PDU %v", pdu.Op()), false)
+			s.connFailed(sc, fmt.Errorf("initiator: unexpected PDU %v", pdu.Op()), false)
 			return
 		}
 		// Every case above consumes the data segment synchronously (copying
@@ -398,7 +543,7 @@ func (s *Session) readLoop(conn net.Conn, done chan struct{}) {
 // command buffer, or that would deliver more bytes than the buffer holds, is
 // a protocol violation: returning the error fails the command and tears down
 // the session rather than completing the read GOOD with silently short data.
-func (s *Session) handleDataIn(din *iscsi.DataIn) error {
+func (s *Session) handleDataIn(sc *sconn, din *iscsi.DataIn) error {
 	s.mu.Lock()
 	p := s.pending[din.ITT]
 	if p == nil {
@@ -420,8 +565,8 @@ func (s *Session) handleDataIn(din *iscsi.DataIn) error {
 	p.filled += len(din.Data)
 	if din.StatusPresent && din.Final {
 		p.status = din.Status
-		if iscsi.SNAfter(din.StatSN+1, s.expStatSN) {
-			s.expStatSN = din.StatSN + 1
+		if iscsi.SNAfter(din.StatSN+1, sc.expStatSN) {
+			sc.expStatSN = din.StatSN + 1
 		}
 		delete(s.pending, din.ITT)
 		s.mu.Unlock()
@@ -432,7 +577,7 @@ func (s *Session) handleDataIn(din *iscsi.DataIn) error {
 	return nil
 }
 
-func (s *Session) handleResponse(resp *iscsi.SCSIResponse) {
+func (s *Session) handleResponse(sc *sconn, resp *iscsi.SCSIResponse) {
 	s.mu.Lock()
 	p := s.pending[resp.ITT]
 	if p == nil {
@@ -445,8 +590,8 @@ func (s *Session) handleResponse(resp *iscsi.SCSIResponse) {
 			p.sense = sense
 		}
 	}
-	if iscsi.SNAfter(resp.StatSN+1, s.expStatSN) {
-		s.expStatSN = resp.StatSN + 1
+	if iscsi.SNAfter(resp.StatSN+1, sc.expStatSN) {
+		sc.expStatSN = resp.StatSN + 1
 	}
 	delete(s.pending, resp.ITT)
 	s.mu.Unlock()
@@ -465,24 +610,51 @@ func (s *Session) completeNop(n *iscsi.NopIn) {
 	}
 }
 
-// connFailed reacts to the loss of conn. Transient failures on a session
-// with a Redial hook start (at most one) recovery goroutine and fail the
-// outstanding commands with a retryable transientErr so their callers
-// reissue them after reconnect; anything else — protocol violations,
-// explicit closes, sessions without Redial — is terminal. Calls for a
-// superseded connection are ignored.
-func (s *Session) connFailed(conn net.Conn, err error, transient bool) {
+// connFailed reacts to the loss of one connection. A transient loss of a
+// secondary fails only the commands with allegiance to it — each with a
+// retryable transientErr so its caller reissues on a surviving connection —
+// and tries to reattach in the background. Loss of the leading connection
+// (or any non-transient failure) is session-wide: with a Redial hook it
+// starts (at most one) recovery goroutine, otherwise the session is
+// terminal. Calls for an already-failed connection are ignored.
+func (s *Session) connFailed(sc *sconn, err error, transient bool) {
 	s.mu.Lock()
-	if s.conn != conn {
+	if sc.dead {
 		s.mu.Unlock()
 		return
 	}
+	sc.dead = true
+	leading := s.conns[0] == sc
+
+	if !leading && transient && s.closedErr == nil {
+		// Secondary loss: redistribute its in-flight commands.
+		var failed []*pendingCmd
+		for itt, p := range s.pending {
+			if p.sc == sc {
+				delete(s.pending, itt)
+				failed = append(failed, p)
+			}
+		}
+		gen := s.gen
+		canReattach := s.cfg.DialConn != nil
+		s.mu.Unlock()
+		sc.conn.Close()
+		for _, p := range failed {
+			p.err = &transientErr{err}
+			p.done <- struct{}{}
+		}
+		if canReattach {
+			go s.reattach(sc.cid, gen)
+		}
+		return
+	}
+
 	var failErr error
-	if transient && s.cfg.Redial != nil && s.closedErr == nil {
+	if leading && transient && s.cfg.Redial != nil && s.closedErr == nil {
 		if !s.recovering {
 			s.recovering = true
 			s.recoverDone = make(chan struct{})
-			go s.recover(conn, err)
+			go s.recover(err)
 		}
 		failErr = &transientErr{err}
 	} else {
@@ -491,10 +663,20 @@ func (s *Session) connFailed(conn net.Conn, err error, transient bool) {
 		}
 		failErr = s.closedErr
 	}
+	// Session-wide: the whole connection set goes down with the leading
+	// connection (a reinstating re-login invalidates the old session, and
+	// with it every joined connection).
+	conns := make([]*sconn, 0, len(s.conns))
+	for _, c := range s.conns {
+		c.dead = true
+		conns = append(conns, c)
+	}
 	pend := s.pending
 	s.pending = make(map[uint32]*pendingCmd)
 	s.mu.Unlock()
-	conn.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
 	for _, p := range pend {
 		p.err = failErr
 		p.done <- struct{}{}
@@ -502,12 +684,11 @@ func (s *Session) connFailed(conn net.Conn, err error, transient bool) {
 }
 
 // recover redials and re-logs-in with capped exponential backoff. On success
-// it installs the fresh connection and sequence state and starts a new read
-// loop; after MaxRedials consecutive failures (or an explicit Close racing
-// in) the session fails terminally. Either way the recoverDone channel is
-// closed so commands parked in awaitRecovery proceed.
-func (s *Session) recover(oldConn net.Conn, cause error) {
-	oldConn.Close()
+// it installs a fresh leading connection (and re-widens the MC/S set) and
+// starts new read loops; after MaxRedials consecutive failures (or an
+// explicit Close racing in) the session fails terminally. Either way the
+// recoverDone channel is closed so commands parked in awaitRecovery proceed.
+func (s *Session) recover(cause error) {
 	lastErr := cause
 	for attempt := 0; attempt < s.cfg.MaxRedials; attempt++ {
 		if attempt > 0 {
@@ -524,32 +705,34 @@ func (s *Session) recover(oldConn net.Conn, cause error) {
 			lastErr = err
 			continue
 		}
-		params, statSN, err := doLogin(conn, s.cfg)
+		params, statSN, tsih, err := doLogin(conn, s.cfg, s.isid, 0, 0)
 		if err != nil {
 			conn.Close()
 			lastErr = err
 			continue
 		}
-		s.writeMu.Lock()
 		s.mu.Lock()
 		if s.closedErr != nil {
 			s.mu.Unlock()
-			s.writeMu.Unlock()
 			conn.Close()
 			break
 		}
-		s.conn = conn
+		lead := &sconn{conn: conn, cid: 0, done: make(chan struct{}), expStatSN: statSN}
+		s.conns = []*sconn{lead}
+		s.gen++
+		gen := s.gen
+		s.tsih = tsih
 		s.params = params
 		s.itt = 1
 		s.cmdSN = 2
-		s.expStatSN = statSN
-		done := make(chan struct{})
-		s.readerDone = done
 		s.recovering = false
 		rd := s.recoverDone
+		want := s.wantConns
 		s.mu.Unlock()
-		s.writeMu.Unlock()
-		go s.readLoop(conn, done)
+		go s.readLoop(lead)
+		for cid := uint16(1); int(cid) < want; cid++ {
+			_ = s.addConn(cid, gen)
+		}
 		close(rd)
 		return
 	}
@@ -586,20 +769,17 @@ func (s *Session) awaitRecovery() error {
 }
 
 // retryTransient reports whether err is a connection failure worth reissuing
-// the command for on this session.
+// the command for on this session: there is a redial hook to rebuild the
+// session, or a surviving MC/S connection to redistribute onto.
 func (s *Session) retryTransient(err error) bool {
 	var te *transientErr
-	return errors.As(err, &te) && s.cfg.Redial != nil
-}
-
-// kickConn declares the current connection dead (a command deadline
-// expired): closing it wakes the read loop, which fails outstanding
-// commands and — with a Redial hook — starts recovery.
-func (s *Session) kickConn() {
-	s.mu.Lock()
-	conn := s.conn
-	s.mu.Unlock()
-	conn.Close()
+	if !errors.As(err, &te) {
+		return false
+	}
+	if s.cfg.Redial != nil {
+		return true
+	}
+	return s.NumConns() > 0
 }
 
 // cmdTimer arms the per-command deadline. The returned channel is nil (and
@@ -612,18 +792,34 @@ func (s *Session) cmdTimer() (<-chan time.Time, func()) {
 	return t.C, func() { t.Stop() }
 }
 
-// register allocates a task tag and tracks the command.
-func (s *Session) register(p *pendingCmd) (itt, cmdSN, expStatSN uint32, err error) {
+// register allocates a task tag, picks the command's connection (round-robin
+// over the healthy set — its allegiance for the command's lifetime), and
+// tracks the command. CmdSN stays session-wide so MC/S preserves one command
+// ordering window across connections.
+func (s *Session) register(p *pendingCmd) (itt, cmdSN, expStatSN uint32, sc *sconn, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closedErr != nil {
-		return 0, 0, 0, s.closedErr
+		return 0, 0, 0, nil, s.closedErr
+	}
+	n := len(s.conns)
+	for i := 0; i < n; i++ {
+		c := s.conns[int(s.rr)%n]
+		s.rr++
+		if !c.dead {
+			sc = c
+			break
+		}
+	}
+	if sc == nil {
+		return 0, 0, 0, nil, &transientErr{errors.New("no healthy connection")}
 	}
 	s.itt++
 	s.cmdSN++
 	itt = s.itt
+	p.sc = sc
 	s.pending[itt] = p
-	return itt, s.cmdSN, s.expStatSN, nil
+	return itt, s.cmdSN, sc.expStatSN, sc, nil
 }
 
 // pduEncoder is a typed message that can encode into a caller-owned PDU.
@@ -633,22 +829,19 @@ type pduEncoder interface {
 	EncodeInto(*iscsi.PDU) *iscsi.PDU
 }
 
-// send serializes m into the session's reusable wire PDU under writeMu, so
-// steady-state command issue allocates nothing for framing. Wire errors are
-// wrapped as transient: the connection is presumed dead and the command may
-// be reissued after reconnect.
-func (s *Session) send(m pduEncoder) error {
-	s.writeMu.Lock()
-	s.mu.Lock()
-	conn := s.conn
-	s.mu.Unlock()
-	_, err := m.EncodeInto(&s.wirePDU).WriteTo(conn)
-	s.writeMu.Unlock()
+// send serializes m into the connection's reusable wire PDU under its write
+// lock, so steady-state command issue allocates nothing for framing. Wire
+// errors are wrapped as transient: the connection is presumed dead and the
+// command may be reissued after redistribution or reconnect.
+func (s *Session) send(sc *sconn, m pduEncoder) error {
+	sc.writeMu.Lock()
+	_, err := m.EncodeInto(&sc.wirePDU).WriteTo(sc.conn)
+	sc.writeMu.Unlock()
 	if err != nil {
 		// The writer can notice a dead connection before the read loop
 		// does; report it here so recovery starts immediately instead of
 		// the caller burning its retry budget against the same corpse.
-		s.connFailed(conn, err, true)
+		s.connFailed(sc, err, true)
 		return &transientErr{err}
 	}
 	return nil
@@ -683,10 +876,10 @@ func (s *Session) ReadInto(dst []byte, lba uint64, blocks uint32, blockSize int)
 		return 0, fmt.Errorf("initiator: destination %d bytes, transfer needs %d", len(dst), n)
 	}
 	sp := s.startCmdSpan("read", n)
-	if sc := sp.Context(); sc.Valid() {
+	if spanCtx := sp.Context(); spanCtx.Valid() {
 		// Bind the command's context so fabric hop charges on this
 		// goroutine (gateway ingress/egress, MB-FWD) join the trace.
-		prev, had := obs.Bind(sc)
+		prev, had := obs.Bind(spanCtx)
 		defer obs.Restore(prev, had)
 	}
 	got, err := s.execRead(&cdb, dst[:n], sp.Context())
@@ -700,7 +893,7 @@ func (s *Session) ReadInto(dst []byte, lba uint64, blocks uint32, blockSize int)
 
 // execRead issues a read-direction command whose Data-In sequence fills dst,
 // reissuing it across reconnects while failures stay transient.
-func (s *Session) execRead(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (int, error) {
+func (s *Session) execRead(cdb *scsi.CDB, dst []byte, spanCtx obs.SpanContext) (int, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	var (
@@ -708,7 +901,7 @@ func (s *Session) execRead(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (int, 
 		err error
 	)
 	for attempt := 0; attempt < maxCmdAttempts; attempt++ {
-		n, err = s.execReadOnce(cdb, dst, sc)
+		n, err = s.execReadOnce(cdb, dst, spanCtx)
 		if err == nil || !s.retryTransient(err) {
 			return n, err
 		}
@@ -720,7 +913,7 @@ func (s *Session) execRead(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (int, 
 }
 
 // execReadOnce runs one attempt of a read-direction command.
-func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (int, error) {
+func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, spanCtx obs.SpanContext) (int, error) {
 	p := getPending()
 	p.buf = dst
 	p.cmd = iscsi.SCSICommand{
@@ -732,7 +925,7 @@ func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (i
 		putPending(p)
 		return 0, err
 	}
-	itt, cmdSN, expStatSN, err := s.register(p)
+	itt, cmdSN, expStatSN, sc, err := s.register(p)
 	if err != nil {
 		putPending(p)
 		return 0, err
@@ -740,8 +933,8 @@ func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (i
 	p.cmd.ITT = itt
 	p.cmd.CmdSN = cmdSN
 	p.cmd.ExpStatSN = expStatSN
-	s.putTrace(itt, sc)
-	if err := s.send(&p.cmd); err != nil {
+	s.putTrace(sc, itt, spanCtx)
+	if err := s.send(sc, &p.cmd); err != nil {
 		// Not pooled: a concurrent connFailed may still signal this command.
 		s.unregister(itt)
 		return 0, err
@@ -751,7 +944,7 @@ func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, sc obs.SpanContext) (i
 	select {
 	case <-p.done:
 	case <-tc:
-		s.kickConn()
+		sc.conn.Close() // wakes the read loop, which fails the command
 		<-p.done
 	}
 	filled, status, sense, perr := p.filled, p.status, p.sense, p.err
@@ -778,10 +971,10 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 	cdb := scsi.WriteCDB(lba, uint32(len(data)/blockSize))
 	sp := s.startCmdSpan("write", len(data))
 	defer sp.End()
-	if sc := sp.Context(); sc.Valid() {
+	if spanCtx := sp.Context(); spanCtx.Valid() {
 		// Bind the command's context so fabric hop charges on this
 		// goroutine (gateway ingress/egress, MB-FWD) join the trace.
-		prev, had := obs.Bind(sc)
+		prev, had := obs.Bind(spanCtx)
 		defer obs.Restore(prev, had)
 	}
 
@@ -803,7 +996,7 @@ func (s *Session) Write(lba uint64, data []byte, blockSize int) error {
 
 // execWriteOnce runs one attempt of a write command: immediate data, then
 // R2T-solicited Data-Out bursts, then the status wait.
-func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) error {
+func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, spanCtx obs.SpanContext) error {
 	params := s.Params()
 	// Immediate (unsolicited) data up to FirstBurstLength.
 	immediate := 0
@@ -827,7 +1020,7 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) 
 		putPending(p)
 		return err
 	}
-	itt, cmdSN, expStatSN, err := s.register(p)
+	itt, cmdSN, expStatSN, sc, err := s.register(p)
 	if err != nil {
 		putPending(p)
 		return err
@@ -835,8 +1028,8 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) 
 	p.cmd.ITT = itt
 	p.cmd.CmdSN = cmdSN
 	p.cmd.ExpStatSN = expStatSN
-	s.putTrace(itt, sc)
-	if err := s.send(&p.cmd); err != nil {
+	s.putTrace(sc, itt, spanCtx)
+	if err := s.send(sc, &p.cmd); err != nil {
 		// Not pooled: a concurrent connFailed may still signal this command.
 		s.unregister(itt)
 		return err
@@ -859,7 +1052,7 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) 
 			}
 			return fmt.Errorf("initiator: write completed before data transfer (status %v)", scsi.Status(status))
 		case <-tc:
-			s.kickConn()
+			sc.conn.Close()
 			<-p.done
 			perr := p.err
 			putPending(p)
@@ -868,7 +1061,7 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) 
 			}
 			return fmt.Errorf("initiator: write deadline exceeded awaiting R2T")
 		}
-		err := s.sendBurst(itt, r2t, data, params)
+		err := s.sendBurst(sc, itt, r2t, data, params)
 		sent = int(r2t.BufferOffset) + int(r2t.DesiredLength)
 		r2tPool.Put(r2t)
 		if err != nil {
@@ -881,7 +1074,7 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) 
 	select {
 	case <-p.done:
 	case <-tc:
-		s.kickConn()
+		sc.conn.Close()
 		<-p.done
 	}
 	status, sense, perr := p.status, p.sense, p.err
@@ -899,8 +1092,9 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, sc obs.SpanContext) 
 }
 
 // sendBurst answers one R2T with Data-Out PDUs chunked to the negotiated
-// segment length.
-func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte, params iscsi.Params) error {
+// segment length. Multi-segment bursts are encoded back-to-back and leave in
+// a single vectored write — one wire rendezvous per burst, not per segment.
+func (s *Session) sendBurst(sc *sconn, itt uint32, r2t *iscsi.R2T, data []byte, params iscsi.Params) error {
 	start := int(r2t.BufferOffset)
 	end := start + int(r2t.DesiredLength)
 	if end > len(data) {
@@ -911,7 +1105,15 @@ func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte, params iscs
 		maxSeg = 8192
 	}
 	dout := iscsi.DataOut{ITT: itt, TTT: r2t.TTT}
-	for off := start; off < end; {
+	nseg := (end - start + maxSeg - 1) / maxSeg
+	if nseg <= 1 {
+		dout.Final = true
+		dout.BufferOffset = uint32(start)
+		dout.Data = data[start:end]
+		return s.send(sc, &dout)
+	}
+	pdus := make([]iscsi.PDU, nseg)
+	for i, off := 0, start; off < end; i++ {
 		segEnd := off + maxSeg
 		if segEnd > end {
 			segEnd = end
@@ -919,11 +1121,16 @@ func (s *Session) sendBurst(itt uint32, r2t *iscsi.R2T, data []byte, params iscs
 		dout.Final = segEnd == end
 		dout.BufferOffset = uint32(off)
 		dout.Data = data[off:segEnd]
-		if err := s.send(&dout); err != nil {
-			return err
-		}
+		dout.EncodeInto(&pdus[i])
 		dout.DataSN++
 		off = segEnd
+	}
+	sc.writeMu.Lock()
+	_, err := iscsi.WritePDUs(sc.conn, pdus)
+	sc.writeMu.Unlock()
+	if err != nil {
+		s.connFailed(sc, err, true)
+		return &transientErr{err}
 	}
 	return nil
 }

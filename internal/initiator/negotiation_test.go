@@ -1,0 +1,148 @@
+package initiator
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/iscsi"
+	"repro/internal/target"
+)
+
+const negIQN = "iqn.2016-04.edu.purdue.storm:neg"
+
+// negSession builds an initiator<->target session over net.Pipe with
+// explicit operational parameters on both sides, so tests can force
+// pathological offers and watch them converge.
+func negSession(t *testing.T, server, client iscsi.Params) *Session {
+	t.Helper()
+	dev, err := blockdev.NewMemDisk(512, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := target.NewServer(target.WithParams(server))
+	if err := srv.AddTarget(negIQN, dev); err != nil {
+		t.Fatal(err)
+	}
+	ln := newChanListener()
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	cc, sc := net.Pipe()
+	select {
+	case ln.conns <- sc:
+	case <-ln.done:
+		t.Fatal("listener closed")
+	}
+	sess, err := Login(cc, Config{
+		InitiatorIQN: "iqn.neg-client", TargetIQN: negIQN, Params: client,
+	})
+	if err != nil {
+		t.Fatalf("Login: %v", err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+	return sess
+}
+
+// TestNegotiationInterop is the negotiation interop matrix: deliberately
+// awkward offers on either side — tiny MaxBurstLength, ImmediateData=No,
+// FirstBurstLength exceeding MaxBurstLength — must converge to an RFC-legal
+// parameter set (FirstBurst ≤ MaxBurst, min/AND/OR result functions), and
+// the session must still complete a 1 MiB write through whatever burst
+// shape was agreed.
+func TestNegotiationInterop(t *testing.T) {
+	def := iscsi.DefaultParams()
+	cases := []struct {
+		name           string
+		server, client iscsi.Params
+		// invariants on the negotiated result beyond the always-checked
+		// RFC-legality rules
+		wantMaxBurst  int
+		wantImmediate bool
+		wantInitR2T   bool
+	}{
+		{
+			// A 4 KiB MaxBurst forces the 1 MiB write into 256 solicited
+			// sequences; FirstBurst (256 KiB offered) must clamp down to it.
+			name:          "tiny server MaxBurst",
+			server:        iscsi.Params{MaxRecvDataSegmentLength: def.MaxRecvDataSegmentLength, FirstBurstLength: def.FirstBurstLength, MaxBurstLength: 4096, ImmediateData: true},
+			client:        def,
+			wantMaxBurst:  4096,
+			wantImmediate: true,
+		},
+		{
+			// ImmediateData is an AND function: the server's No wins and
+			// every write byte must travel the R2T-solicited path.
+			name:          "server refuses immediate data",
+			server:        iscsi.Params{MaxRecvDataSegmentLength: def.MaxRecvDataSegmentLength, FirstBurstLength: def.FirstBurstLength, MaxBurstLength: def.MaxBurstLength, ImmediateData: false, InitialR2T: true},
+			client:        def,
+			wantMaxBurst:  def.MaxBurstLength,
+			wantImmediate: false,
+			wantInitR2T:   true,
+		},
+		{
+			// The client offers FirstBurst > MaxBurst — illegal as a final
+			// combination. The merge must clamp FirstBurst to MaxBurst on
+			// both sides rather than propagate the broken pair.
+			name:          "client FirstBurst exceeds MaxBurst",
+			server:        def,
+			client:        iscsi.Params{MaxRecvDataSegmentLength: def.MaxRecvDataSegmentLength, FirstBurstLength: 512 * 1024, MaxBurstLength: 8192, ImmediateData: true},
+			wantMaxBurst:  8192,
+			wantImmediate: true,
+		},
+		{
+			// Everything hostile at once: tiny segments (many Data-Out PDUs
+			// per burst), no immediate data, mandatory initial R2T.
+			name:          "tiny segments, no immediate, forced R2T",
+			server:        iscsi.Params{MaxRecvDataSegmentLength: 1024, FirstBurstLength: 2048, MaxBurstLength: 2048, ImmediateData: false, InitialR2T: true},
+			client:        iscsi.Params{MaxRecvDataSegmentLength: 8192, FirstBurstLength: 1 << 20, MaxBurstLength: 512, ImmediateData: true},
+			wantMaxBurst:  512,
+			wantImmediate: false,
+			wantInitR2T:   true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess := negSession(t, tc.server, tc.client)
+			got := sess.Params()
+
+			// RFC-legality invariants that must hold for any converged set.
+			if got.FirstBurstLength > got.MaxBurstLength {
+				t.Errorf("negotiated FirstBurst %d > MaxBurst %d (RFC 7143 violation)", got.FirstBurstLength, got.MaxBurstLength)
+			}
+			if got.MaxRecvDataSegmentLength <= 0 || got.MaxBurstLength <= 0 || got.FirstBurstLength <= 0 {
+				t.Errorf("negotiated non-positive lengths: %+v", got)
+			}
+
+			if got.MaxBurstLength != tc.wantMaxBurst {
+				t.Errorf("MaxBurstLength = %d, want %d", got.MaxBurstLength, tc.wantMaxBurst)
+			}
+			if got.ImmediateData != tc.wantImmediate {
+				t.Errorf("ImmediateData = %v, want %v", got.ImmediateData, tc.wantImmediate)
+			}
+			if got.InitialR2T != tc.wantInitR2T {
+				t.Errorf("InitialR2T = %v, want %v", got.InitialR2T, tc.wantInitR2T)
+			}
+
+			// The agreed shape must actually carry data: a 1 MiB write is
+			// large enough to exercise first-burst, R2T solicitation, and
+			// segment chopping under every case above.
+			want := make([]byte, 1<<20)
+			for i := range want {
+				want[i] = byte(i*13 + 7)
+			}
+			if err := sess.Write(0, want, 512); err != nil {
+				t.Fatalf("1 MiB write: %v", err)
+			}
+			gotData, err := sess.Read(0, uint32(len(want)/512), 512)
+			if err != nil {
+				t.Fatalf("read-back: %v", err)
+			}
+			if !bytes.Equal(gotData, want) {
+				t.Fatal("1 MiB read-back differs from written data")
+			}
+		})
+	}
+}

@@ -243,6 +243,18 @@ type Params struct {
 	ImmediateData bool
 	// InitialR2T requires an R2T before any solicited data when true.
 	InitialR2T bool
+	// MaxConnections bounds the number of connections the session may carry
+	// (MC/S). Zero is treated as 1, the RFC default.
+	MaxConnections int
+}
+
+// EffectiveMaxConnections resolves the MC/S connection bound, mapping the
+// zero value (legacy Params literals) to the RFC default of 1.
+func (p Params) EffectiveMaxConnections() int {
+	if p.MaxConnections <= 0 {
+		return 1
+	}
+	return p.MaxConnections
 }
 
 // DefaultParams mirrors the Open-iSCSI defaults used by the paper's
@@ -256,19 +268,21 @@ func DefaultParams() Params {
 		MaxBurstLength:           16 * 1024 * 1024,
 		ImmediateData:            true,
 		InitialR2T:               false,
+		MaxConnections:           1,
 	}
 }
 
 // Pairs renders the parameters as negotiation keys.
 func (p Params) Pairs() map[string]string {
 	return map[string]string{
-		KeyMaxRecvDSL:    fmt.Sprintf("%d", p.MaxRecvDataSegmentLength),
-		KeyFirstBurst:    fmt.Sprintf("%d", p.FirstBurstLength),
-		KeyMaxBurst:      fmt.Sprintf("%d", p.MaxBurstLength),
-		KeyImmediateData: yesNo(p.ImmediateData),
-		KeyInitialR2T:    yesNo(p.InitialR2T),
-		KeyHeaderDigest:  "None",
-		KeyDataDigest:    "None",
+		KeyMaxRecvDSL:     fmt.Sprintf("%d", p.MaxRecvDataSegmentLength),
+		KeyFirstBurst:     fmt.Sprintf("%d", p.FirstBurstLength),
+		KeyMaxBurst:       fmt.Sprintf("%d", p.MaxBurstLength),
+		KeyImmediateData:  yesNo(p.ImmediateData),
+		KeyInitialR2T:     yesNo(p.InitialR2T),
+		KeyMaxConnections: fmt.Sprintf("%d", p.EffectiveMaxConnections()),
+		KeyHeaderDigest:   "None",
+		KeyDataDigest:     "None",
 	}
 }
 
@@ -297,6 +311,13 @@ func (p Params) Negotiate(offered map[string]string) (Params, error) {
 			return out, err
 		}
 		out.MaxBurstLength = min(out.MaxBurstLength, n)
+	}
+	if v, ok := offered[KeyMaxConnections]; ok {
+		n, err := parsePositiveInt(KeyMaxConnections, v)
+		if err != nil {
+			return out, err
+		}
+		out.MaxConnections = min(out.EffectiveMaxConnections(), n)
 	}
 	if v, ok := offered[KeyImmediateData]; ok {
 		out.ImmediateData = out.ImmediateData && v == "Yes" // AND function

@@ -123,6 +123,21 @@ func (p *PDU) Release() {
 	}
 }
 
+// TakeData transfers ownership of the PDU's pooled data segment to the
+// caller: the returned buffer backs the returned slice and the caller becomes
+// responsible for releasing it. The PDU is left without data, so a subsequent
+// Release is a no-op. PDUs whose data was never pooled (typed Encode views,
+// DecodePDU) return (nil, nil) and the caller must copy instead.
+func (p *PDU) TakeData() ([]byte, *bufpool.Buf) {
+	if p.dataBuf == nil {
+		return nil, nil
+	}
+	data, buf := p.Data, p.dataBuf
+	p.Data = nil
+	p.dataBuf = nil
+	return data, buf
+}
+
 // EncodeInto lets a raw PDU flow through encoder-driven send paths alongside
 // the typed message views: the PDU is already wire-form, so it encodes as
 // itself and the caller's scratch PDU is untouched.
@@ -206,6 +221,45 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	// Zero the padding: pooled buffers carry stale bytes.
 	for i := BHSLen + len(p.Data); i < len(buf); i++ {
 		buf[i] = 0
+	}
+	n, err := w.Write(buf)
+	wire.Release()
+	return int64(n), err
+}
+
+// WritePDUs serializes a batch of PDUs as one send — a whole solicited burst
+// or multi-segment Data-In sequence goes out in a single vectored write (or
+// one pooled contiguous write when the writer has no vectored interface),
+// instead of paying a wire rendezvous per PDU.
+func WritePDUs(w io.Writer, pdus []PDU) (int64, error) {
+	if len(pdus) == 1 {
+		return pdus[0].WriteTo(w)
+	}
+	total := 0
+	for i := range pdus {
+		if len(pdus[i].Data) > MaxDataSegment {
+			return 0, fmt.Errorf("iscsi: data segment %d exceeds protocol maximum", len(pdus[i].Data))
+		}
+		total += pdus[i].WireLen()
+	}
+	if bw, ok := w.(BuffersWriter); ok {
+		vecs := make([][]byte, 0, 3*len(pdus))
+		for i := range pdus {
+			p := &pdus[i]
+			pad := pad4(len(p.Data)) - len(p.Data)
+			vecs = append(vecs, p.BHS[:], p.Data, padZeros[:pad])
+		}
+		n, err := bw.WriteBuffers(vecs...)
+		return int64(n), err
+	}
+	wire := bufpool.Get(total)
+	buf := wire.B[:0]
+	for i := range pdus {
+		p := &pdus[i]
+		pad := pad4(len(p.Data)) - len(p.Data)
+		buf = append(buf, p.BHS[:]...)
+		buf = append(buf, p.Data...)
+		buf = append(buf, padZeros[:pad]...)
 	}
 	n, err := w.Write(buf)
 	wire.Release()

@@ -55,17 +55,17 @@ func (j *DurableJournal) Dir() string { return j.log.Dir() }
 // window), which is what licenses the relay to early-ack. The WAL write
 // happens outside the journal mutex so completes and drain polls never
 // stall behind an fsync.
-func (j *DurableJournal) Append(lba uint64, data []byte) (uint64, error) {
+func (j *DurableJournal) Append(lba uint64, data []byte) (uint64, []byte, error) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
-		return 0, ErrJournalClosed
+		return 0, nil, ErrJournalClosed
 	}
 	if j.capacity > 0 && j.used+len(data) > j.capacity {
 		used := j.used
 		j.mu.Unlock()
 		obs.Default().Eventf("journal", "full: %d bytes used of %d, falling back to write-through", used, j.capacity)
-		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, used, j.capacity)
+		return 0, nil, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, used, j.capacity)
 	}
 	// Reserve the bytes so concurrent appends cannot oversubscribe while
 	// this one is out fsyncing.
@@ -81,9 +81,9 @@ func (j *DurableJournal) Append(lba uint64, data []byte) (uint64, error) {
 		j.used -= len(data)
 		j.usedGauge.Add(-int64(len(data)))
 		if j.closed {
-			return 0, ErrJournalClosed
+			return 0, nil, ErrJournalClosed
 		}
-		return 0, err
+		return 0, nil, err
 	}
 	if j.closed {
 		// Killed while the append was in flight: the record may be on
@@ -91,19 +91,20 @@ func (j *DurableJournal) Append(lba uint64, data []byte) (uint64, error) {
 		// harmless (idempotent), acking here would be wrong.
 		j.used -= len(data)
 		j.usedGauge.Add(-int64(len(data)))
-		return 0, ErrJournalClosed
+		return 0, nil, ErrJournalClosed
 	}
 	dbuf := bufpool.Get(len(data))
 	copy(dbuf.B, data)
-	j.entries[seq] = &Entry{
+	e := &Entry{
 		Seq:   seq,
 		LBA:   lba,
 		Data:  dbuf.B,
 		State: StateAcked,
 		dbuf:  dbuf,
 	}
+	j.entries[seq] = e
 	j.pending++
-	return seq, nil
+	return seq, e.Data, nil
 }
 
 // Complete marks the entry applied or failed. Success writes a buffered

@@ -66,9 +66,13 @@ type Entry struct {
 // same contract with an on-disk WAL that survives a middle-box crash.
 type Journal interface {
 	// Append records a write before it is acknowledged to the source,
-	// copying the data. Durable implementations do not return until the
-	// record would survive a crash. Fails with ErrJournalFull at capacity.
-	Append(lba uint64, data []byte) (uint64, error)
+	// copying the data exactly once into journal-owned storage. The
+	// returned slice is that stable copy: callers may alias it (read-only)
+	// until they Complete the sequence — the relay's write-back pipeline
+	// forwards straight out of it instead of keeping a second copy.
+	// Durable implementations do not return until the record would survive
+	// a crash. Fails with ErrJournalFull at capacity.
+	Append(lba uint64, data []byte) (uint64, []byte, error)
 	// Complete marks the entry applied (applyErr nil) or failed, releasing
 	// its space on success.
 	Complete(seq uint64, applyErr error)
@@ -173,17 +177,18 @@ func NewJournal(capacity int) *MemJournal {
 }
 
 // Append records a write before it is acknowledged to the source. The data
-// is copied (NVRAM persistence). It fails with ErrJournalFull when capacity
-// would be exceeded.
-func (j *MemJournal) Append(lba uint64, data []byte) (uint64, error) {
+// is copied once into journal-owned storage (NVRAM persistence); the
+// returned slice is that stable copy, valid until the entry completes. It
+// fails with ErrJournalFull when capacity would be exceeded.
+func (j *MemJournal) Append(lba uint64, data []byte) (uint64, []byte, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return 0, ErrJournalClosed
+		return 0, nil, ErrJournalClosed
 	}
 	if j.capacity > 0 && j.used+len(data) > j.capacity {
 		obs.Default().Eventf("journal", "full: %d bytes used of %d, falling back to write-through", j.used, j.capacity)
-		return 0, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, j.used, j.capacity)
+		return 0, nil, fmt.Errorf("%w: %d bytes used of %d", ErrJournalFull, j.used, j.capacity)
 	}
 	j.nextSeq++
 	dbuf := bufpool.Get(len(data))
@@ -199,7 +204,7 @@ func (j *MemJournal) Append(lba uint64, data []byte) (uint64, error) {
 	j.used += len(data)
 	j.pending++
 	j.usedGauge.Add(int64(len(data)))
-	return e.Seq, nil
+	return e.Seq, e.Data, nil
 }
 
 // Complete marks the entry applied (applyErr nil) or failed, releasing its

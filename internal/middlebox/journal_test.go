@@ -22,7 +22,7 @@ func TestPendingCounterMatchesScan(t *testing.T) {
 	for step := 0; step < 2000; step++ {
 		switch op := rng.Intn(10); {
 		case op < 5: // append
-			seq, err := j.Append(uint64(rng.Intn(1024))*8, []byte("pending-counter"))
+			seq, _, err := j.Append(uint64(rng.Intn(1024))*8, []byte("pending-counter"))
 			if err != nil {
 				t.Fatalf("step %d: Append: %v", step, err)
 			}
@@ -71,7 +71,7 @@ func TestFailuresWindowBounded(t *testing.T) {
 	j := NewJournal(0)
 	const total = 500
 	for i := 0; i < total; i++ {
-		seq, err := j.Append(uint64(i)*8, []byte("x"))
+		seq, _, err := j.Append(uint64(i)*8, []byte("x"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestFailuresWindowBounded(t *testing.T) {
 func TestFailuresUnderCapKeepsAll(t *testing.T) {
 	j := NewJournal(0)
 	for i := 0; i < maxFailures; i++ {
-		seq, err := j.Append(uint64(i)*8, []byte("x"))
+		seq, _, err := j.Append(uint64(i)*8, []byte("x"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,11 +127,11 @@ func TestDurableJournalContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := j.Append(0, []byte("first"))
+	s1, _, err := j.Append(0, []byte("first"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := j.Append(512, []byte("second"))
+	s2, _, err := j.Append(512, []byte("second"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestDurableJournalContract(t *testing.T) {
 		t.Fatalf("Unapplied = %+v, want just seq %d", un, s2)
 	}
 	j.Kill()
-	if _, err := j.Append(1024, []byte("dead")); !errors.Is(err, ErrJournalClosed) {
+	if _, _, err := j.Append(1024, []byte("dead")); !errors.Is(err, ErrJournalClosed) {
 		t.Fatalf("Append after Kill: %v, want ErrJournalClosed", err)
 	}
 
@@ -173,7 +173,7 @@ func TestDurableJournalCleanCloseRemovesWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := j.Append(0, []byte("applied"))
+	seq, _, err := j.Append(0, []byte("applied"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,15 +193,15 @@ func TestDurableJournalCapacityBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j.Close()
-	seq, err := j.Append(0, []byte("12345678"))
+	seq, _, err := j.Append(0, []byte("12345678"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.Append(8, []byte("x")); !errors.Is(err, ErrJournalFull) {
+	if _, _, err := j.Append(8, []byte("x")); !errors.Is(err, ErrJournalFull) {
 		t.Fatalf("over-capacity append: %v, want ErrJournalFull", err)
 	}
 	j.Complete(seq, nil)
-	if _, err := j.Append(8, []byte("x")); err != nil {
+	if _, _, err := j.Append(8, []byte("x")); err != nil {
 		t.Fatalf("append after space freed: %v", err)
 	}
 }

@@ -16,7 +16,7 @@ import (
 
 func TestJournalLifecycle(t *testing.T) {
 	j := NewJournal(0)
-	seq, err := j.Append(10, []byte("abcd"))
+	seq, _, err := j.Append(10, []byte("abcd"))
 	if err != nil {
 		t.Fatalf("Append: %v", err)
 	}
@@ -34,17 +34,17 @@ func TestJournalLifecycle(t *testing.T) {
 
 func TestJournalCapacity(t *testing.T) {
 	j := NewJournal(8)
-	if _, err := j.Append(0, []byte("12345678")); err != nil {
+	if _, _, err := j.Append(0, []byte("12345678")); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if _, err := j.Append(1, []byte("x")); !errors.Is(err, ErrJournalFull) {
+	if _, _, err := j.Append(1, []byte("x")); !errors.Is(err, ErrJournalFull) {
 		t.Errorf("err = %v, want ErrJournalFull", err)
 	}
 }
 
 func TestJournalFailureRecorded(t *testing.T) {
 	j := NewJournal(0)
-	seq, _ := j.Append(5, []byte("data"))
+	seq, _, _ := j.Append(5, []byte("data"))
 	wantErr := errors.New("backend gone")
 	j.Complete(seq, wantErr)
 	fails := j.Failures()

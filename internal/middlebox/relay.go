@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/initiator"
+	"repro/internal/iscsi"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -131,6 +132,18 @@ type Config struct {
 	NextHop netsim.Addr
 	// Services are the tenant service decorators, backend-first.
 	Services []ServiceFactory
+	// Params are the operational parameters the relay offers on both wire
+	// legs: the pseudo-server negotiates them against each front login, and
+	// the pseudo-client offers them to the next hop. Zero uses the protocol
+	// defaults. The forward leg's actually negotiated values (the next hop
+	// may cap them) size its burst windows and the write-back coalescing
+	// limit.
+	Params iscsi.Params
+	// ForwardConns widens the pseudo-client (forward) session to this many
+	// MC/S connections: commands round-robin across them with per-command
+	// allegiance while CmdSN ordering stays session-wide. Default 1; capped
+	// by the next hop's negotiated MaxConnections.
+	ForwardConns int
 	// JournalCapacity bounds the active relay's NVRAM buffer in bytes
 	// (0 = unbounded).
 	JournalCapacity int
@@ -190,6 +203,7 @@ type Relay struct {
 
 	sessionsGauge *obs.Gauge
 	busyNS        *obs.Counter
+	negBurstGauge *obs.Gauge
 }
 
 // NewRelay builds a relay from the configuration.
@@ -211,10 +225,25 @@ func NewRelay(cfg Config) (*Relay, error) {
 	}
 	r.sessionsGauge = cfg.Obs.Gauge("relay." + cfg.Name + ".sessions")
 	r.busyNS = cfg.Obs.Counter("relay." + cfg.Name + ".busy_ns")
-	r.srv = target.NewServer(
+	r.negBurstGauge = cfg.Obs.Gauge("relay." + cfg.Name + ".neg_max_burst")
+	opts := []target.Option{
 		target.WithResolver(r.resolve),
 		target.WithLogger(cfg.Logger),
-	)
+	}
+	if cfg.Params != (iscsi.Params{}) {
+		opts = append(opts, target.WithParams(cfg.Params))
+	}
+	if cfg.Cost.interceptCost(cfg.Mode, 1<<20) == 0 {
+		// With no modelled interception charge the front device stack is an
+		// early-ack journal append (active) or a service pass-through, so a
+		// quiet connection may execute commands inline in its read loop
+		// instead of paying two scheduler wakeups per command. Configs that
+		// model interception cost keep the per-command goroutine: an inline
+		// command would busy-hold the connection through the charge (and the
+		// shared copy gate).
+		opts = append(opts, target.WithInlineExec())
+	}
+	r.srv = target.NewServer(opts...)
 	return r, nil
 }
 
@@ -305,38 +334,47 @@ func (r *Relay) AllJournals() []Journal {
 }
 
 // openBackend dials the next hop, logs in with the front session's target
-// name, and stacks the tenant service chain on the backend device. The
-// active relay's recovery path calls it again after a backend session loss.
-func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, error) {
-	var (
-		backConn net.Conn
-		err      error
-	)
-	if r.cfg.Dial != nil {
-		backConn, err = r.cfg.Dial(next)
-	} else {
-		backConn, err = r.cfg.Endpoint.DialAddr(next)
+// name, and stacks the tenant service chain on the backend device. It
+// returns the forward session's negotiated parameters so the caller can
+// size downstream batching to the actual wire window. The active relay's
+// recovery path calls it again after a backend session loss.
+func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, iscsi.Params, error) {
+	dial := func() (net.Conn, error) {
+		if r.cfg.Dial != nil {
+			return r.cfg.Dial(next)
+		}
+		return r.cfg.Endpoint.DialAddr(next)
 	}
+	backConn, err := dial()
 	if err != nil {
-		return nil, fmt.Errorf("middlebox: dial next hop %v: %w", next, err)
+		return nil, iscsi.Params{}, fmt.Errorf("middlebox: dial next hop %v: %w", next, err)
 	}
 	sess, err := initiator.Login(backConn, initiator.Config{
 		InitiatorIQN: "iqn.2016-04.edu.purdue.storm:mb:" + r.cfg.Name,
 		TargetIQN:    iqn,
 		// The relay aggregates a whole session's traffic onto its
-		// pseudo-client connection; it needs the full command window.
+		// pseudo-client leg; it needs the full command window.
 		QueueDepth: 64,
-		Obs:        r.cfg.Obs,
-		Stage:      obs.RelayForwardStage(r.cfg.Name),
+		// The forward leg negotiates the relay's burst windows with the
+		// next hop and, when configured, widens onto multiple MC/S
+		// connections (DialConn re-dials the same next hop for the extra
+		// transports and secondary reattach).
+		Params:   r.cfg.Params,
+		Conns:    r.cfg.ForwardConns,
+		DialConn: dial,
+		Obs:      r.cfg.Obs,
+		Stage:    obs.RelayForwardStage(r.cfg.Name),
 	})
 	if err != nil {
 		_ = backConn.Close()
-		return nil, fmt.Errorf("middlebox: backend login: %w", err)
+		return nil, iscsi.Params{}, fmt.Errorf("middlebox: backend login: %w", err)
 	}
+	neg := sess.Params()
+	r.negBurstGauge.Set(int64(neg.MaxBurstLength))
 	dev, err := initiator.OpenDevice(sess)
 	if err != nil {
 		_ = sess.Close()
-		return nil, err
+		return nil, iscsi.Params{}, err
 	}
 
 	var stack blockdev.Device = dev
@@ -344,10 +382,10 @@ func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, erro
 		stack, err = f(stack)
 		if err != nil {
 			_ = sess.Close()
-			return nil, fmt.Errorf("middlebox: build service chain: %w", err)
+			return nil, iscsi.Params{}, fmt.Errorf("middlebox: build service chain: %w", err)
 		}
 	}
-	return stack, nil
+	return stack, neg, nil
 }
 
 // resolve is the pseudo-server's device resolver: it opens the backend stack
@@ -365,7 +403,7 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		next = nc.Route().NextHop
 	}
 
-	stack, err := r.openBackend(iqn, next)
+	stack, neg, err := r.openBackend(iqn, next)
 	if err != nil {
 		return nil, false, err
 	}
@@ -402,8 +440,15 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 			obs.Default().Counter("relay.journal_stream_drops").Inc()
 		}
 		rc := r.cfg.Recovery
-		rc.Reopen = func() (blockdev.Device, error) { return r.openBackend(iqn, next) }
+		rc.Reopen = func() (blockdev.Device, error) {
+			dev, _, err := r.openBackend(iqn, next)
+			return dev, err
+		}
 		wb := NewWriteBackRecovering(stack, j, rc)
+		// Cap adjacent-write coalescing at the forward leg's negotiated
+		// burst window, so one coalesced apply is at most one solicited
+		// burst on the wire.
+		wb.SetMaxCoalesce(neg.MaxBurstLength)
 		r.journalMu.Lock()
 		r.wbAll = append(r.wbAll, wb)
 		r.journalMu.Unlock()
@@ -552,7 +597,7 @@ func (r *Relay) replayRecovered(rec *wal.Recovery) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("journal meta next hop: %w", err)
 	}
-	stack, err := r.openBackend(iqn, next)
+	stack, _, err := r.openBackend(iqn, next)
 	if err != nil {
 		return 0, err
 	}

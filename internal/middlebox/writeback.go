@@ -16,10 +16,12 @@ import (
 // like the prototype's kernel TCP stack; overlapping writes stay ordered.
 const applyParallelism = 16
 
-// maxCoalescedBytes caps how large an adjacent-extent merge may grow. 256 KiB
-// matches the default MaxBurstLength, so a coalesced apply is at most one
-// burst — the paper's "several packets per copy" batching without unbounded
-// latency for the first write in the run.
+// maxCoalescedBytes is the default cap on how large an adjacent-extent merge
+// may grow. 256 KiB matches the default MaxBurstLength, so a coalesced apply
+// is at most one burst — the paper's "several packets per copy" batching
+// without unbounded latency for the first write in the run. The relay
+// overrides it with the forward leg's actually negotiated burst window
+// (SetMaxCoalesce).
 const maxCoalescedBytes = 256 * 1024
 
 // RecoveryConfig arms a WriteBackDevice with a backend-reopen path: when a
@@ -72,13 +74,14 @@ type RecoveryConfig struct {
 // device — their dependency edges already order them after every overlapping
 // replayed write.
 type WriteBackDevice struct {
-	dev      blockdev.Device // current backend; swapped during recovery (under mu)
-	bs       int             // backend geometry, fixed across reopens
-	nblocks  uint64
-	journal  Journal
-	rec      RecoveryConfig
-	maxTries int
-	backoff  *faults.Backoff
+	dev         blockdev.Device // current backend; swapped during recovery (under mu)
+	bs          int             // backend geometry, fixed across reopens
+	nblocks     uint64
+	journal     Journal
+	rec         RecoveryConfig
+	maxTries    int
+	backoff     *faults.Backoff
+	maxCoalesce int // adjacent-merge cap in bytes (one wire burst)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -96,8 +99,11 @@ type WriteBackDevice struct {
 }
 
 // wbItem is one pending backend apply: the extent [lba, end) in blocks, the
-// owned (pooled) data copy, and the journal seqs it carries (several after
-// coalescing).
+// data to forward, and the journal seqs it carries (several after
+// coalescing). data normally aliases the journal entry's stable copy (dbuf
+// nil — the journal keeps the bytes alive until Complete); coalescing
+// upgrades the item to its own pooled buffer (dbuf non-nil) because an
+// aliased entry cannot grow.
 type wbItem struct {
 	lba, end uint64
 	seqs     []uint64
@@ -114,11 +120,12 @@ type wbItem struct {
 	tctx obs.SpanContext
 }
 
-// appendData grows the item's owned storage with p, upgrading to a larger
-// pool class when the current buffer is out of capacity.
+// appendData grows the item's storage with p: an item still aliasing its
+// journal entry upgrades to an owned pooled buffer first (the alias cannot
+// grow), an owned buffer extends in place while its pool class has capacity.
 func (it *wbItem) appendData(p []byte) {
 	need := len(it.data) + len(p)
-	if need <= cap(it.dbuf.B) {
+	if it.dbuf != nil && need <= cap(it.dbuf.B) {
 		it.dbuf.B = it.dbuf.B[:need]
 		copy(it.dbuf.B[need-len(p):], p)
 		it.data = it.dbuf.B
@@ -127,9 +134,21 @@ func (it *wbItem) appendData(p []byte) {
 	nb := bufpool.Get(need)
 	copy(nb.B, it.data)
 	copy(nb.B[len(it.data):], p)
-	it.dbuf.Release()
+	if it.dbuf != nil {
+		it.dbuf.Release()
+	}
 	it.dbuf = nb
 	it.data = nb.B
+}
+
+// release drops the item's data reference, returning owned storage to the
+// pool (aliased journal storage is the journal's to reclaim on Complete).
+func (it *wbItem) release() {
+	it.data = nil
+	if it.dbuf != nil {
+		it.dbuf.Release()
+		it.dbuf = nil
+	}
 }
 
 var _ blockdev.Device = (*WriteBackDevice)(nil)
@@ -155,7 +174,7 @@ func NewWriteBackRecovering(dev blockdev.Device, journal Journal, rc RecoveryCon
 	if rc.BackoffCap <= 0 {
 		rc.BackoffCap = 100 * time.Millisecond
 	}
-	w := &WriteBackDevice{dev: dev, bs: dev.BlockSize(), nblocks: dev.Blocks(), journal: journal, rec: rc, maxTries: 1}
+	w := &WriteBackDevice{dev: dev, bs: dev.BlockSize(), nblocks: dev.Blocks(), journal: journal, rec: rc, maxTries: 1, maxCoalesce: maxCoalescedBytes}
 	if rc.Reopen != nil {
 		w.maxTries = rc.MaxApplyTries
 		w.backoff = faults.NewBackoff(rc.BackoffBase, rc.BackoffCap, rc.Seed)
@@ -170,6 +189,18 @@ func NewWriteBackRecovering(dev blockdev.Device, journal Journal, rc RecoveryCon
 
 // Journal returns the backing journal.
 func (w *WriteBackDevice) Journal() Journal { return w.journal }
+
+// SetMaxCoalesce caps adjacent-write coalescing at n bytes — the relay sets
+// it to the forward leg's negotiated MaxBurstLength so one merged apply is at
+// most one solicited burst. Non-positive n keeps the current cap. Call before
+// the device carries traffic.
+func (w *WriteBackDevice) SetMaxCoalesce(n int) {
+	if n > 0 {
+		w.mu.Lock()
+		w.maxCoalesce = n
+		w.mu.Unlock()
+	}
+}
 
 // BlockSize implements blockdev.Device.
 func (w *WriteBackDevice) BlockSize() int { return w.bs }
@@ -204,7 +235,7 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 	// free space rather than collapsing the pipeline with a full drain —
 	// the source then sees ack latency equal to one backend drain
 	// interval, exactly the split-connection flow control of the paper.
-	seq, err := w.journal.Append(lba, p)
+	seq, stable, err := w.journal.Append(lba, p)
 	for err != nil {
 		w.mu.Lock()
 		if w.closed || w.applyErr != nil {
@@ -224,7 +255,7 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 		}
 		w.cond.Wait()
 		w.mu.Unlock()
-		seq, err = w.journal.Append(lba, p)
+		seq, stable, err = w.journal.Append(lba, p)
 	}
 
 	end := lba + uint64(len(p)/bs)
@@ -235,7 +266,7 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 	// the tail — possibly before writes admitted in between — cannot
 	// reorder overlapping data).
 	if t := w.tail; t != nil && !t.dispatched && t.end == lba &&
-		len(t.data)+len(p) <= maxCoalescedBytes && !w.cov.overlaps(lba, end) {
+		len(t.data)+len(p) <= w.maxCoalesce && !w.cov.overlaps(lba, end) {
 		t.appendData(p)
 		t.seqs = append(t.seqs, seq)
 		w.cov.paint(lba, end, t)
@@ -245,12 +276,14 @@ func (w *WriteBackDevice) WriteAt(p []byte, lba uint64) error {
 		return nil
 	}
 
-	item := &wbItem{lba: lba, end: end, seqs: []uint64{seq}, dbuf: bufpool.Get(len(p))}
+	// The item forwards straight out of the journal's stable copy — the
+	// single copy Append already made is the only one on the early-ack
+	// path. The journal keeps those bytes alive until Complete, which the
+	// applier only calls after the backend write.
+	item := &wbItem{lba: lba, end: end, seqs: []uint64{seq}, data: stable}
 	if tc, ok := obs.Current(); ok {
 		item.tctx = tc
 	}
-	item.data = item.dbuf.B
-	copy(item.data, p)
 	// Arrival-order for conflicts: wait for the current last writer of every
 	// block in the extent. Older overlapping writes are ordered before those
 	// owners block by block, so transitivity orders them before this write
@@ -437,8 +470,7 @@ func (w *WriteBackDevice) applyLoop() {
 			}
 		}
 		w.mu.Unlock()
-		item.data = nil
-		item.dbuf.Release()
+		item.release()
 		w.cond.Broadcast()
 	}
 }
@@ -546,8 +578,7 @@ func (w *WriteBackDevice) failParked(err error) {
 		w.cov.clearOwned(it)
 		w.items--
 		w.pending -= len(it.seqs)
-		it.data = nil
-		it.dbuf.Release()
+		it.release()
 	}
 	w.ready = w.ready[:0]
 	w.tail = nil

@@ -262,7 +262,7 @@ func TestWriteBackRecoveryExhaustionFailsTerminally(t *testing.T) {
 // re-completes it, at which point the space must come back.
 func TestJournalRecompleteReclaimsFailedBytes(t *testing.T) {
 	j := NewJournal(1024)
-	seq, err := j.Append(3, make([]byte, 512))
+	seq, _, err := j.Append(3, make([]byte, 512))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestJournalRecompleteReclaimsFailedBytes(t *testing.T) {
 		t.Fatal("entry still journaled after re-complete")
 	}
 	// The freed capacity is usable again.
-	if _, err := j.Append(0, make([]byte, 1024)); err != nil {
+	if _, _, err := j.Append(0, make([]byte, 1024)); err != nil {
 		t.Fatalf("Append after reclaim: %v", err)
 	}
 }

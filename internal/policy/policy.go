@@ -66,6 +66,9 @@ type MiddleBoxSpec struct {
 	//   "copyThreads"         concurrent copy paths (overrides VCPUs)
 	//   "interceptPerBatchNs" active-relay per-batch copy cost
 	//   "interceptBatchBytes" active-relay copy batch size
+	//   "forwardConns"        MC/S width of the relay's downstream leg:
+	//                         commands spread across this many connections
+	//                         to the next hop (1..8, default 1)
 	// and durability knobs (active relays only):
 	//   "durableJournal"      "true" backs the write journal with an on-disk
 	//                         WAL that survives a middle-box crash
@@ -178,6 +181,15 @@ func (p *Policy) Validate() error {
 			}
 		default:
 			return fmt.Errorf("policy: middle-box %q: durableJournal must be true or false", mb.Name)
+		}
+		if v := mb.Params["forwardConns"]; v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > 8 {
+				return fmt.Errorf("policy: middle-box %q: forwardConns must be in [1,8], got %q", mb.Name, v)
+			}
+			if mb.EffectiveMode() == ModeForward {
+				return fmt.Errorf("policy: middle-box %q: forwardConns requires a relay (forward type has no downstream session)", mb.Name)
+			}
 		}
 		if v := mb.Params["journalFsyncWindow"]; v != "" {
 			d, err := time.ParseDuration(v)
@@ -293,6 +305,16 @@ func (m *MiddleBoxSpec) LatencySLO() time.Duration {
 		return 0
 	}
 	return d
+}
+
+// ForwardConns resolves the "forwardConns" param — how many MC/S
+// connections the relay's downstream (pseudo-client) leg spreads commands
+// across. 1 (the default) keeps the single-connection forward leg.
+func (m *MiddleBoxSpec) ForwardConns() int {
+	if n, err := strconv.Atoi(m.Params["forwardConns"]); err == nil && n >= 1 && n <= 8 {
+		return n
+	}
+	return 1
 }
 
 // CopyThreads resolves the relay's concurrent copy-path bound: the

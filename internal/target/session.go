@@ -48,44 +48,75 @@ func (tr *transfer) release() {
 	pb.Release()
 }
 
-// session is one logged-in connection.
+// sessionKey identifies a session for MC/S connection joining and session
+// reinstatement: RFC 7143 names a session by the initiator, its ISID, and the
+// target it logged into.
+type sessionKey struct {
+	initiator string
+	isid      [6]byte
+	iqn       string
+}
+
+// session is one iSCSI session: the negotiated operational parameters, the
+// device, and the task state shared by the session's connections. With MC/S
+// a session carries up to the negotiated MaxConnections connections; the
+// CmdSN window is session-wide while StatSN and sends are per connection.
 type session struct {
 	srv    *Server
-	conn   net.Conn
 	params iscsi.Params
 	dev    blockdev.Device
 	ownDev bool
 	iqn    string
-
-	sendMu  sync.Mutex
-	wirePDU iscsi.PDU // reusable encode target for outgoing PDUs, guarded by sendMu
-	statSN  atomic.Uint32
+	key    sessionKey
+	tsih   uint16
 
 	lastCmdSN atomic.Uint32
+	inflight  atomic.Int32
 
 	xferMu sync.Mutex
 	xfers  map[uint32]*transfer
 
 	cmdWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[uint16]*sessConn
+	ended  bool
+
 	// done is closed when the session ends, releasing command goroutines
 	// blocked on data solicitation.
 	done chan struct{}
 }
 
-// serveConn runs one connection: login, full-feature phase, teardown.
+// sessConn is one connection of a session. Commands keep connection
+// allegiance: R2Ts, Data-In, and the response for a command go out on the
+// connection that delivered it, with that connection's StatSN.
+type sessConn struct {
+	ss   *session
+	conn net.Conn
+	cid  uint16
+
+	sendMu  sync.Mutex
+	wirePDU iscsi.PDU // reusable encode target for outgoing PDUs, guarded by sendMu
+	statSN  atomic.Uint32
+}
+
+// serveConn runs one connection: login (creating or joining a session),
+// full-feature phase, teardown.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
-	ss, err := s.login(conn)
+	sc, err := s.login(conn)
 	if err != nil {
 		s.logf("target: login on %v failed: %v", conn.RemoteAddr(), err)
 		return
 	}
-	ss.run()
-	ss.cleanup()
+	sc.run()
+	sc.ss.detach(sc)
 }
 
-// login performs the single-round login exchange the initiator drives.
-func (s *Server) login(conn net.Conn) (*session, error) {
+// login performs the single-round login exchange the initiator drives. A
+// TSIH of zero creates a new session (reinstating any prior session with the
+// same key); a non-zero TSIH joins an existing session as an MC/S connection.
+func (s *Server) login(conn net.Conn) (*sessConn, error) {
 	pdu, err := iscsi.ReadPDU(conn)
 	if err != nil {
 		return nil, fmt.Errorf("read login: %w", err)
@@ -95,7 +126,8 @@ func (s *Server) login(conn net.Conn) (*session, error) {
 		return nil, err
 	}
 	iqn := req.Pairs[iscsi.KeyTargetName]
-	reject := func(cause error) (*session, error) {
+	key := sessionKey{initiator: req.Pairs[iscsi.KeyInitiatorName], isid: req.ISID, iqn: iqn}
+	reject := func(cause error) (*sessConn, error) {
 		resp := &iscsi.LoginResponse{
 			Transit:     true,
 			CSG:         iscsi.StageOperational,
@@ -112,6 +144,40 @@ func (s *Server) login(conn net.Conn) (*session, error) {
 		}
 		return nil, cause
 	}
+
+	if req.TSIH != 0 {
+		// MC/S join: attach this connection to the leading login's session.
+		s.sessMu.Lock()
+		ss := s.sessions[key]
+		s.sessMu.Unlock()
+		if ss == nil || ss.tsih != req.TSIH {
+			return reject(fmt.Errorf("target: no session with TSIH %d for %q", req.TSIH, iqn))
+		}
+		sc, err := ss.attach(conn, req.CID)
+		if err != nil {
+			return reject(err)
+		}
+		resp := &iscsi.LoginResponse{
+			Transit:     true,
+			CSG:         iscsi.StageOperational,
+			NSG:         iscsi.StageFullFeature,
+			ISID:        req.ISID,
+			TSIH:        ss.tsih,
+			ITT:         req.ITT,
+			StatSN:      1,
+			ExpCmdSN:    ss.expCmdSN(),
+			MaxCmdSN:    ss.maxCmdSN(),
+			StatusClass: iscsi.LoginStatusSuccess,
+			Pairs:       ss.params.Pairs(),
+		}
+		if _, err := resp.Encode().WriteTo(conn); err != nil {
+			ss.detach(sc)
+			return nil, fmt.Errorf("send login response: %w", err)
+		}
+		s.obsReg.Counter("iscsi.logins").Inc()
+		return sc, nil
+	}
+
 	dev, owned, err := s.lookup(iqn, conn)
 	if err != nil {
 		return reject(err)
@@ -123,12 +189,46 @@ func (s *Server) login(conn net.Conn) (*session, error) {
 		}
 		return reject(err)
 	}
+	ss := &session{
+		srv:    s,
+		params: params,
+		dev:    dev,
+		ownDev: owned,
+		iqn:    iqn,
+		key:    key,
+		xfers:  make(map[uint32]*transfer),
+		conns:  make(map[uint16]*sessConn),
+		done:   make(chan struct{}),
+	}
+	ss.lastCmdSN.Store(req.CmdSN)
+	sc, err := ss.attach(conn, req.CID)
+	if err != nil {
+		if owned {
+			_ = dev.Close()
+		}
+		return reject(err)
+	}
+	// Register under the session key, assigning the TSIH. A leading login
+	// that collides with a live session reinstates it: the old session's
+	// connections are closed and the new session takes the key.
+	s.sessMu.Lock()
+	old := s.sessions[key]
+	s.tsihSeq++
+	if s.tsihSeq == 0 {
+		s.tsihSeq = 1
+	}
+	ss.tsih = s.tsihSeq
+	s.sessions[key] = ss
+	s.sessMu.Unlock()
+	if old != nil {
+		old.abort()
+	}
 	resp := &iscsi.LoginResponse{
 		Transit:     true,
 		CSG:         iscsi.StageOperational,
 		NSG:         iscsi.StageFullFeature,
 		ISID:        req.ISID,
-		TSIH:        1,
+		TSIH:        ss.tsih,
 		ITT:         req.ITT,
 		StatSN:      1,
 		ExpCmdSN:    req.CmdSN + 1,
@@ -137,9 +237,7 @@ func (s *Server) login(conn net.Conn) (*session, error) {
 		Pairs:       params.Pairs(),
 	}
 	if _, err := resp.Encode().WriteTo(conn); err != nil {
-		if owned {
-			_ = dev.Close()
-		}
+		ss.detach(sc)
 		return nil, fmt.Errorf("send login response: %w", err)
 	}
 	if s.loginHook != nil {
@@ -157,26 +255,74 @@ func (s *Server) login(conn net.Conn) (*session, error) {
 		s.loginHook(info)
 	}
 	s.obsReg.Counter("iscsi.logins").Inc()
-	ss := &session{
-		srv:    s,
-		conn:   conn,
-		params: params,
-		dev:    dev,
-		ownDev: owned,
-		iqn:    iqn,
-		xfers:  make(map[uint32]*transfer),
-		done:   make(chan struct{}),
-	}
-	ss.statSN.Store(1)
-	ss.lastCmdSN.Store(req.CmdSN)
-	return ss, nil
+	return sc, nil
 }
 
-// run is the full-feature phase loop. It returns when the connection
-// drops, the initiator logs out, or the server closes.
-func (ss *session) run() {
+// attach adds a connection to the session, enforcing the negotiated
+// MaxConnections bound and CID uniqueness.
+func (ss *session) attach(conn net.Conn, cid uint16) (*sessConn, error) {
+	ss.connMu.Lock()
+	defer ss.connMu.Unlock()
+	if ss.ended {
+		return nil, errors.New("target: session ended")
+	}
+	if len(ss.conns) >= ss.params.EffectiveMaxConnections() {
+		return nil, fmt.Errorf("target: session at MaxConnections %d", ss.params.EffectiveMaxConnections())
+	}
+	if _, dup := ss.conns[cid]; dup {
+		return nil, fmt.Errorf("target: CID %d already in session", cid)
+	}
+	sc := &sessConn{ss: ss, conn: conn, cid: cid}
+	sc.statSN.Store(1)
+	ss.conns[cid] = sc
+	return sc, nil
+}
+
+// detach removes a connection; the last connection out tears the session
+// down (task abort, device close, registry removal).
+func (ss *session) detach(sc *sessConn) {
+	ss.connMu.Lock()
+	delete(ss.conns, sc.cid)
+	last := len(ss.conns) == 0 && !ss.ended
+	if last {
+		ss.ended = true
+	}
+	ss.connMu.Unlock()
+	if !last {
+		return
+	}
+	ss.srv.dropSession(ss)
+	close(ss.done)
+	ss.cmdWG.Wait()
+	if ss.ownDev {
+		if err := ss.dev.Close(); err != nil {
+			ss.srv.logf("target: session %q: close device: %v", ss.iqn, err)
+		}
+	}
+}
+
+// abort closes every connection of the session (reinstatement); the per-
+// connection serve goroutines then detach and the last one cleans up.
+func (ss *session) abort() {
+	ss.connMu.Lock()
+	conns := make([]*sessConn, 0, len(ss.conns))
+	for _, sc := range ss.conns {
+		conns = append(conns, sc)
+	}
+	ss.connMu.Unlock()
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+	}
+}
+
+// run is the full-feature phase loop for one connection. It returns when the
+// connection drops, the initiator logs out, or the server closes.
+func (sc *sessConn) run() {
+	ss := sc.ss
+	pr := iscsi.NewPDUReader(sc.conn)
+	defer pr.Close()
 	for {
-		pdu, err := iscsi.ReadPDU(ss.conn)
+		pdu, err := pr.ReadPDU()
 		if err != nil {
 			return
 		}
@@ -190,7 +336,7 @@ func (ss *session) run() {
 			// The command goroutine owns the PDU from here: cmd.Data (the
 			// immediate write data) aliases its pooled segment, which is
 			// released once that data is staged into the transfer buffer.
-			ss.startCommand(cmd, pdu)
+			sc.startCommand(cmd, pdu, pr.Buffered() == 0)
 		case iscsi.OpSCSIDataOut:
 			dout, err := iscsi.ParseDataOut(pdu)
 			if err != nil {
@@ -205,15 +351,15 @@ func (ss *session) run() {
 			}
 			pdu.Release()
 			ss.noteCmdSN(nop.CmdSN)
-			_ = ss.sendMsg(&iscsi.NopIn{
+			_ = sc.sendMsg(&iscsi.NopIn{
 				ITT:      nop.ITT,
 				TTT:      0xFFFFFFFF,
-				StatSN:   ss.statSN.Load(),
+				StatSN:   sc.statSN.Load(),
 				ExpCmdSN: ss.expCmdSN(),
 				MaxCmdSN: ss.maxCmdSN(),
 			})
 		case iscsi.OpTextReq:
-			err := ss.handleText(pdu)
+			err := sc.handleText(pdu)
 			pdu.Release()
 			if err != nil {
 				return
@@ -226,18 +372,18 @@ func (ss *session) run() {
 			ss.noteCmdSN(req.CmdSN)
 			// Let in-flight commands complete before acknowledging.
 			ss.cmdWG.Wait()
-			_ = ss.send((&iscsi.LogoutResponse{
+			_ = sc.send((&iscsi.LogoutResponse{
 				ITT:      req.ITT,
-				StatSN:   ss.statSN.Add(1),
+				StatSN:   sc.statSN.Add(1),
 				ExpCmdSN: ss.expCmdSN(),
 				MaxCmdSN: ss.maxCmdSN(),
 			}).Encode())
 			return
 		default:
 			ss.srv.logf("target: session %q: unsupported PDU %v", ss.iqn, pdu.Op())
-			_ = ss.send((&iscsi.Reject{
+			_ = sc.send((&iscsi.Reject{
 				Reason: iscsi.RejectCommandNotSupported,
-				StatSN: ss.statSN.Load(),
+				StatSN: sc.statSN.Load(),
 				Header: append([]byte(nil), pdu.BHS[:]...),
 			}).Encode())
 			return
@@ -245,21 +391,10 @@ func (ss *session) run() {
 	}
 }
 
-// cleanup releases session resources after run returns.
-func (ss *session) cleanup() {
-	close(ss.done)
-	ss.cmdWG.Wait()
-	if ss.ownDev {
-		if err := ss.dev.Close(); err != nil {
-			ss.srv.logf("target: session %q: close device: %v", ss.iqn, err)
-		}
-	}
-}
-
 func (ss *session) noteCmdSN(sn uint32) {
 	for {
 		cur := ss.lastCmdSN.Load()
-		if sn <= cur || ss.lastCmdSN.CompareAndSwap(cur, sn) {
+		if !iscsi.SNAfter(sn, cur) || ss.lastCmdSN.CompareAndSwap(cur, sn) {
 			return
 		}
 	}
@@ -268,11 +403,11 @@ func (ss *session) noteCmdSN(sn uint32) {
 func (ss *session) expCmdSN() uint32 { return ss.lastCmdSN.Load() + 1 }
 func (ss *session) maxCmdSN() uint32 { return ss.lastCmdSN.Load() + 65 }
 
-// send serializes one PDU to the connection under the session send lock.
-func (ss *session) send(p *iscsi.PDU) error {
-	ss.sendMu.Lock()
-	defer ss.sendMu.Unlock()
-	_, err := p.WriteTo(ss.conn)
+// send serializes one PDU to the connection under the connection send lock.
+func (sc *sessConn) send(p *iscsi.PDU) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	_, err := p.WriteTo(sc.conn)
 	return err
 }
 
@@ -281,37 +416,53 @@ type pduEncoder interface {
 	EncodeInto(*iscsi.PDU) *iscsi.PDU
 }
 
-// sendMsg serializes m into the session's reusable wire PDU under sendMu, so
-// steady-state responses allocate nothing for framing.
-func (ss *session) sendMsg(m pduEncoder) error {
-	ss.sendMu.Lock()
-	defer ss.sendMu.Unlock()
-	_, err := m.EncodeInto(&ss.wirePDU).WriteTo(ss.conn)
+// sendMsg serializes m into the connection's reusable wire PDU under sendMu,
+// so steady-state responses allocate nothing for framing.
+func (sc *sessConn) sendMsg(m pduEncoder) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	_, err := m.EncodeInto(&sc.wirePDU).WriteTo(sc.conn)
 	return err
 }
 
-// startCommand dispatches a SCSI command to its own goroutine so the
-// session serves QueueDepth commands concurrently. The goroutine owns pdu
-// (the command's pooled data segment) and releases it once consumed.
-func (ss *session) startCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
+// startCommand dispatches a SCSI command. On servers opted into inline
+// execution: when nothing else is in flight, no further input is queued on
+// this connection, and the command is a read or fully-immediate write, it
+// runs inline in the read loop — the goroutine hand-off (two scheduler
+// wakeups) dominates small-I/O latency on pipe fabrics. Commands that need
+// R2Ts, control commands, and pipelined arrivals get their own goroutine so
+// the loop stays free to deliver Data-Out and serve the rest of the queue.
+func (sc *sessConn) startCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU, quiet bool) {
+	ss := sc.ss
+	solo := ss.srv.inlineExec && quiet && ss.inflight.Load() == 0 &&
+		(cmd.Read || (cmd.Write && len(cmd.Data) >= int(cmd.ExpectedDataTransferLength)))
+	if solo {
+		ss.inflight.Add(1)
+		sc.runCommand(cmd, pdu)
+		ss.inflight.Add(-1)
+		return
+	}
+	ss.inflight.Add(1)
 	ss.cmdWG.Add(1)
 	go func() {
 		defer ss.cmdWG.Done()
-		ss.runCommand(cmd, pdu)
+		defer ss.inflight.Add(-1)
+		sc.runCommand(cmd, pdu)
 	}()
 }
 
 // runCommand executes one command end to end: data solicitation for
 // writes, device execution, Data-In or response with status.
-func (ss *session) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
+func (sc *sessConn) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
+	ss := sc.ss
 	cdb, err := scsi.Decode(cmd.CDB[:])
 	if err != nil {
 		pdu.Release()
 		var unsup *scsi.UnsupportedOpError
 		if errors.As(err, &unsup) {
-			ss.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidOpcode))
+			sc.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidOpcode))
 		} else {
-			ss.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB))
+			sc.sendResponse(cmd.ITT, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB))
 		}
 		return
 	}
@@ -320,7 +471,7 @@ func (ss *session) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
 	// connection, keyed by task tag. Binding it to this goroutine links
 	// every downstream span — the stage span below, a relay's service
 	// device stack, the onward forward session — to the upstream command.
-	if tbl := obs.CarrierOf(ss.conn); tbl != nil {
+	if tbl := obs.CarrierOf(sc.conn); tbl != nil {
 		if tsc, ok := tbl.Take(cmd.ITT); ok {
 			prev, had := obs.Bind(tsc)
 			defer obs.Restore(prev, had)
@@ -334,11 +485,11 @@ func (ss *session) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
 	if cmd.Write {
 		var sense *scsi.Sense
 		var tr *transfer
-		writeBuf, tr, sense = ss.collectWriteData(cmd)
-		pdu.Release() // immediate data now staged in the transfer buffer
+		writeBuf, tr, sense = sc.collectWriteData(cmd, pdu)
+		pdu.Release() // immediate data now staged (or owned by) the transfer
 		defer tr.release()
 		if sense != nil {
-			ss.sendResponse(cmd.ITT, sense)
+			sc.sendResponse(cmd.ITT, sense)
 			return
 		}
 		if writeBuf == nil { // session ended mid-transfer
@@ -351,14 +502,14 @@ func (ss *session) runCommand(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) {
 	data, pooled, sense := ss.execute(cdb, writeBuf)
 	defer pooled.Release()
 	if sense != nil {
-		ss.sendResponse(cmd.ITT, sense)
+		sc.sendResponse(cmd.ITT, sense)
 		return
 	}
 	if cmd.Read && len(data) > 0 {
-		ss.sendDataIn(cmd.ITT, data)
+		sc.sendDataIn(cmd.ITT, data)
 		return
 	}
-	ss.sendResponse(cmd.ITT, nil)
+	sc.sendResponse(cmd.ITT, nil)
 }
 
 // opSuffix classifies a CDB for stage-histogram naming.
@@ -374,14 +525,23 @@ func opSuffix(cdb *scsi.CDB) string {
 }
 
 // collectWriteData assembles the command's full data transfer: immediate
-// data from the command PDU plus R2T-solicited bursts. The staging buffer is
-// pooled; the caller must call release on the returned transfer once the
-// device write completes. A nil data slice with nil sense means the session
-// was torn down mid-transfer.
-func (ss *session) collectWriteData(cmd *iscsi.SCSICommand) ([]byte, *transfer, *scsi.Sense) {
+// data from the command PDU plus R2T-solicited bursts. When the command
+// arrived fully immediate, the transfer takes ownership of the PDU's pooled
+// data segment instead of staging a copy — the wire buffer flows through to
+// the device write untouched. The caller must call release on the returned
+// transfer once the device write completes. A nil data slice with nil sense
+// means the session was torn down mid-transfer.
+func (sc *sessConn) collectWriteData(cmd *iscsi.SCSICommand, pdu *iscsi.PDU) ([]byte, *transfer, *scsi.Sense) {
+	ss := sc.ss
 	total := int(cmd.ExpectedDataTransferLength)
 	if total > maxTransfer {
 		return nil, nil, scsi.IllegalRequest(scsi.ASCInvalidFieldInCDB)
+	}
+	if len(cmd.Data) >= total {
+		if data, buf := pdu.TakeData(); buf != nil {
+			tr := &transfer{buf: data[:total], pbuf: buf}
+			return tr.buf, tr, nil
+		}
 	}
 	// Zeroed: a peer that skips a solicited segment must not leak stale
 	// pool bytes into the device write (make([]byte) was implicitly zero).
@@ -414,14 +574,14 @@ func (ss *session) collectWriteData(cmd *iscsi.SCSICommand) ([]byte, *transfer, 
 		r2t := &iscsi.R2T{
 			ITT:           cmd.ITT,
 			TTT:           cmd.ITT,
-			StatSN:        ss.statSN.Load(),
+			StatSN:        sc.statSN.Load(),
 			ExpCmdSN:      ss.expCmdSN(),
 			MaxCmdSN:      ss.maxCmdSN(),
 			R2TSN:         r2tsn,
 			BufferOffset:  uint32(received),
 			DesiredLength: uint32(desired),
 		}
-		if err := ss.sendMsg(r2t); err != nil {
+		if err := sc.sendMsg(r2t); err != nil {
 			return nil, tr, nil
 		}
 		select {
@@ -533,14 +693,30 @@ func senseFor(err error, write bool, lba uint64) *scsi.Sense {
 }
 
 // sendDataIn streams read data in negotiated-size segments, collapsing
-// status into the final Data-In (phase collapse).
-func (ss *session) sendDataIn(itt uint32, data []byte) {
+// status into the final Data-In (phase collapse). Multi-segment sequences
+// are encoded back-to-back and leave in a single vectored write instead of
+// one wire rendezvous per segment.
+func (sc *sessConn) sendDataIn(itt uint32, data []byte) {
+	ss := sc.ss
 	maxSeg := ss.params.MaxRecvDataSegmentLength
 	if maxSeg <= 0 {
 		maxSeg = 8192
 	}
+	nseg := (len(data) + maxSeg - 1) / maxSeg
 	din := iscsi.DataIn{ITT: itt, TTT: 0xFFFFFFFF}
-	for off := 0; off < len(data); {
+	if nseg == 1 {
+		din.Final = true
+		din.ExpCmdSN = ss.expCmdSN()
+		din.MaxCmdSN = ss.maxCmdSN()
+		din.Data = data
+		din.StatusPresent = true
+		din.Status = byte(scsi.StatusGood)
+		din.StatSN = sc.statSN.Add(1)
+		_ = sc.sendMsg(&din)
+		return
+	}
+	pdus := make([]iscsi.PDU, nseg)
+	for i, off := 0, 0; off < len(data); i++ {
 		end := off + maxSeg
 		if end > len(data) {
 			end = len(data)
@@ -554,24 +730,29 @@ func (ss *session) sendDataIn(itt uint32, data []byte) {
 		if last {
 			din.StatusPresent = true
 			din.Status = byte(scsi.StatusGood)
-			din.StatSN = ss.statSN.Add(1)
+			din.StatSN = sc.statSN.Add(1)
 		}
-		if err := ss.sendMsg(&din); err != nil {
-			return
-		}
+		din.EncodeInto(&pdus[i])
 		din.DataSN++
 		off = end
+	}
+	sc.sendMu.Lock()
+	_, err := iscsi.WritePDUs(sc.conn, pdus)
+	sc.sendMu.Unlock()
+	if err != nil {
+		return
 	}
 }
 
 // sendResponse sends a SCSI Response carrying GOOD status or CHECK
 // CONDITION with the given sense.
-func (ss *session) sendResponse(itt uint32, sense *scsi.Sense) {
+func (sc *sessConn) sendResponse(itt uint32, sense *scsi.Sense) {
+	ss := sc.ss
 	resp := &iscsi.SCSIResponse{
 		ITT:      itt,
 		Response: iscsi.RespCompleted,
 		Status:   byte(scsi.StatusGood),
-		StatSN:   ss.statSN.Add(1),
+		StatSN:   sc.statSN.Add(1),
 		ExpCmdSN: ss.expCmdSN(),
 		MaxCmdSN: ss.maxCmdSN(),
 	}
@@ -579,14 +760,15 @@ func (ss *session) sendResponse(itt uint32, sense *scsi.Sense) {
 		resp.Status = byte(scsi.StatusCheckCondition)
 		resp.Sense = sense.Encode()
 	}
-	if err := ss.sendMsg(resp); err != nil {
+	if err := sc.sendMsg(resp); err != nil {
 		ss.srv.logf("target: session %q: send response: %v", ss.iqn, err)
 	}
 }
 
 // handleText answers a SendTargets discovery request with the exported
 // target names.
-func (ss *session) handleText(req *iscsi.PDU) error {
+func (sc *sessConn) handleText(req *iscsi.PDU) error {
+	ss := sc.ss
 	names := ss.srv.targetNames()
 	sort.Strings(names)
 	var data []byte
@@ -600,12 +782,12 @@ func (ss *session) handleText(req *iscsi.PDU) error {
 	resp.BHS[1] = 0x80 // final
 	resp.SetITT(req.ITT())
 	binary.BigEndian.PutUint32(resp.BHS[20:24], 0xFFFFFFFF) // TTT
-	binary.BigEndian.PutUint32(resp.BHS[24:28], ss.statSN.Load())
+	binary.BigEndian.PutUint32(resp.BHS[24:28], sc.statSN.Load())
 	binary.BigEndian.PutUint32(resp.BHS[28:32], ss.expCmdSN())
 	binary.BigEndian.PutUint32(resp.BHS[32:36], ss.maxCmdSN())
 	resp.Data = data
 	resp.BHS[5] = byte(len(data) >> 16)
 	resp.BHS[6] = byte(len(data) >> 8)
 	resp.BHS[7] = byte(len(data))
-	return ss.send(resp)
+	return sc.send(resp)
 }

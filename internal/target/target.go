@@ -76,16 +76,34 @@ func WithInquiry(d scsi.InquiryData) Option {
 	return func(s *Server) { s.inquiry = d }
 }
 
+// WithParams overrides the operational parameters the server offers during
+// login negotiation (burst windows, immediate data, MC/S connection bound).
+// Each session still converges on the RFC result functions against what the
+// initiator offers.
+func WithParams(p iscsi.Params) Option {
+	return func(s *Server) { s.params = p }
+}
+
+// WithInlineExec lets a quiet connection execute reads and fully-immediate
+// writes inline in its read loop instead of a per-command goroutine, saving
+// two scheduler wakeups per command. Only safe when the served device stack
+// completes quickly (early-ack relay fronts, memory disks): an inline command
+// blocks the connection until it completes.
+func WithInlineExec() Option {
+	return func(s *Server) { s.inlineExec = true }
+}
+
 // Server is an iSCSI target serving block devices to initiator sessions.
 // It may serve multiple listeners and many concurrent sessions.
 type Server struct {
-	resolver  Resolver
-	loginHook func(LoginInfo)
-	logger    *log.Logger
-	inquiry   scsi.InquiryData
-	params    iscsi.Params
-	obsReg    *obs.Registry
-	obsStage  string
+	resolver   Resolver
+	loginHook  func(LoginInfo)
+	logger     *log.Logger
+	inquiry    scsi.InquiryData
+	params     iscsi.Params
+	inlineExec bool
+	obsReg     *obs.Registry
+	obsStage   string
 
 	mu        sync.Mutex
 	targets   map[string]blockdev.Device
@@ -93,18 +111,42 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	closed    bool
 
+	// sessions tracks live sessions by (initiator, ISID, target IQN) for
+	// MC/S connection joining and session reinstatement; tsihSeq hands out
+	// target session identifying handles.
+	sessMu   sync.Mutex
+	sessions map[sessionKey]*session
+	tsihSeq  uint16
+
 	wg sync.WaitGroup
+}
+
+// dropSession removes ss from the registry unless a reinstating login
+// already took its key.
+func (s *Server) dropSession(ss *session) {
+	s.sessMu.Lock()
+	if s.sessions[ss.key] == ss {
+		delete(s.sessions, ss.key)
+	}
+	s.sessMu.Unlock()
 }
 
 // NewServer builds a server with the given options.
 func NewServer(opts ...Option) *Server {
+	// The server is willing to carry wider MC/S sessions than the initiator
+	// default requests: negotiation takes the minimum, so plain initiators
+	// still get single-connection sessions while relays asking for a
+	// multi-connection forward leg converge on their requested width.
+	params := iscsi.DefaultParams()
+	params.MaxConnections = 8
 	s := &Server{
 		inquiry:   scsi.InquiryData{Vendor: "STORM", Product: "VIRTUAL-DISK", Revision: "0001"},
-		params:    iscsi.DefaultParams(),
+		params:    params,
 		obsStage:  obs.StageTarget,
 		targets:   make(map[string]blockdev.Device),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+		sessions:  make(map[sessionKey]*session),
 	}
 	for _, opt := range opts {
 		opt(s)
