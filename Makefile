@@ -1,24 +1,25 @@
 # Pre-commit gate: `make check` runs the format/vet/build gate, the
 # race-enabled tests of the packages with the hottest concurrency
 # (iscsi, metrics, obs, middlebox, netsim, bufpool, the durable WAL, and
-# the scale-out control plane: sdn, splice, vswitch, core, orchestrator),
-# and the allocs/op regression gate for the zero-copy chain hot path.
+# the scale-out control plane: sdn, splice, vswitch, core, cloud,
+# orchestrator), the allocs/op regression gates for the zero-copy chain
+# hot path and the flow lookup, and a short-mode soak smoke.
 # `make test` is the full suite. `make bench` prints the data-plane
 # microbenchmarks with allocation stats and appends a dated before/after
 # summary to BENCH_results.json (via stormbench -fastpath). `make crash`
 # runs the WAL durability-cost sweep and the kill/replay scenarios
 # (stormbench -crash, non-zero exit on data loss). `make trace` runs the
-# end-to-end tracing experiment: slowest traces hop by hop, the per-hop
-# time budget table, and the tracing-overhead measurement appended to
-# BENCH_results.json.
+# end-to-end tracing experiment. `make soak` runs the sustained
+# multi-tenant churn soak at full scale (500 tenants, dated entry in
+# BENCH_results.json, non-zero exit on any failed gate).
 
 GO ?= go
-RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/orchestrator ./internal/workload
+RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/cloud ./internal/orchestrator ./internal/workload
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool ./internal/experiments
 
-.PHONY: check fmt vet build test race bench allocs crash trace
+.PHONY: check fmt vet build test race bench allocs crash trace soak soak-short
 
-check: fmt vet build race allocs
+check: fmt vet build race allocs soak-short
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -35,10 +36,10 @@ build:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Allocation regression gate for the zero-copy chain hot path (skipped under
-# -race, which instruments allocations).
+# Allocation regression gates (skipped under -race, which instruments
+# allocations): the zero-copy chain hot path and the lock-free flow lookup.
 allocs:
-	$(GO) test -run TestChainWrite4KAllocBudget -count=1 -v ./internal/experiments | grep -E 'allocs/op|FAIL|ok '
+	$(GO) test -run 'TestChainWrite4KAllocBudget|TestLookupAllocFree' -count=1 -v ./internal/experiments ./internal/vswitch | grep -E 'allocs|FAIL|ok '
 
 test:
 	$(GO) test ./...
@@ -52,3 +53,13 @@ crash:
 
 trace:
 	$(GO) run ./cmd/stormbench -trace
+
+# Full-scale sustained soak: 500 tenants with deploy/teardown churn,
+# p99/alloc/lock-wait telemetry, dated entry in BENCH_results.json.
+soak:
+	$(GO) run ./cmd/stormbench -soak
+
+# Short soak smoke for the pre-commit gate: small tenant count, short
+# measured window, results not recorded.
+soak-short:
+	$(GO) run ./cmd/stormbench -soak -soaktenants 96 -soakdur 1500ms -json ''

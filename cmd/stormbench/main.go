@@ -15,6 +15,8 @@
 //	stormbench -chaos          # failure-injection smoke suite (non-zero exit on data loss)
 //	stormbench -crash          # WAL durability cost + kill/replay suite (non-zero exit on data loss)
 //	stormbench -trace          # end-to-end tracing: slowest traces hop by hop + overhead
+//	stormbench -soak           # sustained multi-tenant soak with churn (non-zero exit on a failed gate)
+//	stormbench -soaktenants 500 -soakdur 10s   # soak scale and measured duration
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 //	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -51,6 +53,7 @@ type benchResults struct {
 	Chaos               []experiments.ChaosResult            `json:"chaos,omitempty"`
 	Crash               []experiments.CrashRun               `json:"crash,omitempty"`
 	Tracing             []experiments.TracingRun             `json:"tracing,omitempty"`
+	Soak                []experiments.SoakRun                `json:"soak,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
@@ -64,6 +67,9 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "run only the failure-injection smoke suite (exit non-zero on data loss)")
 		crash      = flag.Bool("crash", false, "run only the WAL durability-cost and kill/replay suite (exit non-zero on data loss)")
 		trace      = flag.Bool("trace", false, "run only the end-to-end tracing experiment (slowest traces hop by hop + overhead)")
+		soak       = flag.Bool("soak", false, "run only the sustained multi-tenant soak (exit non-zero on a failed gate)")
+		soakN      = flag.Int("soaktenants", 500, "steady tenant count for -soak")
+		soakDur    = flag.Duration("soakdur", 10*time.Second, "measured soak duration (half quiet, half churn)")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
@@ -76,7 +82,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
 		os.Exit(1)
 	}
-	err = run(*fig, *table, *ablations, *fastpath, *scale, *chaos, *crash, *trace, *ops, *repDur, *jsonPath)
+	err = run(runCfg{
+		fig: *fig, table: *table, ablationsOnly: *ablations, fastpathOnly: *fastpath,
+		scaleOnly: *scale, chaosOnly: *chaos, crashOnly: *crash, traceOnly: *trace,
+		soakOnly: *soak, soakTenants: *soakN, soakDur: *soakDur,
+		ops: *ops, repDur: *repDur, jsonPath: *jsonPath,
+	})
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stormbench:", err)
@@ -119,9 +130,25 @@ func startProfiles(cpuPath, memPath string) (func(), error) {
 	}, nil
 }
 
-func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, crashOnly, traceOnly bool, ops int, repDur time.Duration, jsonPath string) error {
+// runCfg bundles the CLI selection for run.
+type runCfg struct {
+	fig, table                                                              int
+	ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, crashOnly, traceOnly bool
+	soakOnly                                                                bool
+	soakTenants                                                             int
+	soakDur                                                                 time.Duration
+	ops                                                                     int
+	repDur                                                                  time.Duration
+	jsonPath                                                                string
+}
+
+func run(cfg runCfg) error {
+	fig, table := cfg.fig, cfg.table
+	ablationsOnly, fastpathOnly, scaleOnly := cfg.ablationsOnly, cfg.fastpathOnly, cfg.scaleOnly
+	chaosOnly, crashOnly, traceOnly, soakOnly := cfg.chaosOnly, cfg.crashOnly, cfg.traceOnly, cfg.soakOnly
+	ops, repDur, jsonPath := cfg.ops, cfg.repDur, cfg.jsonPath
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly && !soakOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -190,6 +217,24 @@ func run(fig, table int, ablationsOnly, fastpathOnly, scaleOnly, chaosOnly, cras
 		if traceOnly {
 			return nil
 		}
+	}
+
+	if soakOnly {
+		section("Soak: sustained multi-tenant churn under load")
+		soakRun, err := experiments.RunSoak(experiments.SoakConfig{
+			Tenants:  cfg.soakTenants,
+			Duration: cfg.soakDur,
+		})
+		if err != nil {
+			return err
+		}
+		soakRun.When = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.FormatSoak(soakRun))
+		results.Soak = []experiments.SoakRun{*soakRun}
+		if len(soakRun.Violations) > 0 {
+			return fmt.Errorf("soak failed: %s", soakRun.Violations[0])
+		}
+		return nil
 	}
 
 	if fastpathOnly || all {
@@ -350,12 +395,14 @@ func writeResults(path string, r *benchResults) error {
 			Scaling  []experiments.ScalingRun  `json:"scaling"`
 			Crash    []experiments.CrashRun    `json:"crash"`
 			Tracing  []experiments.TracingRun  `json:"tracing"`
+			Soak     []experiments.SoakRun     `json:"soak"`
 		}
 		if json.Unmarshal(old, &prev) == nil {
 			r.FastPath = append(prev.FastPath, r.FastPath...)
 			r.Scaling = append(prev.Scaling, r.Scaling...)
 			r.Crash = append(prev.Crash, r.Crash...)
 			r.Tracing = append(prev.Tracing, r.Tracing...)
+			r.Soak = append(prev.Soak, r.Soak...)
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

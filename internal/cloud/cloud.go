@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockdev"
@@ -62,6 +63,17 @@ func (m *MiddleBox) Close() {
 	m.Relay.Close()
 }
 
+// guestShards stripes the cloud's guest registries so concurrent tenants
+// launching and removing VMs/middle-boxes hash to different locks.
+const guestShards = 16
+
+// guestShard is one stripe of the name→guest maps.
+type guestShard struct {
+	mu  sync.Mutex
+	vms map[string]*VM
+	mbs map[string]*MiddleBox
+}
+
 // Cloud is the assembled infrastructure.
 type Cloud struct {
 	Fabric     *netsim.Fabric
@@ -70,13 +82,25 @@ type Cloud struct {
 	Volumes    *volume.Service
 
 	storageHost *netsim.Host
+	computes    []*netsim.Host // immutable after New
 
-	mu       sync.Mutex
-	computes []*netsim.Host
-	vms      map[string]*VM
-	mbs      map[string]*MiddleBox
-	nextIP   int
-	nextHost int
+	shards   [guestShards]guestShard
+	nextIP   atomic.Int64
+	nextHost atomic.Int64
+
+	// hostLoad counts guests per compute host so placement is O(hosts)
+	// instead of a scan over every guest in the cloud.
+	loadMu   sync.Mutex
+	hostLoad map[string]int
+}
+
+// shard returns the stripe owning a guest name (FNV-1a).
+func (c *Cloud) shard(name string) *guestShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return &c.shards[h%guestShards]
 }
 
 // New builds the cloud.
@@ -92,9 +116,11 @@ func New(cfg Config) (*Cloud, error) {
 	c := &Cloud{
 		Fabric:     fabric,
 		Controller: sdn.NewController(),
-		vms:        make(map[string]*VM),
-		mbs:        make(map[string]*MiddleBox),
-		nextIP:     100,
+		hostLoad:   make(map[string]int),
+	}
+	for i := range c.shards {
+		c.shards[i].vms = make(map[string]*VM)
+		c.shards[i].mbs = make(map[string]*MiddleBox)
 	}
 	for i := 1; i <= cfg.ComputeHosts; i++ {
 		h, err := fabric.AddHost(fmt.Sprintf("compute%d", i), map[netsim.Network]string{
@@ -133,12 +159,15 @@ func New(cfg Config) (*Cloud, error) {
 
 // Close tears the cloud down.
 func (c *Cloud) Close() {
-	c.mu.Lock()
-	mbs := make([]*MiddleBox, 0, len(c.mbs))
-	for _, mb := range c.mbs {
-		mbs = append(mbs, mb)
+	var mbs []*MiddleBox
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, mb := range sh.mbs {
+			mbs = append(mbs, mb)
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	for _, mb := range mbs {
 		mb.Close()
 	}
@@ -147,8 +176,6 @@ func (c *Cloud) Close() {
 
 // ComputeHosts lists the compute host names.
 func (c *Cloud) ComputeHosts() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]string, len(c.computes))
 	for i, h := range c.computes {
 		out[i] = h.Name()
@@ -168,21 +195,20 @@ func (c *Cloud) HostCPU(host string) *metrics.CPUAccount {
 	return h.CPU()
 }
 
-// allocIP hands out instance-network addresses.
+// allocIP hands out instance-network guest addresses: 192.168.100.1 and
+// up, spilling into the next third octet every 254 guests. The range is
+// disjoint from compute-host NICs (192.168.0.x) and the platform's gateway
+// space (192.168.20.x–63.x); netsim treats addresses as opaque strings, so
+// a third octet past 255 stays unique even at million-guest scale.
 func (c *Cloud) allocIP() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextIP++
-	return fmt.Sprintf("192.168.10.%d", c.nextIP)
+	n := c.nextIP.Add(1) - 1
+	return fmt.Sprintf("192.168.%d.%d", 100+n/254, 1+n%254)
 }
 
 // pickHost round-robins compute hosts when the caller does not care.
 func (c *Cloud) pickHost() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	h := c.computes[c.nextHost%len(c.computes)]
-	c.nextHost++
-	return h.Name()
+	n := c.nextHost.Add(1) - 1
+	return c.computes[int(n)%len(c.computes)].Name()
 }
 
 // PlaceHosts picks n compute hosts for a middle-box group, spreading the
@@ -197,15 +223,12 @@ func (c *Cloud) PlaceHosts(n int) []string {
 // replacement instance away from the machine that just took its
 // predecessor down.
 func (c *Cloud) PlaceHostsAvoiding(n int, avoid map[string]bool) []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	load := make(map[string]int, len(c.computes))
-	for _, vm := range c.vms {
-		load[vm.Host]++
+	c.loadMu.Lock()
+	for h, v := range c.hostLoad {
+		load[h] = v
 	}
-	for _, mb := range c.mbs {
-		load[mb.Host]++
-	}
+	c.loadMu.Unlock()
 	candidates := make([]*netsim.Host, 0, len(c.computes))
 	for _, h := range c.computes {
 		if !avoid[h.Name()] {
@@ -229,6 +252,16 @@ func (c *Cloud) PlaceHostsAvoiding(n int, avoid map[string]bool) []string {
 	return out
 }
 
+// addLoad moves a host's guest count by d (negative on guest removal).
+func (c *Cloud) addLoad(host string, d int) {
+	c.loadMu.Lock()
+	c.hostLoad[host] += d
+	if c.hostLoad[host] <= 0 {
+		delete(c.hostLoad, host)
+	}
+	c.loadMu.Unlock()
+}
+
 // LaunchVM boots a tenant VM on the named compute host ("" picks one).
 func (c *Cloud) LaunchVM(name, host string) (*VM, error) {
 	if host == "" {
@@ -238,28 +271,31 @@ func (c *Cloud) LaunchVM(name, host string) (*VM, error) {
 	if h == nil {
 		return nil, fmt.Errorf("cloud: unknown host %q", host)
 	}
-	c.mu.Lock()
-	if _, ok := c.vms[name]; ok {
-		c.mu.Unlock()
+	sh := c.shard(name)
+	sh.mu.Lock()
+	if _, ok := sh.vms[name]; ok {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("cloud: VM %q already exists", name)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	ep, err := h.NewGuest(name, c.allocIP())
 	if err != nil {
 		return nil, err
 	}
 	vm := &VM{Name: name, Host: host, Endpoint: ep}
-	c.mu.Lock()
-	c.vms[name] = vm
-	c.mu.Unlock()
+	sh.mu.Lock()
+	sh.vms[name] = vm
+	sh.mu.Unlock()
+	c.addLoad(host, 1)
 	return vm, nil
 }
 
 // VM returns a launched VM by name.
 func (c *Cloud) VM(name string) (*VM, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	vm, ok := c.vms[name]
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vm, ok := sh.vms[name]
 	if !ok {
 		return nil, fmt.Errorf("cloud: unknown VM %q", name)
 	}
@@ -412,17 +448,20 @@ func (c *Cloud) LaunchMiddleBox(spec MBSpec) (*MiddleBox, error) {
 	mb.Relay = relay
 	mb.RelayAddr = addr
 	mb.listener = ln
-	c.mu.Lock()
-	c.mbs[name] = mb
-	c.mu.Unlock()
+	sh := c.shard(name)
+	sh.mu.Lock()
+	sh.mbs[name] = mb
+	sh.mu.Unlock()
+	c.addLoad(host, 1)
 	return mb, nil
 }
 
 // MiddleBox returns a launched middle-box by name.
 func (c *Cloud) MiddleBox(name string) (*MiddleBox, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	mb, ok := c.mbs[name]
+	sh := c.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	mb, ok := sh.mbs[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
 	}
@@ -435,12 +474,13 @@ func (c *Cloud) MiddleBox(name string) (*MiddleBox, error) {
 // instance has drained (no sessions, empty journal) — tearing down a live
 // instance severs its established connections.
 func (c *Cloud) RemoveMiddleBox(name string) error {
-	c.mu.Lock()
-	mb, ok := c.mbs[name]
+	sh := c.shard(name)
+	sh.mu.Lock()
+	mb, ok := sh.mbs[name]
 	if ok {
-		delete(c.mbs, name)
+		delete(sh.mbs, name)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
 	}
@@ -449,6 +489,7 @@ func (c *Cloud) RemoveMiddleBox(name string) error {
 	if h := c.Fabric.Host(mb.Host); h != nil {
 		h.RemoveGuest(mb.InstanceIP)
 	}
+	c.addLoad(mb.Host, -1)
 	return nil
 }
 
@@ -459,12 +500,13 @@ func (c *Cloud) RemoveMiddleBox(name string) error {
 // writes survive only in the relay's durable journal directory, which is
 // deliberately left on disk for a replacement instance to recover.
 func (c *Cloud) CrashMiddleBox(name string) error {
-	c.mu.Lock()
-	mb, ok := c.mbs[name]
+	sh := c.shard(name)
+	sh.mu.Lock()
+	mb, ok := sh.mbs[name]
 	if ok {
-		delete(c.mbs, name)
+		delete(sh.mbs, name)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchMiddleBox, name)
 	}
@@ -475,6 +517,7 @@ func (c *Cloud) CrashMiddleBox(name string) error {
 	if h := c.Fabric.Host(mb.Host); h != nil {
 		h.RemoveGuest(mb.InstanceIP)
 	}
+	c.addLoad(mb.Host, -1)
 	return nil
 }
 

@@ -38,6 +38,11 @@ type AttachedVolume struct {
 	DeploymentID string
 	// Device is the VM-side block device (I/O flows through the chain).
 	Device *initiator.Device
+
+	// gwIngressIP/gwEgressIP are the deployment's allocated gateway
+	// addresses, returned to the platform's free list on teardown.
+	gwIngressIP string
+	gwEgressIP  string
 }
 
 // MBInstance is one member of a scalable middle-box instance group.
@@ -110,28 +115,51 @@ func (t *TenantDeployment) Dispatcher(mb string) *replica.Dispatcher {
 	return t.Dispatchers[mb]
 }
 
-// Platform is the StorM control plane.
-type Platform struct {
-	cloud *cloud.Cloud
+// tenantShards stripes the platform's tenant registry so Apply/Teardown of
+// different tenants never serialize on one mutex.
+const tenantShards = 32
 
+// tenantShard is one stripe of the tenant registry.
+type tenantShard struct {
 	mu      sync.Mutex
 	tenants map[string]*TenantDeployment
 	pending map[string]bool // tenants with an Apply in flight
-	nextGW  int
+}
+
+// Platform is the StorM control plane. Its hot maps are sharded per tenant
+// and the gateway address space is a free-list allocator, so concurrent
+// Apply/Teardown across tenants share no global critical section beyond
+// O(1) allocator pops.
+type Platform struct {
+	cloud *cloud.Cloud
+
+	shards [tenantShards]tenantShard
+	gwIPs  *gwAllocator
 
 	// stateDir roots the durable per-instance journal directories
 	// (<stateDir>/<instance name>). Empty disables durable journaling even
 	// for policies that request it.
+	stateMu  sync.RWMutex
 	stateDir string
 }
 
 // New builds a platform over the cloud.
 func New(c *cloud.Cloud) *Platform {
-	return &Platform{
-		cloud:   c,
-		tenants: make(map[string]*TenantDeployment),
-		pending: make(map[string]bool),
+	p := &Platform{cloud: c, gwIPs: newGWAllocator()}
+	for i := range p.shards {
+		p.shards[i].tenants = make(map[string]*TenantDeployment)
+		p.shards[i].pending = make(map[string]bool)
 	}
+	return p
+}
+
+// shard returns the stripe owning a tenant name (FNV-1a).
+func (p *Platform) shard(tenant string) *tenantShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint32(tenant[i])) * 16777619
+	}
+	return &p.shards[h%tenantShards]
 }
 
 // Cloud returns the underlying infrastructure.
@@ -142,15 +170,15 @@ func (p *Platform) Cloud() *cloud.Cloud { return p.cloud }
 // deploy until this is set: a WAL with nowhere durable to live would
 // silently void the crash contract.
 func (p *Platform) SetStateDir(dir string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	p.stateDir = dir
 }
 
 // StateDir returns the durable-journal root ("" when unset).
 func (p *Platform) StateDir() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
 	return p.stateDir
 }
 
@@ -167,14 +195,6 @@ func (p *Platform) journalDir(spec *policy.MiddleBoxSpec, name string) (string, 
 	return filepath.Join(root, name), nil
 }
 
-// allocGatewayIP hands out gateway addresses in the tenant network space.
-func (p *Platform) allocGatewayIP() string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.nextGW++
-	return fmt.Sprintf("192.168.20.%d", p.nextGW)
-}
-
 // Apply deploys a tenant policy: provision middle-boxes, install chains,
 // and attach every bound volume through its chain.
 func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
@@ -184,13 +204,14 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 	// Reserve the tenant name before provisioning anything, so a duplicate
 	// Apply racing this one fails immediately instead of both provisioning
 	// and the loser leaking its resources.
-	p.mu.Lock()
-	if _, ok := p.tenants[pol.Tenant]; ok || p.pending[pol.Tenant] {
-		p.mu.Unlock()
+	sh := p.shard(pol.Tenant)
+	sh.mu.Lock()
+	if _, ok := sh.tenants[pol.Tenant]; ok || sh.pending[pol.Tenant] {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("core: tenant %q already has a deployment", pol.Tenant)
 	}
-	p.pending[pol.Tenant] = true
-	p.mu.Unlock()
+	sh.pending[pol.Tenant] = true
+	sh.mu.Unlock()
 
 	dep := &TenantDeployment{
 		Tenant:          pol.Tenant,
@@ -210,9 +231,9 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 		if !committed {
 			p.cleanupPartial(dep)
 		}
-		p.mu.Lock()
-		delete(p.pending, pol.Tenant)
-		p.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.pending, pol.Tenant)
+		sh.mu.Unlock()
 	}()
 
 	// Provision middle-boxes. Scalable boxes become instance groups seeded
@@ -247,9 +268,9 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 		dep.Volumes[vb.VM+"/"+vb.Volume] = av
 	}
 
-	p.mu.Lock()
-	p.tenants[pol.Tenant] = dep
-	p.mu.Unlock()
+	sh.mu.Lock()
+	sh.tenants[pol.Tenant] = dep
+	sh.mu.Unlock()
 	committed = true
 	return dep, nil
 }
@@ -260,6 +281,8 @@ func (p *Platform) cleanupPartial(dep *TenantDeployment) {
 		_ = av.Device.Close()
 		p.cloud.Plane.Undeploy(av.DeploymentID)
 		_ = p.cloud.Volumes.MarkDetached(av.VolumeID)
+		p.gwIPs.Release(av.gwIngressIP)
+		p.gwIPs.Release(av.gwEgressIP)
 	}
 	for _, insts := range dep.Groups {
 		for _, in := range insts {
@@ -508,28 +531,44 @@ func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs m
 	if egressHost == "" {
 		egressHost = p.pickOtherHost(vm.Host)
 	}
+	ingressIP, err := p.gwIPs.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("core: tenant %q: %w", tenant, err)
+	}
+	egressIP, err := p.gwIPs.Alloc()
+	if err != nil {
+		p.gwIPs.Release(ingressIP)
+		return nil, fmt.Errorf("core: tenant %q: %w", tenant, err)
+	}
 	d := &splice.Deployment{
 		ID:         fmt.Sprintf("%s/%s/%s", tenant, vb.VM, vb.Volume),
 		VM:         vb.VM,
 		VMHost:     vm.Host,
 		VolumeIQN:  vol.IQN,
 		TargetAddr: p.cloud.Volumes.TargetAddr(),
-		Ingress:    splice.GatewaySpec{Name: "gw-in", Host: ingressHost, InstanceIP: p.allocGatewayIP()},
-		Egress:     splice.GatewaySpec{Name: "gw-out", Host: egressHost, InstanceIP: p.allocGatewayIP()},
+		Ingress:    splice.GatewaySpec{Name: "gw-in", Host: ingressHost, InstanceIP: ingressIP},
+		Egress:     splice.GatewaySpec{Name: "gw-out", Host: egressHost, InstanceIP: egressIP},
 		Chain:      chain,
 	}
+	releaseIPs := func() {
+		p.gwIPs.Release(ingressIP)
+		p.gwIPs.Release(egressIP)
+	}
 	if err := p.cloud.Plane.Deploy(d); err != nil {
+		releaseIPs()
 		return nil, err
 	}
 
 	if err := p.cloud.Volumes.MarkAttached(vol.ID, vb.VM); err != nil {
 		p.cloud.Plane.Undeploy(d.ID)
+		releaseIPs()
 		return nil, err
 	}
 	dev, err := p.attachDevice(vm, d, vb.VM, vol.IQN)
 	if err != nil {
 		_ = p.cloud.Volumes.MarkDetached(vol.ID)
 		p.cloud.Plane.Undeploy(d.ID)
+		releaseIPs()
 		return nil, fmt.Errorf("core: attach %s: %w", d.ID, err)
 	}
 	p.cloud.Plane.Attributions().RecordAttachment(vb.VM, vol.IQN)
@@ -538,6 +577,8 @@ func (p *Platform) attachBinding(tenant string, vb policy.VolumeBinding, specs m
 		VM:           vb.VM,
 		DeploymentID: d.ID,
 		Device:       dev,
+		gwIngressIP:  ingressIP,
+		gwEgressIP:   egressIP,
 	}, nil
 }
 
@@ -660,12 +701,13 @@ func (p *Platform) pickOtherHost(avoid string) string {
 // Teardown removes a tenant's deployment: volumes detach, chains and
 // middle-boxes are destroyed.
 func (p *Platform) Teardown(tenant string) error {
-	p.mu.Lock()
-	dep, ok := p.tenants[tenant]
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	dep, ok := sh.tenants[tenant]
 	if ok {
-		delete(p.tenants, tenant)
+		delete(sh.tenants, tenant)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: tenant %q has no deployment", tenant)
 	}
@@ -676,6 +718,8 @@ func (p *Platform) Teardown(tenant string) error {
 		_ = av.Device.Close()
 		p.cloud.Plane.Undeploy(av.DeploymentID)
 		_ = p.cloud.Volumes.MarkDetached(av.VolumeID)
+		p.gwIPs.Release(av.gwIngressIP)
+		p.gwIPs.Release(av.gwEgressIP)
 	}
 	dep.mu.Lock()
 	var groupInsts []*MBInstance
@@ -696,9 +740,10 @@ func (p *Platform) Teardown(tenant string) error {
 
 // Deployment returns a tenant's live deployment.
 func (p *Platform) Deployment(tenant string) (*TenantDeployment, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	dep, ok := p.tenants[tenant]
+	sh := p.shard(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dep, ok := sh.tenants[tenant]
 	return dep, ok
 }
 

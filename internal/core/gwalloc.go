@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrGatewayIPsExhausted reports that the tenant-network gateway address
+// range has no free addresses left. Callers see it wrapped in the Apply
+// error; errors.Is unwraps it.
+var ErrGatewayIPsExhausted = errors.New("core: gateway IP space exhausted")
+
+// gwAddrSpace is the number of gateway addresses the platform can hand out
+// concurrently. The range spans 192.168.20.1 .. 192.168.63.254 (44 /24s of
+// 254 usable addresses each) — far past the single /24 the old monotonic
+// allocator silently overflowed, and disjoint from the compute-host
+// (192.168.0.x) and guest (192.168.100.x+) address plans.
+const gwAddrSpace = 44 * 254
+
+// gwAllocator hands out gateway addresses in the tenant network space as a
+// free-list: released addresses are reused before the never-used frontier
+// advances, so deploy/teardown churn of any number of tenants stays within
+// the range, and a live address is never handed out twice.
+type gwAllocator struct {
+	mu   sync.Mutex
+	free []string // released addresses, reused LIFO
+	next int      // next never-used index
+	cap  int
+}
+
+func newGWAllocator() *gwAllocator {
+	return &gwAllocator{cap: gwAddrSpace}
+}
+
+// gwIP renders the i-th address of the gateway range.
+func gwIP(i int) string {
+	return fmt.Sprintf("192.168.%d.%d", 20+i/254, 1+i%254)
+}
+
+// Alloc returns a free gateway address, preferring previously released
+// ones, or ErrGatewayIPsExhausted when every address is live.
+func (a *gwAllocator) Alloc() (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.free); n > 0 {
+		ip := a.free[n-1]
+		a.free = a.free[:n-1]
+		return ip, nil
+	}
+	if a.next >= a.cap {
+		return "", ErrGatewayIPsExhausted
+	}
+	ip := gwIP(a.next)
+	a.next++
+	return ip, nil
+}
+
+// Release returns an address to the free list ("" is ignored). The caller
+// must own the address; double releases would hand it out twice.
+func (a *gwAllocator) Release(ip string) {
+	if ip == "" {
+		return
+	}
+	a.mu.Lock()
+	a.free = append(a.free, ip)
+	a.mu.Unlock()
+}
+
+// Live reports how many addresses are currently allocated.
+func (a *gwAllocator) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next - len(a.free)
+}
+
+// GatewayIPsLive reports how many gateway addresses the platform currently
+// has allocated — zero once every deployment is torn down (leak detector
+// for soak and churn harnesses).
+func (p *Platform) GatewayIPsLive() int { return p.gwIPs.Live() }

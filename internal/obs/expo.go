@@ -37,20 +37,23 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.mu.RLock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
+	counters := make(map[string]*Counter)
+	gauges := make(map[string]*Gauge)
+	hists := make(map[string]*metrics.Histogram)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.counters {
+			counters[k] = v
+		}
+		for k, v := range sh.gauges {
+			gauges[k] = v
+		}
+		for k, v := range sh.hists {
+			hists[k] = v
+		}
+		sh.mu.RUnlock()
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	hists := make(map[string]*metrics.Histogram, len(r.hists))
-	for k, v := range r.hists {
-		hists[k] = v
-	}
-	r.mu.RUnlock()
 	for k, c := range counters {
 		snap.Counters[k] = c.Value()
 	}

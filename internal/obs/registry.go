@@ -134,14 +134,27 @@ const (
 // scale/crash-replace events; see SetSeriesLimit and RetireInstance.
 const DefaultSeriesLimit = 4096
 
-// Registry is a set of named metrics. All methods are safe for concurrent
-// use; a nil *Registry returns nil (no-op) handles.
-type Registry struct {
+// regShards is the number of lock stripes a registry's series maps are
+// split over. Concurrent tenants creating or resolving handles hash to
+// different shards instead of serializing on one registry-wide RWMutex.
+const regShards = 32
+
+// regShard is one stripe of the registry's name→series maps.
+type regShard struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*metrics.Histogram
-	limit    int // series cap; DefaultSeriesLimit when 0
+}
+
+// Registry is a set of named metrics. All methods are safe for concurrent
+// use; a nil *Registry returns nil (no-op) handles. The series maps are
+// sharded by name hash; the cardinality cap stays globally consistent via
+// one atomic series counter shared by all shards.
+type Registry struct {
+	shards [regShards]regShard
+	series atomic.Int64 // named series across all shards (cap accounting)
+	limit  atomic.Int64 // series cap; DefaultSeriesLimit when 0
 
 	// clock overrides wall time for span/event/trace timestamps (tests);
 	// nil means time.Now.
@@ -157,11 +170,23 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*metrics.Histogram),
+	r := &Registry{}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.counters = make(map[string]*Counter)
+		sh.gauges = make(map[string]*Gauge)
+		sh.hists = make(map[string]*metrics.Histogram)
 	}
+	return r
+}
+
+// shard returns the stripe owning name (FNV-1a over the name bytes).
+func (r *Registry) shard(name string) *regShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return &r.shards[h%regShards]
 }
 
 // Now returns the registry's notion of current time: the injected clock if
@@ -196,28 +221,27 @@ func (r *Registry) SetSeriesLimit(n int) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.limit = n
-	r.mu.Unlock()
+	r.limit.Store(int64(n))
 }
 
-// admitLocked reports whether one more series may be created, bumping the
-// drop counter when the cap is hit. Caller holds r.mu. The drop counter
-// itself is exempt so the signal survives a saturated registry.
-func (r *Registry) admitLocked(name string) bool {
-	limit := r.limit
+// admit reserves one series slot against the global cap, returning false
+// when the registry is full. It is an atomic reserve — concurrent creates
+// on different shards can never overshoot the cap. The drop counter itself
+// is exempt so the signal survives a saturated registry. Called with the
+// owning shard's lock held; the caller bumps DroppedMetric after unlocking
+// (the counter may live on another shard).
+func (r *Registry) admit(name string) bool {
+	if name == DroppedMetric {
+		return true
+	}
+	limit := r.limit.Load()
 	if limit <= 0 {
 		limit = DefaultSeriesLimit
 	}
-	if name == DroppedMetric || len(r.counters)+len(r.gauges)+len(r.hists) < limit {
+	if r.series.Add(1) <= limit {
 		return true
 	}
-	c := r.counters[DroppedMetric]
-	if c == nil {
-		c = new(Counter)
-		r.counters[DroppedMetric] = c
-	}
-	c.Inc()
+	r.series.Add(-1)
 	return false
 }
 
@@ -244,28 +268,32 @@ func (r *Registry) RetireInstance(inst string) int {
 		}
 		return false
 	}
-	r.mu.Lock()
 	n := 0
-	for name := range r.counters {
-		if match(name) {
-			delete(r.counters, name)
-			n++
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for name := range sh.counters {
+			if match(name) {
+				delete(sh.counters, name)
+				n++
+			}
 		}
-	}
-	for name := range r.gauges {
-		if match(name) {
-			delete(r.gauges, name)
-			n++
+		for name := range sh.gauges {
+			if match(name) {
+				delete(sh.gauges, name)
+				n++
+			}
 		}
-	}
-	for name := range r.hists {
-		if match(name) {
-			delete(r.hists, name)
-			n++
+		for name := range sh.hists {
+			if match(name) {
+				delete(sh.hists, name)
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	r.mu.Unlock()
 	if n > 0 {
+		r.series.Add(int64(-n))
 		r.Counter(RetiredMetric).Add(int64(n))
 	}
 	return n
@@ -282,20 +310,21 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	c := r.counters[name]
-	r.mu.RUnlock()
+	sh := r.shard(name)
+	sh.mu.RLock()
+	c := sh.counters[name]
+	sh.mu.RUnlock()
 	if c != nil {
 		return c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c = r.counters[name]; c == nil {
-		if !r.admitLocked(name) {
-			return nil
-		}
+	sh.mu.Lock()
+	if c = sh.counters[name]; c == nil && r.admit(name) {
 		c = new(Counter)
-		r.counters[name] = c
+		sh.counters[name] = c
+	}
+	sh.mu.Unlock()
+	if c == nil {
+		r.Counter(DroppedMetric).Inc()
 	}
 	return c
 }
@@ -305,20 +334,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	g := r.gauges[name]
-	r.mu.RUnlock()
+	sh := r.shard(name)
+	sh.mu.RLock()
+	g := sh.gauges[name]
+	sh.mu.RUnlock()
 	if g != nil {
 		return g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g = r.gauges[name]; g == nil {
-		if !r.admitLocked(name) {
-			return nil
-		}
+	sh.mu.Lock()
+	if g = sh.gauges[name]; g == nil && r.admit(name) {
 		g = new(Gauge)
-		r.gauges[name] = g
+		sh.gauges[name] = g
+	}
+	sh.mu.Unlock()
+	if g == nil {
+		r.Counter(DroppedMetric).Inc()
 	}
 	return g
 }
@@ -329,20 +359,21 @@ func (r *Registry) Histogram(name string) *metrics.Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	h := r.hists[name]
-	r.mu.RUnlock()
+	sh := r.shard(name)
+	sh.mu.RLock()
+	h := sh.hists[name]
+	sh.mu.RUnlock()
 	if h != nil {
 		return h
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h = r.hists[name]; h == nil {
-		if !r.admitLocked(name) {
-			return nil
-		}
+	sh.mu.Lock()
+	if h = sh.hists[name]; h == nil && r.admit(name) {
 		h = new(metrics.Histogram)
-		r.hists[name] = h
+		sh.hists[name] = h
+	}
+	sh.mu.Unlock()
+	if h == nil {
+		r.Counter(DroppedMetric).Inc()
 	}
 	return h
 }
@@ -357,11 +388,14 @@ func (r *Registry) HistogramNames() []string {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.hists))
-	for name := range r.hists {
-		out = append(out, name)
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name := range sh.hists {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -373,11 +407,15 @@ func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.counters = make(map[string]*Counter)
-	r.gauges = make(map[string]*Gauge)
-	r.hists = make(map[string]*metrics.Histogram)
-	r.mu.Unlock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.counters = make(map[string]*Counter)
+		sh.gauges = make(map[string]*Gauge)
+		sh.hists = make(map[string]*metrics.Histogram)
+		sh.mu.Unlock()
+	}
+	r.series.Store(0)
 	r.evMu.Lock()
 	r.events = nil
 	r.evNext = 0

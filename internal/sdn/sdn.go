@@ -95,6 +95,10 @@ type Controller struct {
 	switches map[string]*vswitch.Switch
 	chains   map[string]*Chain
 	groups   map[string]*groupEntry
+	// chainHosts remembers which hosts each chain installed rules on, so
+	// teardown sweeps only those switches instead of every switch in the
+	// cloud — under tenant churn the old full sweep was O(chains × hosts).
+	chainHosts map[string]map[string]bool
 
 	lookupHits   *obs.Counter
 	lookupMisses *obs.Counter
@@ -106,6 +110,7 @@ func NewController() *Controller {
 		switches:     make(map[string]*vswitch.Switch),
 		chains:       make(map[string]*Chain),
 		groups:       make(map[string]*groupEntry),
+		chainHosts:   make(map[string]map[string]bool),
 		lookupHits:   obs.Default().Counter("sdn.flow_lookup.hits"),
 		lookupMisses: obs.Default().Counter("sdn.flow_lookup.misses"),
 	}
@@ -275,6 +280,12 @@ func (c *Controller) installRulesLocked(ch *Chain) error {
 				Match:    m,
 				Action:   act,
 			}
+			hosts := c.chainHosts[ch.ID]
+			if hosts == nil {
+				hosts = make(map[string]bool)
+				c.chainHosts[ch.ID] = hosts
+			}
+			hosts[pv.host] = true
 			if err := c.switchForLocked(pv.host).Install(rule); err != nil {
 				return err
 			}
@@ -286,9 +297,12 @@ func (c *Controller) installRulesLocked(ch *Chain) error {
 
 func (c *Controller) removeRulesLocked(ch *Chain) {
 	prefix := ch.ID + "/"
-	for _, sw := range c.switches {
-		sw.RemovePrefix(prefix)
+	for host := range c.chainHosts[ch.ID] {
+		if sw := c.switches[host]; sw != nil {
+			sw.RemovePrefix(prefix)
+		}
 	}
+	delete(c.chainHosts, ch.ID)
 }
 
 // RemoveChain tears down the chain's rules. Established connections are

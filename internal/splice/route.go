@@ -139,32 +139,32 @@ func (p *Plane) walkChain(dep *Deployment, srcAddr, dialedDst netsim.Addr, host,
 }
 
 func (p *Plane) isProtected(ip string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.protected[ip]
 }
 
 func (p *Plane) isMB(name string) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	_, ok := p.mbs[name]
 	return ok
 }
 
 func (p *Plane) mbInfo(name string) *MBInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.mbs[name]
 }
 
 func (p *Plane) depByIngressIP(ip string) *Deployment {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.byIngressIP[ip]
 }
 
 func (p *Plane) depByEgressIP(ip string) *Deployment {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.byEgressIP[ip]
 }

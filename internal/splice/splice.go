@@ -68,20 +68,30 @@ type MBInfo struct {
 	InstanceIP string
 }
 
+// attachLock serializes atomic attachments on one compute host. refs counts
+// in-flight attachments so the registry entry can be pruned when the last
+// one releases — host churn cannot grow the map without bound.
+type attachLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
 // Plane is the StorM forwarding plane.
 type Plane struct {
 	fabric *netsim.Fabric
 	ctrl   *sdn.Controller
 
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	hostNAT     map[string]*nat.Table
-	attachLocks map[string]*sync.Mutex
 	deployments map[string]*Deployment // by ID
 	byIngressIP map[string]*Deployment
 	byEgressIP  map[string]*Deployment
 	mbs         map[string]*MBInfo // by endpoint (station) name
 	protected   map[string]bool    // instance-net IPs tenants may not dial
 	attrib      *Attributions
+
+	attachMu    sync.Mutex
+	attachLocks map[string]*attachLock // by VM host, pruned at zero refs
 }
 
 // NewPlane creates the plane and installs it as the fabric's forwarding
@@ -91,7 +101,7 @@ func NewPlane(fabric *netsim.Fabric, ctrl *sdn.Controller) *Plane {
 		fabric:      fabric,
 		ctrl:        ctrl,
 		hostNAT:     make(map[string]*nat.Table),
-		attachLocks: make(map[string]*sync.Mutex),
+		attachLocks: make(map[string]*attachLock),
 		deployments: make(map[string]*Deployment),
 		byIngressIP: make(map[string]*Deployment),
 		byEgressIP:  make(map[string]*Deployment),
@@ -111,10 +121,15 @@ func (p *Plane) Attributions() *Attributions { return p.attrib }
 
 // HostNAT returns (creating on demand) the NAT table of a compute host.
 func (p *Plane) HostNAT(host string) *nat.Table {
+	p.mu.RLock()
+	tbl := p.hostNAT[host]
+	p.mu.RUnlock()
+	if tbl != nil {
+		return tbl
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	tbl, ok := p.hostNAT[host]
-	if !ok {
+	if tbl = p.hostNAT[host]; tbl == nil {
 		tbl = nat.NewTable()
 		p.hostNAT[host] = tbl
 	}
@@ -223,8 +238,8 @@ func (p *Plane) Undeploy(id string) {
 
 // Deployment returns a copy of the named deployment, or nil.
 func (p *Plane) Deployment(id string) *Deployment {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	d, ok := p.deployments[id]
 	if !ok {
 		return nil
@@ -254,16 +269,25 @@ func (p *Plane) UpdateChain(id string, mbs []sdn.MBSpec) error {
 // concurrent attachments of other volumes are never mis-captured — the
 // paper's atomic attachment operation for the 3-tuple ambiguity.
 func (p *Plane) AtomicAttach(d *Deployment, attach func() error) error {
-	p.mu.Lock()
-	lock, ok := p.attachLocks[d.VMHost]
-	if !ok {
-		lock = &sync.Mutex{}
+	p.attachMu.Lock()
+	lock := p.attachLocks[d.VMHost]
+	if lock == nil {
+		lock = &attachLock{}
 		p.attachLocks[d.VMHost] = lock
 	}
-	p.mu.Unlock()
+	lock.refs++
+	p.attachMu.Unlock()
+	defer func() {
+		p.attachMu.Lock()
+		lock.refs--
+		if lock.refs == 0 {
+			delete(p.attachLocks, d.VMHost)
+		}
+		p.attachMu.Unlock()
+	}()
 
-	lock.Lock()
-	defer lock.Unlock()
+	lock.mu.Lock()
+	defer lock.mu.Unlock()
 
 	tbl := p.HostNAT(d.VMHost)
 	rule := &nat.Rule{
@@ -281,4 +305,12 @@ func (p *Plane) AtomicAttach(d *Deployment, attach func() error) error {
 	}
 	defer tbl.Remove(rule.ID)
 	return attach()
+}
+
+// attachLockCount reports how many per-host attachment locks are live
+// (tests: the registry must drain back to empty after attach churn).
+func (p *Plane) attachLockCount() int {
+	p.attachMu.Lock()
+	defer p.attachMu.Unlock()
+	return len(p.attachLocks)
 }

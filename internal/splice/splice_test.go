@@ -3,7 +3,9 @@ package splice
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -559,5 +561,46 @@ func TestAttributionsTable(t *testing.T) {
 	a.RecordLogin("iqn.volX", 0) // ignored
 	if _, ok := a.ByIQN("iqn.volX"); ok {
 		t.Error("zero port login recorded")
+	}
+}
+
+// TestAtomicAttachLockPruning churns attachments across many hosts and
+// checks the per-host attach-lock registry drains back to empty — it must
+// not grow one entry per VM host forever.
+func TestAtomicAttachLockPruning(t *testing.T) {
+	tb := newTestbed(t)
+
+	// Sequential churn on one host.
+	for i := 0; i < 50; i++ {
+		d := tb.deployment()
+		d.ID = fmt.Sprintf("seq%d/vol", i)
+		if err := tb.plane.AtomicAttach(d, func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent churn: several goroutines per host across several hosts, so
+	// the refcount path (second arrival while the first still holds the lock)
+	// is exercised under -race.
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				d := tb.deployment()
+				d.ID = fmt.Sprintf("conc%d-%d/vol", g, j)
+				d.VMHost = fmt.Sprintf("churnhost%d", g%4)
+				if err := tb.plane.AtomicAttach(d, func() error { return nil }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := tb.plane.attachLockCount(); n != 0 {
+		t.Fatalf("attach-lock registry leaked %d entries after churn", n)
 	}
 }

@@ -4,6 +4,14 @@
 // previous station (the analogue of the paper's source-MAC match) and steer
 // the flow to the next middle-box — either transparently (IP forwarding, the
 // MB-FWD mode) or by terminating the connection at the middle-box's relay.
+//
+// The flow table is published RCU-style: writers (Install/Remove/
+// RemovePrefix) build a new immutable ruleSet under the writer mutex and
+// swap it in with one atomic store, while Lookup — the per-packet path —
+// reads the current snapshot without taking any lock and without
+// allocating. Non-wildcard rules are additionally indexed by their exact
+// (flow, station) key, so the common fully-specified match is a single map
+// probe instead of a linear scan.
 package vswitch
 
 import (
@@ -71,6 +79,22 @@ func (m Match) Matches(f netsim.Flow, station string) bool {
 	return true
 }
 
+// exact reports whether the match has no wildcard fields, i.e. it selects
+// exactly one (flow, station) key and can live in the exact-match index.
+func (m Match) exact() bool {
+	return m.SrcIP != "" && m.SrcPort != 0 && m.DstIP != "" && m.DstPort != 0 && m.FromStation != ""
+}
+
+// exactKey is the exact-match index key: the full 4-tuple plus the arriving
+// station.
+type exactKey struct {
+	srcIP   string
+	srcPort int
+	dstIP   string
+	dstPort int
+	station string
+}
+
 // Action is the rule's steering decision.
 type Action struct {
 	Mode Mode
@@ -107,23 +131,72 @@ func (r *Rule) String() string {
 	return fmt.Sprintf("flow[%s p%d %+v -> %s@%s]", r.ID, r.Priority, r.Match, r.Action.Mode, r.Action.Station)
 }
 
+// indexedRule pairs a rule with its position in the evaluation order, so
+// the exact-index hit and the wildcard-scan hit can be arbitrated by "who
+// comes first in the table".
+type indexedRule struct {
+	r   *Rule
+	pos int
+}
+
+// ruleSet is one immutable snapshot of the flow table. Readers obtain it
+// with a single atomic load and never see a partially-updated table;
+// writers replace it wholesale (copy-on-write).
+type ruleSet struct {
+	// rules is the full table in evaluation order (priority desc, install
+	// order asc). Shared with Rules() callers: never mutated after publish.
+	rules []*Rule
+	// wild lists the rules with at least one wildcard field, in evaluation
+	// order.
+	wild []indexedRule
+	// exact indexes fully-specified rules by their (flow, station) key.
+	// When several exact rules share a key, the earliest in evaluation
+	// order wins (the only one a scan could ever return).
+	exact map[exactKey]indexedRule
+}
+
+var emptyRuleSet = &ruleSet{}
+
 // Switch is one host's SDN-enabled virtual switch.
 type Switch struct {
 	host string
 
-	mu    sync.Mutex
-	rules []*Rule
+	set atomic.Pointer[ruleSet]
+
+	mu    sync.Mutex // serializes writers; Lookup never takes it
 	seq   int
 	order map[string]int
 }
 
 // New creates a switch for the named host.
 func New(host string) *Switch {
-	return &Switch{host: host, order: make(map[string]int)}
+	s := &Switch{host: host, order: make(map[string]int)}
+	s.set.Store(emptyRuleSet)
+	return s
 }
 
 // Host returns the host the switch runs on.
 func (s *Switch) Host() string { return s.host }
+
+// publish builds the derived indexes for an evaluation-ordered rule slice
+// and swaps the snapshot in. Caller holds s.mu.
+func (s *Switch) publish(rules []*Rule) {
+	rs := &ruleSet{rules: rules}
+	for i, r := range rules {
+		if r.Match.exact() {
+			if rs.exact == nil {
+				rs.exact = make(map[exactKey]indexedRule)
+			}
+			k := exactKey{r.Match.SrcIP, r.Match.SrcPort, r.Match.DstIP, r.Match.DstPort, r.Match.FromStation}
+			if _, dup := rs.exact[k]; !dup {
+				rs.exact[k] = indexedRule{r, i}
+			}
+			continue
+		}
+		rs.wild = append(rs.wild, indexedRule{r, i})
+	}
+	s.set.Store(rs)
+}
 
 // Install adds a rule. IDs must be unique per switch.
 func (s *Switch) Install(r *Rule) error {
@@ -137,13 +210,17 @@ func (s *Switch) Install(r *Rule) error {
 	}
 	s.order[r.ID] = s.seq
 	s.seq++
-	s.rules = append(s.rules, r)
-	sort.SliceStable(s.rules, func(i, j int) bool {
-		if s.rules[i].Priority != s.rules[j].Priority {
-			return s.rules[i].Priority > s.rules[j].Priority
+	cur := s.set.Load().rules
+	rules := make([]*Rule, 0, len(cur)+1)
+	rules = append(rules, cur...)
+	rules = append(rules, r)
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Priority != rules[j].Priority {
+			return rules[i].Priority > rules[j].Priority
 		}
-		return s.order[s.rules[i].ID] < s.order[s.rules[j].ID]
+		return s.order[rules[i].ID] < s.order[rules[j].ID]
 	})
+	s.publish(rules)
 	return nil
 }
 
@@ -151,60 +228,86 @@ func (s *Switch) Install(r *Rule) error {
 func (s *Switch) Remove(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, r := range s.rules {
-		if r.ID == id {
-			s.rules = append(s.rules[:i], s.rules[i+1:]...)
-			delete(s.order, id)
-			return
+	if _, ok := s.order[id]; !ok {
+		return
+	}
+	delete(s.order, id)
+	cur := s.set.Load().rules
+	rules := make([]*Rule, 0, len(cur)-1)
+	for _, r := range cur {
+		if r.ID != id {
+			rules = append(rules, r)
 		}
 	}
+	s.publish(rules)
 }
 
 // RemovePrefix deletes every rule whose ID begins with prefix, used to tear
-// down a whole chain atomically.
+// down a whole chain atomically. When no rule carries the prefix the
+// current snapshot is kept as-is, so sweeping a switch the chain never
+// touched costs no allocation.
 func (s *Switch) RemovePrefix(prefix string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	kept := s.rules[:0]
-	for _, r := range s.rules {
+	cur := s.set.Load().rules
+	n := 0
+	for _, r := range cur {
+		if len(r.ID) >= len(prefix) && r.ID[:len(prefix)] == prefix {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	rules := make([]*Rule, 0, len(cur)-n)
+	for _, r := range cur {
 		if len(r.ID) >= len(prefix) && r.ID[:len(prefix)] == prefix {
 			delete(s.order, r.ID)
 			continue
 		}
-		kept = append(kept, r)
+		rules = append(rules, r)
 	}
-	s.rules = kept
+	s.publish(rules)
 }
 
 // Lookup finds the highest-priority rule matching the flow arriving from
 // station, bumping its packet counter. It returns nil when no rule matches
-// (normal L2/L3 forwarding applies).
+// (normal L2/L3 forwarding applies). Lookup is lock-free and allocation-
+// free: it reads one immutable snapshot, probes the exact-match index, and
+// scans only the wildcard rules that could outrank the indexed hit.
 func (s *Switch) Lookup(f netsim.Flow, station string) *Rule {
-	s.mu.Lock()
-	rules := make([]*Rule, len(s.rules))
-	copy(rules, s.rules)
-	s.mu.Unlock()
-	for _, r := range rules {
-		if r.Match.Matches(f, station) {
-			r.packets.Add(1)
-			return r
+	rs := s.set.Load()
+	var best *Rule
+	bestPos := int(^uint(0) >> 1) // max int
+	if rs.exact != nil {
+		if ir, ok := rs.exact[exactKey{f.SrcIP, f.SrcPort, f.DstIP, f.DstPort, station}]; ok {
+			best, bestPos = ir.r, ir.pos
 		}
 	}
-	return nil
+	for _, ir := range rs.wild {
+		if ir.pos >= bestPos {
+			break // ordered: nothing later can outrank the exact hit
+		}
+		if ir.r.Match.Matches(f, station) {
+			best = ir.r
+			break
+		}
+	}
+	if best != nil {
+		best.packets.Add(1)
+	}
+	return best
 }
 
-// Rules returns a snapshot in evaluation order.
+// Rules returns the current snapshot in evaluation order. The slice is the
+// switch's immutable published table: callers may read it freely but must
+// not modify it. Unlike the pre-RCU implementation this is O(1) — pollers
+// under churn no longer induce a quadratic copy.
 func (s *Switch) Rules() []*Rule {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Rule, len(s.rules))
-	copy(out, s.rules)
-	return out
+	return s.set.Load().rules
 }
 
 // Len returns the number of installed rules.
 func (s *Switch) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.rules)
+	return len(s.set.Load().rules)
 }

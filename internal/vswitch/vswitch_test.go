@@ -1,6 +1,10 @@
 package vswitch
 
 import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -151,6 +155,174 @@ func TestSwitchConcurrency(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestLookupAllocFree gates the tentpole property: the per-packet Lookup
+// path performs zero heap allocations, for both exact-index hits and
+// wildcard-scan hits, on a table big enough that the old copy-the-slice
+// implementation would have allocated every call.
+func TestLookupAllocFree(t *testing.T) {
+	s := New("h")
+	for i := 0; i < 200; i++ {
+		mustInstall(t, s, &Rule{
+			ID: fmt.Sprintf("chain%d/hop0", i), Priority: 100,
+			Match:  Match{DstIP: fmt.Sprintf("192.168.1.%d", i), DstPort: 3260, FromStation: "ingress"},
+			Action: Action{Mode: ModeForward, Station: "mb"},
+		})
+	}
+	mustInstall(t, s, &Rule{
+		ID: "exact", Priority: 100,
+		Match:  Match{SrcIP: "192.168.0.10", SrcPort: 40001, DstIP: "192.168.0.20", DstPort: 3260, FromStation: "ingress"},
+		Action: Action{Mode: ModeForward, Station: "mbX"},
+	})
+	f := storageFlow()
+	cases := map[string]func(){
+		"exact": func() { s.Lookup(f, "ingress") },
+		"wildcard": func() {
+			s.Lookup(netsim.Flow{Net: netsim.InstanceNet, SrcIP: "10.9.9.9", SrcPort: 7, DstIP: "192.168.1.7", DstPort: 3260}, "ingress")
+		},
+		"miss": func() { s.Lookup(f, "nowhere") },
+	}
+	for name, fn := range cases {
+		fn() // warm up
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("Lookup(%s) allocates %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// linearSwitch is the pre-RCU reference implementation: a mutex-guarded
+// prioritized slice scanned front to back. The randomized equivalence test
+// drives it in lockstep with the indexed Switch.
+type linearSwitch struct {
+	rules []*Rule
+	order map[string]int
+	seq   int
+}
+
+func (l *linearSwitch) install(r *Rule) {
+	l.order[r.ID] = l.seq
+	l.seq++
+	l.rules = append(l.rules, r)
+	sort.SliceStable(l.rules, func(i, j int) bool {
+		if l.rules[i].Priority != l.rules[j].Priority {
+			return l.rules[i].Priority > l.rules[j].Priority
+		}
+		return l.order[l.rules[i].ID] < l.order[l.rules[j].ID]
+	})
+}
+
+func (l *linearSwitch) remove(id string) {
+	for i, r := range l.rules {
+		if r.ID == id {
+			l.rules = append(l.rules[:i], l.rules[i+1:]...)
+			delete(l.order, id)
+			return
+		}
+	}
+}
+
+func (l *linearSwitch) removePrefix(prefix string) {
+	kept := l.rules[:0]
+	for _, r := range l.rules {
+		if strings.HasPrefix(r.ID, prefix) {
+			delete(l.order, r.ID)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	l.rules = kept
+}
+
+func (l *linearSwitch) lookup(f netsim.Flow, station string) *Rule {
+	for _, r := range l.rules {
+		if r.Match.Matches(f, station) {
+			return r
+		}
+	}
+	return nil
+}
+
+// TestLookupEquivalenceRandomized brute-forces the indexed snapshot table
+// against the old linear scan: random interleaved Install/Remove/
+// RemovePrefix mutations, each followed by lookups of every key in a small
+// universe (so exact hits, wildcard hits, shadowing, and misses all occur),
+// asserting both implementations always pick the same rule.
+func TestLookupEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ips := []string{"10.0.0.1", "10.0.0.2", "10.0.0.3", ""}
+	ports := []int{0, 3260, 40001}
+	stations := []string{"", "ingress", "mb1", "mb2"}
+
+	randMatch := func() Match {
+		return Match{
+			SrcIP:       ips[rng.Intn(len(ips))],
+			SrcPort:     ports[rng.Intn(len(ports))],
+			DstIP:       ips[rng.Intn(len(ips))],
+			DstPort:     ports[rng.Intn(len(ports))],
+			FromStation: stations[rng.Intn(len(stations))],
+		}
+	}
+	checkAll := func(step int, s *Switch, l *linearSwitch) {
+		t.Helper()
+		for _, si := range ips[:3] {
+			for _, sp := range ports[1:] {
+				for _, di := range ips[:3] {
+					for _, st := range stations {
+						f := netsim.Flow{SrcIP: si, SrcPort: sp, DstIP: di, DstPort: 3260}
+						got, want := s.Lookup(f, st), l.lookup(f, st)
+						gotID, wantID := "", ""
+						if got != nil {
+							gotID = got.ID
+						}
+						if want != nil {
+							wantID = want.ID
+						}
+						if gotID != wantID {
+							t.Fatalf("step %d: Lookup(%+v, %q) = %q, linear scan = %q", step, f, st, gotID, wantID)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	s := New("h")
+	l := &linearSwitch{order: make(map[string]int)}
+	live := make(map[string]bool)
+	next := 0
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6 || len(live) == 0: // install
+			id := fmt.Sprintf("c%d/hop%d", next%7, next)
+			next++
+			m := randMatch()
+			prio := rng.Intn(3) * 50
+			mustInstall(t, s, &Rule{ID: id, Priority: prio, Match: m, Action: Action{Mode: ModeForward, Station: id}})
+			l.install(&Rule{ID: id, Priority: prio, Match: m, Action: Action{Mode: ModeForward, Station: id}})
+			live[id] = true
+		case op < 9: // remove one
+			for id := range live {
+				s.Remove(id)
+				l.remove(id)
+				delete(live, id)
+				break
+			}
+		default: // remove a whole chain prefix
+			prefix := fmt.Sprintf("c%d/", rng.Intn(7))
+			s.RemovePrefix(prefix)
+			l.removePrefix(prefix)
+			for id := range live {
+				if strings.HasPrefix(id, prefix) {
+					delete(live, id)
+				}
+			}
+		}
+		if s.Len() != len(l.rules) {
+			t.Fatalf("step %d: Len = %d, linear = %d", step, s.Len(), len(l.rules))
+		}
+		checkAll(step, s, l)
+	}
 }
 
 func TestModeString(t *testing.T) {
