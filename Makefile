@@ -1,25 +1,29 @@
 # Pre-commit gate: `make check` runs the format/vet/build gate, the
 # race-enabled tests of the packages with the hottest concurrency
-# (iscsi, metrics, obs, middlebox, netsim, bufpool, the durable WAL, and
-# the scale-out control plane: sdn, splice, vswitch, core, cloud,
-# orchestrator), the allocs/op regression gates for the zero-copy chain
-# hot path and the flow lookup, and a short-mode soak smoke.
-# `make test` is the full suite. `make bench` prints the data-plane
-# microbenchmarks with allocation stats and appends a dated before/after
-# summary to BENCH_results.json (via stormbench -fastpath). `make crash`
-# runs the WAL durability-cost sweep and the kill/replay scenarios
-# (stormbench -crash, non-zero exit on data loss). `make trace` runs the
-# end-to-end tracing experiment. `make soak` runs the sustained
-# multi-tenant churn soak at full scale (500 tenants, dated entry in
-# BENCH_results.json, non-zero exit on any failed gate).
+# (iscsi, metrics, obs, middlebox, netsim, bufpool, the durable WAL, the
+# scale-out control plane — sdn, splice, vswitch, core, cloud,
+# orchestrator — and the content-addressed replication stack: cas,
+# objstore, scrub, services/replicate), the allocs/op regression gates
+# for the zero-copy chain hot path and the flow lookup, a short-mode
+# soak smoke, and a short-mode backup smoke. `make test` is the full
+# suite. `make bench` prints the data-plane microbenchmarks with
+# allocation stats and appends a dated before/after summary to
+# BENCH_results.json (via stormbench -fastpath). `make crash` runs the
+# WAL durability-cost sweep and the kill/replay scenarios (stormbench
+# -crash, non-zero exit on data loss). `make trace` runs the end-to-end
+# tracing experiment. `make soak` runs the sustained multi-tenant churn
+# soak at full scale (500 tenants, dated entry in BENCH_results.json,
+# non-zero exit on any failed gate). `make backup` runs the
+# content-addressed replication suite (dedup ratio, fan-out throughput,
+# scrub repair after corruption; dated entry in BENCH_results.json).
 
 GO ?= go
-RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/cloud ./internal/orchestrator ./internal/workload
+RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/cloud ./internal/orchestrator ./internal/workload ./internal/cas ./internal/objstore ./internal/scrub ./internal/services/replicate
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool ./internal/experiments
 
-.PHONY: check fmt vet build test race bench allocs crash trace soak soak-short
+.PHONY: check fmt vet build test race bench allocs crash trace soak soak-short backup backup-short
 
-check: fmt vet build race allocs soak-short
+check: fmt vet build race allocs soak-short backup-short
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -63,3 +67,14 @@ soak:
 # measured window, results not recorded.
 soak-short:
 	$(GO) run ./cmd/stormbench -soak -soaktenants 96 -soakdur 1500ms -json ''
+
+# Full backup suite: multi-round delta workload through the replication
+# box, dedup/convergence/scrub-repair gates, dated entry in
+# BENCH_results.json.
+backup:
+	$(GO) run ./cmd/stormbench -backup
+
+# Short backup smoke for the pre-commit gate: small image, results not
+# recorded.
+backup-short:
+	$(GO) run ./cmd/stormbench -backup -backupchunks 128 -backuprounds 3 -json ''

@@ -17,6 +17,8 @@
 //	stormbench -trace          # end-to-end tracing: slowest traces hop by hop + overhead
 //	stormbench -soak           # sustained multi-tenant soak with churn (non-zero exit on a failed gate)
 //	stormbench -soaktenants 500 -soakdur 10s   # soak scale and measured duration
+//	stormbench -backup         # content-addressed backup suite: dedup ratio, fan-out, scrub repair
+//	stormbench -backupchunks 512 -backuprounds 4   # backup image size and generations
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 //	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -54,6 +56,7 @@ type benchResults struct {
 	Crash               []experiments.CrashRun               `json:"crash,omitempty"`
 	Tracing             []experiments.TracingRun             `json:"tracing,omitempty"`
 	Soak                []experiments.SoakRun                `json:"soak,omitempty"`
+	Backup              []experiments.BackupRun              `json:"backup,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
@@ -70,6 +73,9 @@ func main() {
 		soak       = flag.Bool("soak", false, "run only the sustained multi-tenant soak (exit non-zero on a failed gate)")
 		soakN      = flag.Int("soaktenants", 500, "steady tenant count for -soak")
 		soakDur    = flag.Duration("soakdur", 10*time.Second, "measured soak duration (half quiet, half churn)")
+		backup     = flag.Bool("backup", false, "run only the content-addressed backup suite (exit non-zero on a failed gate)")
+		backupN    = flag.Int("backupchunks", 512, "backup image size in chunks for -backup")
+		backupR    = flag.Int("backuprounds", 4, "backup generations for -backup")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
@@ -86,6 +92,7 @@ func main() {
 		fig: *fig, table: *table, ablationsOnly: *ablations, fastpathOnly: *fastpath,
 		scaleOnly: *scale, chaosOnly: *chaos, crashOnly: *crash, traceOnly: *trace,
 		soakOnly: *soak, soakTenants: *soakN, soakDur: *soakDur,
+		backupOnly: *backup, backupChunks: *backupN, backupRounds: *backupR,
 		ops: *ops, repDur: *repDur, jsonPath: *jsonPath,
 	})
 	stop()
@@ -137,6 +144,8 @@ type runCfg struct {
 	soakOnly                                                                bool
 	soakTenants                                                             int
 	soakDur                                                                 time.Duration
+	backupOnly                                                              bool
+	backupChunks, backupRounds                                              int
 	ops                                                                     int
 	repDur                                                                  time.Duration
 	jsonPath                                                                string
@@ -148,7 +157,7 @@ func run(cfg runCfg) error {
 	chaosOnly, crashOnly, traceOnly, soakOnly := cfg.chaosOnly, cfg.crashOnly, cfg.traceOnly, cfg.soakOnly
 	ops, repDur, jsonPath := cfg.ops, cfg.repDur, cfg.jsonPath
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly && !soakOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly && !soakOnly && !cfg.backupOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -235,6 +244,26 @@ func run(cfg runCfg) error {
 			return fmt.Errorf("soak failed: %s", soakRun.Violations[0])
 		}
 		return nil
+	}
+
+	if cfg.backupOnly || all {
+		section("Backup: content-addressed replication, dedup, scrub repair")
+		backupRun, err := experiments.RunBackup(experiments.BackupConfig{
+			Chunks: cfg.backupChunks,
+			Rounds: cfg.backupRounds,
+		})
+		if err != nil {
+			return err
+		}
+		backupRun.When = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.FormatBackup(backupRun))
+		results.Backup = []experiments.BackupRun{*backupRun}
+		if len(backupRun.Violations) > 0 {
+			return fmt.Errorf("backup failed: %s", backupRun.Violations[0])
+		}
+		if cfg.backupOnly {
+			return nil
+		}
 	}
 
 	if fastpathOnly || all {
@@ -396,6 +425,7 @@ func writeResults(path string, r *benchResults) error {
 			Crash    []experiments.CrashRun    `json:"crash"`
 			Tracing  []experiments.TracingRun  `json:"tracing"`
 			Soak     []experiments.SoakRun     `json:"soak"`
+			Backup   []experiments.BackupRun   `json:"backup"`
 		}
 		if json.Unmarshal(old, &prev) == nil {
 			r.FastPath = append(prev.FastPath, r.FastPath...)
@@ -403,6 +433,7 @@ func writeResults(path string, r *benchResults) error {
 			r.Crash = append(prev.Crash, r.Crash...)
 			r.Tracing = append(prev.Tracing, r.Tracing...)
 			r.Soak = append(prev.Soak, r.Soak...)
+			r.Backup = append(prev.Backup, r.Backup...)
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -1,0 +1,108 @@
+package cas
+
+import "sync"
+
+// MemBackend is an in-memory Backend for tests and the stormbench backup
+// suite's lightweight replicas: a chunk map plus a dense slot table.
+type MemBackend struct {
+	mu     sync.Mutex
+	chunks map[ID][]byte
+	table  []ID
+}
+
+// NewMemBackend returns an empty in-memory backend with the given slot
+// count.
+func NewMemBackend(slots uint64) *MemBackend {
+	return &MemBackend{
+		chunks: make(map[ID][]byte),
+		table:  make([]ID, slots),
+	}
+}
+
+// PutChunk stores a copy of data under id.
+func (m *MemBackend) PutChunk(id ID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.chunks[id]; ok {
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.chunks[id] = cp
+	return nil
+}
+
+// GetChunk returns a copy of the chunk's bytes.
+func (m *MemBackend) GetChunk(id ID) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.chunks[id]
+	if !ok {
+		return nil, ErrNoChunk
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// DeleteChunk removes a chunk.
+func (m *MemBackend) DeleteChunk(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.chunks, id)
+	return nil
+}
+
+// HasChunk reports chunk presence.
+func (m *MemBackend) HasChunk(id ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.chunks[id]
+	return ok
+}
+
+// Chunks lists every stored chunk ID.
+func (m *MemBackend) Chunks() []ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ID, 0, len(m.chunks))
+	for id := range m.chunks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetMapping records slot→id.
+func (m *MemBackend) SetMapping(slot uint64, id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if slot >= uint64(len(m.table)) {
+		return ErrFull
+	}
+	m.table[slot] = id
+	return nil
+}
+
+// Mappings returns a copy of the slot table.
+func (m *MemBackend) Mappings() ([]ID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ID, len(m.table))
+	copy(out, m.table)
+	return out, nil
+}
+
+// CorruptChunk inverts the stored bytes of a chunk in place.
+func (m *MemBackend) CorruptChunk(id ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.chunks[id]
+	if !ok {
+		return ErrNoChunk
+	}
+	m.chunks[id] = flipped(data)
+	return nil
+}
+
+// Close is a no-op for the in-memory backend.
+func (m *MemBackend) Close() error { return nil }

@@ -1,0 +1,166 @@
+package cas
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/objstore"
+)
+
+// ObjBackend persists a CAS replica in an object store: chunks under
+// "c/<hex id>" and one small mapping object per slot under "m/<slot>".
+// Because chunk keys are content addresses, puts are naturally idempotent
+// and a crash between a chunk put and its mapping put strands only an
+// orphan object, reclaimed by Open's orphan GC.
+type ObjBackend struct {
+	mu     sync.Mutex
+	store  *objstore.Store
+	bucket string
+	slots  uint64
+}
+
+// NewObjBackend opens (or creates) a CAS replica in bucket on store.
+func NewObjBackend(store *objstore.Store, bucket string, slots uint64) (*ObjBackend, error) {
+	if slots == 0 {
+		return nil, fmt.Errorf("cas: zero slots")
+	}
+	if err := store.CreateBucket(bucket); err != nil && !errors.Is(err, objstore.ErrBucketExists) {
+		return nil, fmt.Errorf("cas: create bucket: %w", err)
+	}
+	return &ObjBackend{store: store, bucket: bucket, slots: slots}, nil
+}
+
+func chunkKey(id ID) string      { return "c/" + id.String() }
+func slotKey(slot uint64) string { return "m/" + strconv.FormatUint(slot, 10) }
+
+// PutChunk stores the chunk object (idempotent by key).
+func (o *ObjBackend) PutChunk(id ID, data []byte) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, err := o.store.Head(o.bucket, chunkKey(id)); err == nil {
+		return nil
+	}
+	_, err := o.store.Put(o.bucket, chunkKey(id), data)
+	return err
+}
+
+// GetChunk reads the chunk object.
+func (o *ObjBackend) GetChunk(id ID) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	data, _, err := o.store.Get(o.bucket, chunkKey(id))
+	if errors.Is(err, objstore.ErrNoObject) {
+		return nil, ErrNoChunk
+	}
+	return data, err
+}
+
+// DeleteChunk removes the chunk object.
+func (o *ObjBackend) DeleteChunk(id ID) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	err := o.store.Delete(o.bucket, chunkKey(id))
+	if errors.Is(err, objstore.ErrNoObject) {
+		return nil
+	}
+	return err
+}
+
+// HasChunk reports chunk presence.
+func (o *ObjBackend) HasChunk(id ID) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, err := o.store.Head(o.bucket, chunkKey(id))
+	return err == nil
+}
+
+// Chunks lists every stored chunk ID.
+func (o *ObjBackend) Chunks() []ID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	infos, err := o.store.List(o.bucket, "c/")
+	if err != nil {
+		return nil
+	}
+	out := make([]ID, 0, len(infos))
+	for _, info := range infos {
+		raw, err := hex.DecodeString(strings.TrimPrefix(info.Key, "c/"))
+		if err != nil || len(raw) != 32 {
+			continue
+		}
+		var id ID
+		copy(id[:], raw)
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetMapping writes (or, for the zero ID, deletes) the slot's mapping
+// object.
+func (o *ObjBackend) SetMapping(slot uint64, id ID) error {
+	if slot >= o.slots {
+		return fmt.Errorf("cas: mapping slot %d out of range (%d)", slot, o.slots)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id.IsZero() {
+		err := o.store.Delete(o.bucket, slotKey(slot))
+		if errors.Is(err, objstore.ErrNoObject) {
+			return nil
+		}
+		return err
+	}
+	_, err := o.store.Put(o.bucket, slotKey(slot), id[:])
+	return err
+}
+
+// Mappings reads every slot's mapping object into a dense table.
+func (o *ObjBackend) Mappings() ([]ID, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]ID, o.slots)
+	infos, err := o.store.List(o.bucket, "m/")
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range infos {
+		slot, err := strconv.ParseUint(strings.TrimPrefix(info.Key, "m/"), 10, 64)
+		if err != nil || slot >= o.slots {
+			continue
+		}
+		raw, _, err := o.store.Get(o.bucket, info.Key)
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) != 32 {
+			return nil, fmt.Errorf("cas: mapping object %s has %d bytes", info.Key, len(raw))
+		}
+		copy(out[slot][:], raw)
+	}
+	return out, nil
+}
+
+// CorruptChunk rewrites the chunk object with its bytes inverted while the
+// mapping still names the original ID — silent corruption from the store's
+// point of view (the object's own etag stays self-consistent), caught only
+// by content re-checksumming.
+func (o *ObjBackend) CorruptChunk(id ID) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	data, _, err := o.store.Get(o.bucket, chunkKey(id))
+	if errors.Is(err, objstore.ErrNoObject) {
+		return ErrNoChunk
+	}
+	if err != nil {
+		return err
+	}
+	_, err = o.store.Put(o.bucket, chunkKey(id), flipped(data))
+	return err
+}
+
+// Close is a no-op; the object store's lifetime belongs to its creator.
+func (o *ObjBackend) Close() error { return nil }

@@ -16,16 +16,19 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/cas"
 	"repro/internal/cloud"
 	"repro/internal/extfs"
 	"repro/internal/initiator"
 	"repro/internal/middlebox"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/scrub"
 	"repro/internal/sdn"
 	"repro/internal/services/crypt"
 	"repro/internal/services/monitor"
 	"repro/internal/services/replica"
+	"repro/internal/services/replicate"
 	"repro/internal/splice"
 	"repro/internal/volume"
 	"repro/internal/vswitch"
@@ -73,6 +76,18 @@ type TenantDeployment struct {
 	// ReplicaVolumes lists the backup volumes created per replication
 	// middle-box (for failure injection in experiments).
 	ReplicaVolumes map[string][]*volume.Volume
+	// Replicators exposes the live content-addressed replication box per
+	// replicate middle-box (populated when the volume session is
+	// established).
+	Replicators map[string]*replicate.Box
+	// Scrubbers exposes the background integrity scrubber per replicate
+	// middle-box (nil when the policy disables scrubbing).
+	Scrubbers map[string]*scrub.Scrubber
+	// BackendVolumes lists the content-addressed backend volumes created
+	// per replicate middle-box. They outlive any single box instance: a
+	// crash-replacement reattaches the same volumes, so the replica sets
+	// (and their dedup state) survive the instance.
+	BackendVolumes map[string][]*volume.Volume
 	// Volumes holds the attached volumes keyed "vm/volumeID".
 	Volumes map[string]*AttachedVolume
 
@@ -113,6 +128,41 @@ func (t *TenantDeployment) Dispatcher(mb string) *replica.Dispatcher {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.Dispatchers[mb]
+}
+
+// setReplicator records a replicate middle-box's live box.
+func (t *TenantDeployment) setReplicator(mb string, b *replicate.Box) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Replicators[mb] = b
+}
+
+// Replicator returns the live box of a replicate middle-box.
+func (t *TenantDeployment) Replicator(mb string) *replicate.Box {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Replicators[mb]
+}
+
+// setScrubber records a replicate middle-box's scrubber, stopping the
+// predecessor (a crash-replaced instance's scrubber would otherwise keep
+// scanning dead targets forever).
+func (t *TenantDeployment) setScrubber(mb string, s *scrub.Scrubber) {
+	t.mu.Lock()
+	old := t.Scrubbers[mb]
+	t.Scrubbers[mb] = s
+	t.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+}
+
+// Scrubber returns the live scrubber of a replicate middle-box (nil when
+// scrubbing is disabled).
+func (t *TenantDeployment) Scrubber(mb string) *scrub.Scrubber {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Scrubbers[mb]
 }
 
 // tenantShards stripes the platform's tenant registry so Apply/Teardown of
@@ -220,6 +270,9 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 		Monitors:        make(map[string]*monitor.Monitor),
 		Dispatchers:     make(map[string]*replica.Dispatcher),
 		ReplicaVolumes:  make(map[string][]*volume.Volume),
+		Replicators:     make(map[string]*replicate.Box),
+		Scrubbers:       make(map[string]*scrub.Scrubber),
+		BackendVolumes:  make(map[string][]*volume.Volume),
 		Volumes:         make(map[string]*AttachedVolume),
 		platform:        p,
 		pol:             pol,
@@ -236,14 +289,16 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 		sh.mu.Unlock()
 	}()
 
-	// Provision middle-boxes. Scalable boxes become instance groups seeded
-	// at their minimum size; fixed forward-type boxes need no relay VM (they
-	// are pure routing hops resolved at chain build time).
+	// Provision middle-boxes. Grouped boxes (scalable ones, plus replicate,
+	// which is pinned at one member but grouped for crash-replacement)
+	// become instance groups seeded at their minimum size; fixed
+	// forward-type boxes need no relay VM (they are pure routing hops
+	// resolved at chain build time).
 	specs := make(map[string]*policy.MiddleBoxSpec)
 	for i := range pol.MiddleBoxes {
 		spec := &pol.MiddleBoxes[i]
 		specs[spec.Name] = spec
-		if spec.Scalable() {
+		if spec.Grouped() {
 			if err := p.provisionGroupInstances(pol, spec, dep, spec.EffectiveMinInstances()); err != nil {
 				return nil, err
 			}
@@ -277,6 +332,11 @@ func (p *Platform) Apply(pol *policy.Policy) (*TenantDeployment, error) {
 
 // cleanupPartial unwinds whatever a failed Apply managed to provision.
 func (p *Platform) cleanupPartial(dep *TenantDeployment) {
+	for _, s := range dep.Scrubbers {
+		if s != nil {
+			s.Stop()
+		}
+	}
 	for _, av := range dep.Volumes {
 		_ = av.Device.Close()
 		p.cloud.Plane.Undeploy(av.DeploymentID)
@@ -289,10 +349,17 @@ func (p *Platform) cleanupPartial(dep *TenantDeployment) {
 			if in.MB != nil {
 				_ = p.cloud.RemoveMiddleBox(in.Name)
 			}
+			obs.Default().RetireInstance(in.Name)
 		}
 	}
 	for _, mb := range dep.MBs {
 		_ = p.cloud.RemoveMiddleBox(mb.Name)
+		obs.Default().RetireInstance(mb.Name)
+	}
+	for _, bvs := range dep.BackendVolumes {
+		for _, bv := range bvs {
+			_ = p.cloud.Volumes.MarkDetached(bv.ID)
+		}
 	}
 }
 
@@ -390,6 +457,8 @@ func (p *Platform) provisionMB(pol *policy.Policy, spec *policy.MiddleBoxSpec, d
 			return []middlebox.ServiceFactory{crypt.Service(key, cost)}, nil
 		case policy.TypeReplication:
 			return p.buildReplication(pol, spec, mb, dep)
+		case policy.TypeReplicate:
+			return p.buildReplicate(pol, spec, mb, dep)
 		default:
 			return nil, fmt.Errorf("core: middle-box %q: unsupported type %q", spec.Name, spec.Type)
 		}
@@ -506,6 +575,129 @@ func (p *Platform) buildReplication(pol *policy.Policy, spec *policy.MiddleBoxSp
 		}
 		dep.setDispatcher(spec.Name, d)
 		return d, nil
+	}
+	return []middlebox.ServiceFactory{factory}, nil
+}
+
+// buildReplicate provisions (or, on crash-replacement, reattaches) the
+// content-addressed backend volumes for a replicate middle-box and returns
+// the factory that assembles the replication box and its scrubber. The
+// backend volumes and the dispatch journal are keyed by the group name, not
+// the instance name, so a replacement instance reopens the same replica
+// sets and replays the crashed box's uncommitted dispatch queue.
+func (p *Platform) buildReplicate(pol *policy.Policy, spec *policy.MiddleBoxSpec, mb *cloud.MiddleBox, dep *TenantDeployment) ([]middlebox.ServiceFactory, error) {
+	// The primary volume is the one chained through this middle-box; the
+	// backends size to cover its image in chunks. Exactly one volume may
+	// chain through: the box's slot table and dispatch journal address a
+	// single logical image.
+	var primary *volume.Volume
+	for _, vb := range pol.Volumes {
+		for _, name := range vb.Chain {
+			if name == spec.Name {
+				if primary != nil {
+					return nil, fmt.Errorf("core: replicate %q is chained by more than one volume", spec.Name)
+				}
+				vol, err := p.cloud.Volumes.Get(vb.Volume)
+				if err != nil {
+					return nil, err
+				}
+				primary = vol
+			}
+		}
+	}
+	if primary == nil {
+		return nil, fmt.Errorf("core: replicate %q is chained by no volume", spec.Name)
+	}
+	root := p.StateDir()
+	if root == "" {
+		return nil, fmt.Errorf("core: replicate %q needs a dispatch journal but the platform has no state dir (SetStateDir)", spec.Name)
+	}
+	walDir := filepath.Join(root, pol.Tenant+"-"+spec.Name+"-dispatch")
+
+	chunk := spec.ReplicaChunkBytes()
+	bs := primary.Device().BlockSize()
+	if chunk%bs != 0 {
+		return nil, fmt.Errorf("core: replicate %q: chunk size %d is not a multiple of volume block size %d", spec.Name, chunk, bs)
+	}
+	slots := (primary.SizeBytes + uint64(chunk) - 1) / uint64(chunk)
+	need, err := cas.BlockBackendBytes(bs, chunk, slots)
+	if err != nil {
+		return nil, fmt.Errorf("core: replicate %q: %w", spec.Name, err)
+	}
+
+	// Reuse the group's existing backend volumes when this build replaces a
+	// crashed instance; otherwise create them. Stale attachment state from
+	// the dead box is cleared before reattaching.
+	dep.mu.Lock()
+	bvs := append([]*volume.Volume(nil), dep.BackendVolumes[spec.Name]...)
+	dep.mu.Unlock()
+	n := spec.ReplicaBackends()
+	if len(bvs) == 0 {
+		for i := 0; i < n; i++ {
+			bv, err := p.cloud.Volumes.Create(fmt.Sprintf("%s-%s-backend%d", pol.Tenant, spec.Name, i+1), need)
+			if err != nil {
+				return nil, err
+			}
+			bvs = append(bvs, bv)
+		}
+		dep.mu.Lock()
+		dep.BackendVolumes[spec.Name] = bvs
+		dep.mu.Unlock()
+	}
+	var backends []replicate.NamedStore
+	for _, bv := range bvs {
+		_ = p.cloud.Volumes.MarkDetached(bv.ID)
+		dev, err := p.cloud.MBAttachVolume(mb, bv.ID)
+		if err != nil {
+			return nil, err
+		}
+		be, err := cas.OpenBlockBackend(dev, chunk, slots)
+		if err != nil {
+			return nil, fmt.Errorf("core: replicate %q: backend %s: %w", spec.Name, bv.ID, err)
+		}
+		store, err := cas.Open(be, chunk, slots)
+		if err != nil {
+			return nil, fmt.Errorf("core: replicate %q: backend %s: %w", spec.Name, bv.ID, err)
+		}
+		backends = append(backends, replicate.NamedStore{Name: bv.ID, Store: store})
+	}
+
+	factory := func(backend blockdev.Device) (blockdev.Device, error) {
+		// The factory runs once per backend session. On a reconnect the
+		// predecessor box must release the dispatch journal before the new
+		// box opens (and replays) it; Close after a crash-kill is a no-op,
+		// so a replacement instance leaves the frozen journal untouched
+		// until its own replay.
+		if old := dep.Replicator(spec.Name); old != nil {
+			_ = old.Close()
+		}
+		box, err := replicate.New(replicate.Config{
+			Name:       mb.Name,
+			Quorum:     spec.ReplicaQuorum(),
+			ChunkSize:  chunk,
+			WALDir:     walDir,
+			SyncWindow: spec.JournalFsyncWindow(),
+		}, backend, backends)
+		if err != nil {
+			return nil, err
+		}
+		dep.setReplicator(spec.Name, box)
+		if iv := spec.ScrubInterval(); iv > 0 {
+			reps := make([]scrub.Replica, 0, len(box.Targets()))
+			for _, t := range box.Targets() {
+				reps = append(reps, t)
+			}
+			sc := scrub.New(scrub.Config{
+				Name:      mb.Name,
+				Replicas:  reps,
+				Slots:     slots,
+				ChunkSize: chunk,
+				Interval:  iv,
+			})
+			sc.Start()
+			dep.setScrubber(spec.Name, sc)
+		}
+		return box, nil
 	}
 	return []middlebox.ServiceFactory{factory}, nil
 }
@@ -649,7 +841,7 @@ func (p *Platform) buildChain(tenant string, vb policy.VolumeBinding, specs map[
 	var chain []sdn.MBSpec
 	for _, name := range vb.Chain {
 		spec := specs[name]
-		if spec.Scalable() {
+		if spec.Grouped() {
 			mode := vswitch.ModeTerminate
 			if spec.Type == policy.TypeForward {
 				mode = vswitch.ModeForward
@@ -714,6 +906,19 @@ func (p *Platform) Teardown(tenant string) error {
 	// Serialize against in-flight scale operations on this deployment.
 	dep.scaleMu.Lock()
 	defer dep.scaleMu.Unlock()
+	// Background scrubbers first, so they are not scanning targets whose
+	// relays are being torn down underneath them.
+	dep.mu.Lock()
+	scrubbers := make([]*scrub.Scrubber, 0, len(dep.Scrubbers))
+	for _, s := range dep.Scrubbers {
+		if s != nil {
+			scrubbers = append(scrubbers, s)
+		}
+	}
+	dep.mu.Unlock()
+	for _, s := range scrubbers {
+		s.Stop()
+	}
 	for _, av := range dep.Volumes {
 		_ = av.Device.Close()
 		p.cloud.Plane.Undeploy(av.DeploymentID)
@@ -731,9 +936,16 @@ func (p *Platform) Teardown(tenant string) error {
 		if in.MB != nil {
 			_ = p.cloud.RemoveMiddleBox(in.Name)
 		}
+		obs.Default().RetireInstance(in.Name)
 	}
 	for _, mb := range dep.MBs {
 		_ = p.cloud.RemoveMiddleBox(mb.Name)
+		obs.Default().RetireInstance(mb.Name)
+	}
+	for _, bvs := range dep.BackendVolumes {
+		for _, bv := range bvs {
+			_ = p.cloud.Volumes.MarkDetached(bv.ID)
+		}
 	}
 	return nil
 }
@@ -779,8 +991,13 @@ func (t *TenantDeployment) ScaleBounds(mb string) (min, max int, err error) {
 	if spec == nil {
 		return 0, 0, fmt.Errorf("core: tenant %q has no middle-box %q", t.Tenant, mb)
 	}
-	if !spec.Scalable() {
+	if !spec.Grouped() {
 		return 0, 0, fmt.Errorf("core: middle-box %q is not scalable", mb)
+	}
+	if !spec.Scalable() {
+		// A replicate group is pinned at a single member: the group exists
+		// for crash-replacement coverage, not elasticity.
+		return 1, 1, nil
 	}
 	return spec.EffectiveMinInstances(), spec.EffectiveMaxInstances(), nil
 }

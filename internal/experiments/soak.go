@@ -43,6 +43,11 @@ type SoakConfig struct {
 	// Hosts is the compute host count (default 8): tenants share hosts at
 	// ~60+ guests each rather than getting private machines.
 	Hosts int
+	// MutexWaitPerOpBudget gates runtime mutex wait per I/O op (default
+	// 20ms). Recorded full-scale runs sit at 1.8–8.4ms/op (mutex wait sums
+	// across all goroutines, so it can exceed wall time); a reintroduced
+	// global lock on the apply/teardown or data path blows well past this.
+	MutexWaitPerOpBudget time.Duration
 }
 
 // SoakRun is one dated soak result.
@@ -66,8 +71,11 @@ type SoakRun struct {
 	// MiB per second.
 	AllocRateMB float64 `json:"alloc_rate_mib_per_s"`
 	// MutexWait is the runtime's total mutex wait accumulated across the
-	// measured phases (/sync/mutex/wait/total:seconds delta).
-	MutexWait time.Duration `json:"mutex_wait_ns"`
+	// measured phases (/sync/mutex/wait/total:seconds delta), and
+	// MutexWaitPerOp is that total divided by the I/O ops that paid it
+	// (gated against SoakConfig.MutexWaitPerOpBudget).
+	MutexWait      time.Duration `json:"mutex_wait_ns"`
+	MutexWaitPerOp time.Duration `json:"mutex_wait_per_op_ns"`
 	// LookupAllocs is allocations per vswitch flow lookup on a live chain
 	// switch (must be 0).
 	LookupAllocs float64 `json:"lookup_allocs_per_op"`
@@ -105,6 +113,9 @@ func RunSoak(cfg SoakConfig) (*SoakRun, error) {
 	}
 	if cfg.Hosts <= 0 {
 		cfg.Hosts = 8
+	}
+	if cfg.MutexWaitPerOpBudget <= 0 {
+		cfg.MutexWaitPerOpBudget = 20 * time.Millisecond
 	}
 	run := &SoakRun{
 		Tenants:      cfg.Tenants,
@@ -292,6 +303,9 @@ func RunSoak(cfg SoakConfig) (*SoakRun, error) {
 	run.MutexWait = mutexWaitTotal() - mutexBefore
 	run.AllocRateMB = float64(heapAllocated()-memBefore) / (1 << 20) / elapsed.Seconds()
 	run.Ops = ops.Load()
+	if run.Ops > 0 {
+		run.MutexWaitPerOp = run.MutexWait / time.Duration(run.Ops)
+	}
 	run.ChurnCycles = cycles.Load()
 	run.QuietP50 = hQuiet.Percentile(50)
 	run.QuietP99 = hQuiet.Percentile(99)
@@ -347,6 +361,14 @@ func RunSoak(cfg SoakConfig) (*SoakRun, error) {
 		run.Violations = append(run.Violations,
 			fmt.Sprintf("churn-phase p99 %v exceeds budget %v (quiet p99 %v)",
 				run.ChurnP99, budget, run.QuietP99))
+	}
+	// Lock contention must stay in the recorded band: mutex wait per op
+	// blowing past the budget means a serialization point crept back into
+	// the sharded control plane or the data path.
+	if run.MutexWaitPerOp > cfg.MutexWaitPerOpBudget {
+		run.Violations = append(run.Violations,
+			fmt.Sprintf("mutex wait %v/op exceeds budget %v (total %v over %d ops)",
+				run.MutexWaitPerOp, cfg.MutexWaitPerOpBudget, run.MutexWait.Round(time.Millisecond), run.Ops))
 	}
 	return run, nil
 }
@@ -437,7 +459,8 @@ func FormatSoak(run *SoakRun) string {
 	fmt.Fprintf(&b, "  churn p50/p99      %v / %v\n",
 		run.ChurnP50.Round(time.Microsecond), run.ChurnP99.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  alloc rate         %.1f MiB/s\n", run.AllocRateMB)
-	fmt.Fprintf(&b, "  mutex wait         %v total across phases\n", run.MutexWait.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  mutex wait         %v total across phases (%v/op)\n",
+		run.MutexWait.Round(time.Microsecond), run.MutexWaitPerOp.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  flow lookup        %.1f allocs/op\n", run.LookupAllocs)
 	fmt.Fprintf(&b, "  gateway IPs live   %d after teardown\n", run.GatewayIPsLive)
 	fmt.Fprintf(&b, "  isolation          %d violations, %d I/O errors\n",

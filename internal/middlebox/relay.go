@@ -191,6 +191,7 @@ type Relay struct {
 	journalMu  sync.Mutex
 	journalAll []Journal          // every journal created for active sessions
 	wbAll      []*WriteBackDevice // live write-back devices (for crash kill)
+	killables  []Killable         // service-chain devices with own crash state
 
 	draining atomic.Bool
 	sessions atomic.Int64
@@ -384,9 +385,22 @@ func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, iscs
 			_ = sess.Close()
 			return nil, iscsi.Params{}, fmt.Errorf("middlebox: build service chain: %w", err)
 		}
+		// Service layers carrying crash-relevant state of their own (the
+		// replicate box's dispatch journal) register for Relay.Kill, so a
+		// crash freezes them at the same instant as the session journals.
+		if k, ok := stack.(Killable); ok {
+			r.journalMu.Lock()
+			r.killables = append(r.killables, k)
+			r.journalMu.Unlock()
+		}
 	}
 	return stack, neg, nil
 }
+
+// Killable is implemented by service-chain devices that hold crash-durable
+// state of their own. The relay freezes them (no flush, journals kept on
+// disk) when it is crash-killed.
+type Killable interface{ Kill() }
 
 // resolve is the pseudo-server's device resolver: it opens the backend stack
 // through openBackend and adds the mode-specific decorators.
@@ -510,9 +524,13 @@ func (r *Relay) Kill() {
 	}
 	r.journalMu.Lock()
 	wbs := append([]*WriteBackDevice(nil), r.wbAll...)
+	ks := append([]Killable(nil), r.killables...)
 	r.journalMu.Unlock()
 	for _, wb := range wbs {
 		wb.Kill()
+	}
+	for _, k := range ks {
+		k.Kill()
 	}
 	r.srv.Close()
 }

@@ -259,6 +259,8 @@ func (r *Registry) RetireInstance(inst string) int {
 		"relay." + inst + ".",
 		StagePrefix + "relay." + inst + ".",
 		"orch.member." + inst + ".",
+		"replicate." + inst + ".",
+		"scrub." + inst + ".",
 	}
 	match := func(name string) bool {
 		for _, p := range prefixes {

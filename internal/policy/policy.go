@@ -24,6 +24,12 @@ const (
 	TypeEncryption  ServiceType = "encryption"
 	TypeReplication ServiceType = "replication"
 	TypeForward     ServiceType = "forward"
+	// TypeReplicate is the content-addressed replication service: writes
+	// are chunked, addressed by content hash (dedup), journaled, and fanned
+	// out to N content-addressed backend volumes with quorum acks; a
+	// background scrubber repairs divergent backends from the healthy
+	// majority.
+	TypeReplicate ServiceType = "replicate"
 )
 
 // Mode selects the relay design for a middle-box.
@@ -62,6 +68,13 @@ type MiddleBoxSpec struct {
 	//   encryption:  "key" (64 hex chars)
 	//   replication: "replicas" (total copies, >= 2)
 	//   access-monitor: "watch" (comma-separated path prefixes)
+	//   replicate:   "replicaBackends" content-addressed backend count
+	//                (2..4), "replicaQuorum" acks per write (1..backends,
+	//                default strict majority), "scrubInterval" background
+	//                integrity-scrub pass interval as a Go duration
+	//                ("500ms", ...; "0" disables scrubbing),
+	//                "replicaChunkBytes" content-addressing granularity
+	//                (block-multiple, default 4096)
 	// plus relay tuning knobs:
 	//   "copyThreads"         concurrent copy paths (overrides VCPUs)
 	//   "interceptPerBatchNs" active-relay per-batch copy cost
@@ -144,6 +157,32 @@ func (p *Policy) Validate() error {
 			n, err := strconv.Atoi(mb.Params["replicas"])
 			if err != nil || n < 2 || n > 8 {
 				return fmt.Errorf("policy: middle-box %q needs replicas in [2,8]", mb.Name)
+			}
+		case TypeReplicate:
+			n, err := strconv.Atoi(mb.Params["replicaBackends"])
+			if err != nil || n < 2 || n > 4 {
+				return fmt.Errorf("policy: middle-box %q needs replicaBackends in [2,4]", mb.Name)
+			}
+			if v := mb.Params["replicaQuorum"]; v != "" {
+				q, err := strconv.Atoi(v)
+				if err != nil || q < 1 || q > n {
+					return fmt.Errorf("policy: middle-box %q: replicaQuorum must be in [1,%d], got %q", mb.Name, n, v)
+				}
+			}
+			if v := mb.Params["scrubInterval"]; v != "" {
+				d, err := time.ParseDuration(v)
+				if err != nil || d < 0 {
+					return fmt.Errorf("policy: middle-box %q: bad scrubInterval %q", mb.Name, v)
+				}
+			}
+			if v := mb.Params["replicaChunkBytes"]; v != "" {
+				c, err := strconv.Atoi(v)
+				if err != nil || c < 512 || c%512 != 0 {
+					return fmt.Errorf("policy: middle-box %q: replicaChunkBytes must be a positive multiple of 512, got %q", mb.Name, v)
+				}
+			}
+			if mb.EffectiveMode() != ModeActive {
+				return fmt.Errorf("policy: middle-box %q: replicate requires an active relay (it intercepts writes)", mb.Name)
 			}
 		default:
 			return fmt.Errorf("policy: middle-box %q has unknown type %q", mb.Name, mb.Type)
@@ -277,6 +316,56 @@ func (m *MiddleBoxSpec) EffectiveMaxInstances() int {
 // Scalable reports whether the middle-box is an elastic instance group.
 func (m *MiddleBoxSpec) Scalable() bool {
 	return m.EffectiveMaxInstances() > 1
+}
+
+// Grouped reports whether the middle-box is provisioned through the
+// instance-group machinery. All scalable services are; so is replicate,
+// pinned at one instance (its backend volumes and journal are
+// single-writer) but grouped so the orchestrator's crash-replacement loop
+// covers it.
+func (m *MiddleBoxSpec) Grouped() bool {
+	return m.Scalable() || m.Type == TypeReplicate
+}
+
+// ReplicaBackends returns the content-addressed backend count for a
+// replicate middle-box.
+func (m *MiddleBoxSpec) ReplicaBackends() int {
+	n, _ := strconv.Atoi(m.Params["replicaBackends"])
+	return n
+}
+
+// ReplicaQuorum resolves the "replicaQuorum" param — how many backend
+// acknowledgements a write waits for. Default: a strict majority of the
+// backends.
+func (m *MiddleBoxSpec) ReplicaQuorum() int {
+	if q, err := strconv.Atoi(m.Params["replicaQuorum"]); err == nil && q >= 1 {
+		return q
+	}
+	return m.ReplicaBackends()/2 + 1
+}
+
+// ScrubInterval resolves the "scrubInterval" param — the background
+// integrity scrubber's pass interval. Unset defaults to 1s; an explicit
+// "0" disables scrubbing.
+func (m *MiddleBoxSpec) ScrubInterval() time.Duration {
+	v, ok := m.Params["scrubInterval"]
+	if !ok {
+		return time.Second
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return time.Second
+	}
+	return d
+}
+
+// ReplicaChunkBytes resolves the "replicaChunkBytes" param — the
+// content-addressing granularity. Default 4096.
+func (m *MiddleBoxSpec) ReplicaChunkBytes() int {
+	if c, err := strconv.Atoi(m.Params["replicaChunkBytes"]); err == nil && c >= 512 && c%512 == 0 {
+		return c
+	}
+	return 4096
 }
 
 // DurableJournal reports whether the middle-box asked for a crash-durable

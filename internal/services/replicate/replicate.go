@@ -1,0 +1,739 @@
+// Package replicate implements the content-addressed replication service:
+// a stateful middle-box that intercepts tenant writes, addresses the
+// affected chunks by content hash (dedup via internal/cas), and fans each
+// update out to N content-addressed backends with per-backend health
+// probes, hedged waits, and quorum acknowledgement.
+//
+// The dispatch queue is WAL-backed (internal/wal): a write is appended to
+// the journal before it touches the primary or any backend, and its commit
+// record is written only once a quorum of backends acknowledges the chunk
+// update. A replication box that dies mid-dispatch therefore recovers
+// exactly like the relay does — reopen the journal, replay the
+// uncommitted records to the primary and every backend, and resume —
+// closing the PR-5 follow-up.
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/cas"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Errors.
+var (
+	// ErrKilled reports I/O against a box frozen by Kill.
+	ErrKilled = errors.New("replicate: box killed")
+	// ErrClosed reports I/O against a closed box.
+	ErrClosed = errors.New("replicate: box closed")
+)
+
+// Config parameterizes a replication box.
+type Config struct {
+	// Name labels the box's obs series (replicate.<name>.*) and events —
+	// the middle-box instance name in production wiring.
+	Name string
+	// Quorum is the number of backend acknowledgements a write waits for
+	// before its journal record commits. 1 ≤ Quorum ≤ len(backends).
+	Quorum int
+	// ChunkSize is the content-addressing granularity in bytes; must be a
+	// multiple of the primary's block size. Default 4096.
+	ChunkSize int
+	// WALDir is the dispatch journal directory (required). An existing
+	// journal is replayed before the box serves I/O.
+	WALDir string
+	// SyncWindow is the journal's group-commit window.
+	SyncWindow time.Duration
+	// HedgeDelay bounds how long a write waits for its quorum before
+	// returning anyway (the record stays uncommitted and is re-driven by
+	// the retry machinery). Default 2ms.
+	HedgeDelay time.Duration
+	// ProbeInterval paces the health probe / resync loop over evicted
+	// backends. Default 50ms.
+	ProbeInterval time.Duration
+	// Obs receives the box's metrics and events (default obs.Default()).
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4096
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 2 * time.Millisecond
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 50 * time.Millisecond
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
+	return c
+}
+
+// NamedStore pairs a content-addressed backend with a diagnostic name.
+type NamedStore struct {
+	Name  string
+	Store *cas.Store
+}
+
+// chunkUpdate is one chunk's post-write content snapshot, taken from the
+// primary under the write lock so every backend applies identical bytes.
+type chunkUpdate struct {
+	slot uint64
+	data []byte
+}
+
+// job is one journaled write's fan-out unit.
+type job struct {
+	seq    uint64
+	chunks []chunkUpdate
+
+	mu    sync.Mutex
+	acked map[*Target]bool
+	done  chan struct{} // closed when acks reach quorum
+}
+
+// Target is one content-addressed backend of the box. It satisfies the
+// scrub service's Replica interface, so a scrubber can be pointed straight
+// at Box.Targets().
+type Target struct {
+	box   *Box
+	name  string
+	store *cas.Store
+	queue chan *job
+
+	// enq/done count jobs handed to and finished by this target's worker
+	// (enq bumped before the channel send, done after the apply or skip),
+	// so enq == done means nothing is queued or in flight.
+	enq  atomic.Uint64
+	done atomic.Uint64
+
+	// guarded by box.mu
+	alive   bool
+	lastErr error
+}
+
+// Name returns the backend's diagnostic name.
+func (t *Target) Name() string { return t.name }
+
+// Store exposes the backend's CAS store (stats, verification).
+func (t *Target) Store() *cas.Store { return t.store }
+
+// Healthy reports whether the backend is serving.
+func (t *Target) Healthy() bool {
+	t.box.mu.Lock()
+	defer t.box.mu.Unlock()
+	return t.alive
+}
+
+// IDAt returns the chunk ID the backend maps at slot.
+func (t *Target) IDAt(slot uint64) cas.ID { return t.store.IDAt(slot) }
+
+// ReadChunk returns the backend's content at slot (verified).
+func (t *Target) ReadChunk(slot uint64) ([]byte, error) {
+	buf := make([]byte, t.store.ChunkSize())
+	if err := t.store.Read(slot, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteChunk force-overwrites the backend's content at slot (scrub
+// repair) — it must reach the stored bytes even when the slot's mapping is
+// already correct, which is exactly the corrupted-chunk case.
+func (t *Target) WriteChunk(slot uint64, data []byte) error {
+	return t.store.Repair(slot, data)
+}
+
+// Box is the replication middle-box device: blockdev.Device over the
+// primary, with journaled content-addressed fan-out to the backends.
+type Box struct {
+	cfg     Config
+	primary blockdev.Device
+	log     *wal.Log
+	slots   uint64 // primary size in chunks
+	bpc     uint64 // blocks per chunk
+
+	mu      sync.Mutex // targets' health, pending jobs, lifecycle flags
+	writeMu sync.Mutex // serializes append→apply→snapshot→enqueue
+	targets []*Target
+	pending map[uint64]*job
+	killed  bool
+	closed  bool
+
+	stop     chan struct{}
+	workerWG sync.WaitGroup
+	proberWG sync.WaitGroup
+
+	replayed int
+
+	// killAfter, when non-nil, is consulted after each journal append (and
+	// again after the primary apply) with the record's seq and a stage tag;
+	// returning true freezes the box at that point, simulating a process
+	// death mid-dispatch for the crash-recovery tests.
+	killAfter func(seq uint64, stage string) bool
+
+	mDispatch, mDedup, mQuorumMiss, mHedged, mReplays *obs.Counter
+	mBytesLogical, mBytesStored                       *obs.Counter
+	gPending, gAlive                                  *obs.Gauge
+}
+
+var _ blockdev.Device = (*Box)(nil)
+
+// Kill-point stage tags consulted through Config's kill hook.
+const (
+	StageAppended = "appended" // journal record durable, nothing applied
+	StagePrimary  = "primary"  // primary updated, backends not enqueued
+)
+
+// New builds a replication box over primary with the given backends. Every
+// backend store must use cfg.ChunkSize chunks and cover the primary. If
+// cfg.WALDir holds a journal from a previous life, its uncommitted records
+// are replayed — to the primary and to every backend — before the box
+// accepts I/O; Replayed reports how many.
+func New(cfg Config, primary blockdev.Device, backends []NamedStore) (*Box, error) {
+	cfg = cfg.withDefaults()
+	if primary == nil {
+		return nil, errors.New("replicate: primary device required")
+	}
+	if cfg.WALDir == "" {
+		return nil, errors.New("replicate: WALDir required (the dispatch queue is journal-backed)")
+	}
+	if len(backends) == 0 {
+		return nil, errors.New("replicate: at least one backend required")
+	}
+	if cfg.Quorum < 1 || cfg.Quorum > len(backends) {
+		return nil, fmt.Errorf("replicate: quorum %d outside [1,%d]", cfg.Quorum, len(backends))
+	}
+	bs := primary.BlockSize()
+	if cfg.ChunkSize%bs != 0 {
+		return nil, fmt.Errorf("replicate: chunk size %d not a multiple of block size %d", cfg.ChunkSize, bs)
+	}
+	bpc := uint64(cfg.ChunkSize / bs)
+	slots := (primary.Blocks() + bpc - 1) / bpc
+	b := &Box{
+		cfg:     cfg,
+		primary: primary,
+		slots:   slots,
+		bpc:     bpc,
+		pending: make(map[uint64]*job),
+		stop:    make(chan struct{}),
+	}
+	for _, nb := range backends {
+		if nb.Store.ChunkSize() != cfg.ChunkSize {
+			return nil, fmt.Errorf("replicate: backend %q chunk size %d, want %d", nb.Name, nb.Store.ChunkSize(), cfg.ChunkSize)
+		}
+		if nb.Store.Slots() < slots {
+			return nil, fmt.Errorf("replicate: backend %q has %d slots, primary needs %d", nb.Name, nb.Store.Slots(), slots)
+		}
+		b.targets = append(b.targets, &Target{
+			box:   b,
+			name:  nb.Name,
+			store: nb.Store,
+			queue: make(chan *job, 256),
+			alive: true,
+		})
+	}
+	b.initMetrics()
+
+	log, rec, err := wal.Open(cfg.WALDir, wal.Options{SyncWindow: cfg.SyncWindow})
+	switch {
+	case errors.Is(err, wal.ErrNoSegments):
+		log, err = wal.Create(cfg.WALDir, wal.Meta{Attrs: map[string]string{"service": "replicate", "box": cfg.Name}}, wal.Options{SyncWindow: cfg.SyncWindow})
+		if err != nil {
+			return nil, fmt.Errorf("replicate: create journal: %w", err)
+		}
+	case err != nil:
+		return nil, fmt.Errorf("replicate: open journal: %w", err)
+	default:
+		b.log = log
+		if err := b.replay(rec); err != nil {
+			_ = log.Close()
+			return nil, err
+		}
+	}
+	b.log = log
+
+	for _, t := range b.targets {
+		b.workerWG.Add(1)
+		go b.worker(t)
+	}
+	b.proberWG.Add(1)
+	go b.prober()
+	b.gAlive.Set(int64(len(b.targets)))
+	return b, nil
+}
+
+// replay applies a recovered journal's uncommitted records — in sequence
+// order to the primary, then chunk-aligned to every backend — and commits
+// them. Replay is synchronous and unconditional on all backends (not just
+// a quorum): recovery is the moment to reconverge stragglers.
+func (b *Box) replay(rec *wal.Recovery) error {
+	for _, r := range rec.Records {
+		if err := b.primary.WriteAt(r.Data, r.LBA); err != nil {
+			return fmt.Errorf("replicate: replay seq %d to primary: %w", r.Seq, err)
+		}
+	}
+	// Snapshot each touched chunk once, after all records landed.
+	touched := make(map[uint64]bool)
+	for _, r := range rec.Records {
+		first := r.LBA / b.bpc
+		last := (r.LBA + uint64(len(r.Data))/uint64(b.primary.BlockSize()) - 1) / b.bpc
+		for s := first; s <= last; s++ {
+			touched[s] = true
+		}
+	}
+	for slot := range touched {
+		data, err := b.snapshotChunk(slot)
+		if err != nil {
+			return err
+		}
+		for _, t := range b.targets {
+			if _, err := t.store.Write(slot, data); err != nil {
+				return fmt.Errorf("replicate: replay slot %d to %s: %w", slot, t.name, err)
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		if err := b.log.Commit(r.Seq); err != nil {
+			return fmt.Errorf("replicate: commit replayed seq %d: %w", r.Seq, err)
+		}
+	}
+	b.replayed = len(rec.Records)
+	if b.replayed > 0 {
+		b.mReplays.Add(int64(b.replayed))
+		b.cfg.Obs.Eventf("replicate", "box %s replayed %d journaled writes across %d chunks", b.cfg.Name, b.replayed, len(touched))
+	}
+	return nil
+}
+
+// Replayed reports how many journal records the box replayed at open.
+func (b *Box) Replayed() int { return b.replayed }
+
+// Pending reports the number of journaled writes not yet quorum-committed.
+func (b *Box) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// Drained reports whether every dispatched job has been fully processed:
+// nothing below quorum, nothing queued, nothing in flight on any backend.
+// Benches and tests use it to wait for full (not just quorum) convergence.
+func (b *Box) Drained() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pending) != 0 {
+		return false
+	}
+	for _, t := range b.targets {
+		if t.enq.Load() != t.done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Targets returns the box's backends (for scrub wiring and tests).
+func (b *Box) Targets() []*Target { return b.targets }
+
+// SetKillHook installs the crash-test hook; see Box.killAfter.
+func (b *Box) SetKillHook(fn func(seq uint64, stage string) bool) { b.killAfter = fn }
+
+func (b *Box) initMetrics() {
+	p := "replicate." + b.cfg.Name + "."
+	r := b.cfg.Obs
+	b.mDispatch = r.Counter(p + "dispatches")
+	b.mDedup = r.Counter(p + "dedup_hits")
+	b.mQuorumMiss = r.Counter(p + "quorum_misses")
+	b.mHedged = r.Counter(p + "hedged")
+	b.mReplays = r.Counter(p + "replays")
+	b.mBytesLogical = r.Counter(p + "bytes_logical")
+	b.mBytesStored = r.Counter(p + "bytes_stored")
+	b.gPending = r.Gauge(p + "pending")
+	b.gAlive = r.Gauge(p + "backends_alive")
+}
+
+// BlockSize implements blockdev.Device.
+func (b *Box) BlockSize() int { return b.primary.BlockSize() }
+
+// Blocks implements blockdev.Device.
+func (b *Box) Blocks() uint64 { return b.primary.Blocks() }
+
+// ReadAt serves reads from the primary.
+func (b *Box) ReadAt(p []byte, lba uint64) error {
+	if err := b.ioErr(); err != nil {
+		return err
+	}
+	return b.primary.ReadAt(p, lba)
+}
+
+func (b *Box) ioErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.killed {
+		return ErrKilled
+	}
+	if b.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// snapshotChunk reads chunk slot's full content from the primary. The tail
+// chunk of a primary whose size is not chunk-aligned is zero-padded.
+func (b *Box) snapshotChunk(slot uint64) ([]byte, error) {
+	bs := uint64(b.primary.BlockSize())
+	data := make([]byte, b.cfg.ChunkSize)
+	first := slot * b.bpc
+	n := b.bpc
+	if rem := b.primary.Blocks() - first; rem < n {
+		n = rem
+	}
+	if err := b.primary.ReadAt(data[:n*bs], first); err != nil {
+		return nil, fmt.Errorf("replicate: snapshot chunk %d: %w", slot, err)
+	}
+	return data, nil
+}
+
+// WriteAt journals the write, applies it to the primary, snapshots the
+// affected chunks, and fans the snapshots out to every live backend. It
+// returns once a quorum of backends acknowledges — or after HedgeDelay,
+// in which case the journal record stays uncommitted (counted as a quorum
+// miss) and the box's retry machinery re-drives it: stragglers are caught
+// up by the resync prober, and a crash before quorum replays the record.
+func (b *Box) WriteAt(p []byte, lba uint64) error {
+	if err := b.ioErr(); err != nil {
+		return err
+	}
+	bs := uint64(b.BlockSize())
+	if len(p) == 0 || uint64(len(p))%bs != 0 {
+		return blockdev.ErrBadLength
+	}
+	nblocks := uint64(len(p)) / bs
+	if lba+nblocks > b.Blocks() {
+		return blockdev.ErrOutOfRange
+	}
+
+	b.writeMu.Lock()
+	seq, err := b.log.Append(lba, p)
+	if err != nil {
+		b.writeMu.Unlock()
+		if ioErr := b.ioErr(); errors.Is(err, wal.ErrClosed) && ioErr != nil {
+			return ioErr
+		}
+		return fmt.Errorf("replicate: journal append: %w", err)
+	}
+	if b.killAfter != nil && b.killAfter(seq, StageAppended) {
+		b.freezeLocked()
+		b.writeMu.Unlock()
+		return ErrKilled
+	}
+	if err := b.primary.WriteAt(p, lba); err != nil {
+		b.writeMu.Unlock()
+		return err
+	}
+	if b.killAfter != nil && b.killAfter(seq, StagePrimary) {
+		b.freezeLocked()
+		b.writeMu.Unlock()
+		return ErrKilled
+	}
+
+	first := lba / b.bpc
+	last := (lba + nblocks - 1) / b.bpc
+	j := &job{
+		seq:   seq,
+		acked: make(map[*Target]bool),
+		done:  make(chan struct{}),
+	}
+	for slot := first; slot <= last; slot++ {
+		data, err := b.snapshotChunk(slot)
+		if err != nil {
+			b.writeMu.Unlock()
+			return err
+		}
+		j.chunks = append(j.chunks, chunkUpdate{slot: slot, data: data})
+	}
+
+	b.mu.Lock()
+	b.pending[seq] = j
+	b.gPending.Set(int64(len(b.pending)))
+	live := make([]*Target, 0, len(b.targets))
+	for _, t := range b.targets {
+		if t.alive {
+			live = append(live, t)
+		}
+	}
+	b.mu.Unlock()
+	for _, t := range live {
+		t.enq.Add(1)
+		select {
+		case t.queue <- j:
+		case <-b.stop:
+			t.done.Add(1)
+			b.writeMu.Unlock()
+			return ErrKilled
+		}
+	}
+	b.writeMu.Unlock()
+
+	b.mDispatch.Inc()
+	b.mBytesLogical.Add(int64(len(p)))
+
+	hedge := time.NewTimer(b.cfg.HedgeDelay)
+	defer hedge.Stop()
+	select {
+	case <-j.done:
+		return nil
+	case <-hedge.C:
+		// Hedged return: the write is durable in the journal and applied
+		// to the primary; the backends converge asynchronously.
+		b.mHedged.Inc()
+		b.mQuorumMiss.Inc()
+		return nil
+	case <-b.stop:
+		return nil
+	}
+}
+
+// worker drains one backend's dispatch queue in order.
+func (b *Box) worker(t *Target) {
+	defer b.workerWG.Done()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case j := <-t.queue:
+			b.mu.Lock()
+			alive := t.alive
+			b.mu.Unlock()
+			if !alive {
+				t.done.Add(1) // resync will reconverge this backend
+				continue
+			}
+			if err := b.applyJob(t, j); err != nil {
+				t.done.Add(1)
+				b.evict(t, err)
+				continue
+			}
+			b.ack(j, t)
+			t.done.Add(1)
+		}
+	}
+}
+
+// applyJob writes the job's chunk snapshots into the target's CAS store.
+func (b *Box) applyJob(t *Target, j *job) error {
+	for _, cu := range j.chunks {
+		dup, err := t.store.Write(cu.slot, cu.data)
+		if err != nil {
+			return err
+		}
+		if dup {
+			b.mDedup.Inc()
+		} else {
+			b.mBytesStored.Add(int64(len(cu.data)))
+		}
+	}
+	return nil
+}
+
+// ack records one backend's acknowledgement; the quorum-crossing ack
+// commits the journal record and releases the waiting writer.
+func (b *Box) ack(j *job, t *Target) {
+	j.mu.Lock()
+	if j.acked[t] {
+		j.mu.Unlock()
+		return
+	}
+	j.acked[t] = true
+	n := len(j.acked)
+	if n == b.cfg.Quorum {
+		close(j.done)
+	}
+	j.mu.Unlock()
+	if n != b.cfg.Quorum {
+		return
+	}
+	b.mu.Lock()
+	if !b.killed && !b.closed {
+		_ = b.log.Commit(j.seq)
+	}
+	delete(b.pending, j.seq)
+	b.gPending.Set(int64(len(b.pending)))
+	b.mu.Unlock()
+}
+
+// evict marks a backend unhealthy.
+func (b *Box) evict(t *Target, err error) {
+	b.mu.Lock()
+	already := !t.alive
+	t.alive = false
+	t.lastErr = err
+	alive := 0
+	for _, x := range b.targets {
+		if x.alive {
+			alive++
+		}
+	}
+	b.mu.Unlock()
+	if !already {
+		b.gAlive.Set(int64(alive))
+		b.cfg.Obs.Eventf("replicate", "box %s evicted backend %s: %v", b.cfg.Name, t.name, err)
+	}
+}
+
+// prober periodically resyncs evicted backends from the primary and
+// re-admits them; a re-admitted backend retro-acks every pending job (its
+// content now includes them), which can push a stalled write over quorum.
+func (b *Box) prober() {
+	defer b.proberWG.Done()
+	tick := time.NewTicker(b.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-tick.C:
+			b.Probe()
+		}
+	}
+}
+
+// Probe resyncs every evicted backend once, re-admitting those that catch
+// up. It returns the number re-admitted. Tests drive it directly.
+func (b *Box) Probe() int {
+	b.mu.Lock()
+	var dead []*Target
+	for _, t := range b.targets {
+		if !t.alive {
+			dead = append(dead, t)
+		}
+	}
+	b.mu.Unlock()
+	n := 0
+	for _, t := range dead {
+		if b.resync(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// resync reconverges one backend to the primary's content chunk by chunk
+// (skipping chunks whose content hash already matches), then re-admits it.
+// The write lock is held throughout so the backend rejoins exactly at a
+// write boundary.
+func (b *Box) resync(t *Target) bool {
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	for slot := uint64(0); slot < b.slots; slot++ {
+		data, err := b.snapshotChunk(slot)
+		if err != nil {
+			return false
+		}
+		if t.store.IDAt(slot) == cas.Sum(data) {
+			continue
+		}
+		if _, err := t.store.Write(slot, data); err != nil {
+			return false
+		}
+	}
+	b.mu.Lock()
+	t.alive = true
+	t.lastErr = nil
+	alive := 0
+	for _, x := range b.targets {
+		if x.alive {
+			alive++
+		}
+	}
+	pend := make([]*job, 0, len(b.pending))
+	for _, j := range b.pending {
+		pend = append(pend, j)
+	}
+	b.mu.Unlock()
+	b.gAlive.Set(int64(alive))
+	b.cfg.Obs.Eventf("replicate", "box %s readmitted backend %s after resync", b.cfg.Name, t.name)
+	for _, j := range pend {
+		b.ack(j, t)
+	}
+	return true
+}
+
+// Flush syncs the primary and the journal.
+func (b *Box) Flush() error {
+	if err := b.ioErr(); err != nil {
+		return err
+	}
+	if err := b.primary.Flush(); err != nil {
+		return err
+	}
+	return b.log.Sync()
+}
+
+// freezeLocked marks the box killed and freezes the journal. Callers hold
+// writeMu. Killing an already-closed box (a reconnect built a successor
+// before the relay crashed) only marks it: the stop channel is closed and
+// the journal released.
+func (b *Box) freezeLocked() {
+	b.mu.Lock()
+	if b.killed || b.closed {
+		b.killed = true
+		b.mu.Unlock()
+		return
+	}
+	b.killed = true
+	b.mu.Unlock()
+	close(b.stop)
+	b.log.Kill()
+}
+
+// Kill freezes the box without flushing — the crash-test half of the
+// kill/replay cycle (the relay's Relay.Kill calls it for replicate
+// services in its chain). The journal directory survives for the next New.
+func (b *Box) Kill() {
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	b.freezeLocked()
+	b.workerWG.Wait()
+	b.proberWG.Wait()
+}
+
+// Killed reports whether the box was frozen by Kill.
+func (b *Box) Killed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.killed
+}
+
+// Close shuts the box down cleanly: stop dispatch, close the journal
+// (leaving it for a later Open) and the primary. Backend stores are NOT
+// closed — their lifetime belongs to whoever attached them.
+func (b *Box) Close() error {
+	b.writeMu.Lock()
+	b.mu.Lock()
+	if b.closed || b.killed {
+		b.mu.Unlock()
+		b.writeMu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	b.writeMu.Unlock()
+	b.workerWG.Wait()
+	b.proberWG.Wait()
+	err := b.log.Close()
+	if cerr := b.primary.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
