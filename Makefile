@@ -16,14 +16,18 @@
 # non-zero exit on any failed gate). `make backup` runs the
 # content-addressed replication suite (dedup ratio, fan-out throughput,
 # scrub repair after corruption; dated entry in BENCH_results.json).
+# `make overload` runs the resource-exhaustion suite (WAL/CAS full typed
+# refusal, brownout breaker trip/recover, bounded memory; dated entry in
+# BENCH_results.json). `make lint-taxonomy` greps the data-path services
+# for raw fmt.Errorf at exhaustion sites that should carry an xerr class.
 
 GO ?= go
-RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/cloud ./internal/orchestrator ./internal/workload ./internal/cas ./internal/objstore ./internal/scrub ./internal/services/replicate
+RACE_PKGS := ./internal/iscsi ./internal/metrics ./internal/obs ./internal/middlebox ./internal/netsim ./internal/bufpool ./internal/initiator ./internal/target ./internal/services/replica ./internal/faults ./internal/wal ./internal/sdn ./internal/splice ./internal/vswitch ./internal/core ./internal/cloud ./internal/orchestrator ./internal/workload ./internal/cas ./internal/objstore ./internal/scrub ./internal/services/replicate ./internal/xerr ./internal/testutil
 BENCH_PKGS := ./internal/iscsi ./internal/middlebox ./internal/bufpool ./internal/experiments
 
-.PHONY: check fmt vet build test race bench allocs crash trace soak soak-short backup backup-short
+.PHONY: check fmt vet build test race bench allocs crash trace soak soak-short backup backup-short overload overload-short lint-taxonomy
 
-check: fmt vet build race allocs soak-short backup-short
+check: fmt vet build lint-taxonomy race allocs soak-short backup-short overload-short
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -78,3 +82,23 @@ backup:
 # recorded.
 backup-short:
 	$(GO) run ./cmd/stormbench -backup -backupchunks 128 -backuprounds 3 -json ''
+
+# Full overload suite: WAL-full and CAS-full typed refusal and recovery,
+# 1-slow-of-3 brownout with breaker trip/recover, bounded heap growth;
+# dated entry in BENCH_results.json, non-zero exit on any failed gate.
+overload:
+	$(GO) run ./cmd/stormbench -overload
+
+# Short overload smoke for the pre-commit gate: fewer brownout writes,
+# results not recorded.
+overload-short:
+	$(GO) run ./cmd/stormbench -overload -overloadwrites 200 -json ''
+
+# Taxonomy lint: exhaustion/overload/draining sentinels on the data path
+# must carry an xerr class (xerr.New), not a bare errors.New — an untyped
+# sentinel defeats retry-budget and circuit-breaker classification.
+lint-taxonomy:
+	@out=$$(grep -rn --include='*.go' --exclude='*_test.go' -E 'errors\.New\("[^"]*(full|drain|overload|exhaust|busy)' internal/wal internal/cas internal/middlebox internal/services internal/iscsi 2>/dev/null || true); \
+	if [ -n "$$out" ]; then \
+		echo "untyped exhaustion/overload sentinels (use xerr.New):"; echo "$$out"; exit 1; \
+	fi

@@ -19,6 +19,7 @@
 //	stormbench -soaktenants 500 -soakdur 10s   # soak scale and measured duration
 //	stormbench -backup         # content-addressed backup suite: dedup ratio, fan-out, scrub repair
 //	stormbench -backupchunks 512 -backuprounds 4   # backup image size and generations
+//	stormbench -overload       # overload suite: WAL/CAS exhaustion, breaker trip/recover (non-zero exit on a failed gate)
 //	stormbench -ops 200        # fio ops per point (accuracy vs. runtime)
 //	stormbench -json out.json  # machine-readable results (default BENCH_results.json)
 //	stormbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -57,6 +58,7 @@ type benchResults struct {
 	Tracing             []experiments.TracingRun             `json:"tracing,omitempty"`
 	Soak                []experiments.SoakRun                `json:"soak,omitempty"`
 	Backup              []experiments.BackupRun              `json:"backup,omitempty"`
+	Overload            []experiments.OverloadRun            `json:"overload,omitempty"`
 	Observability       obs.Snapshot                         `json:"observability"`
 }
 
@@ -76,6 +78,8 @@ func main() {
 		backup     = flag.Bool("backup", false, "run only the content-addressed backup suite (exit non-zero on a failed gate)")
 		backupN    = flag.Int("backupchunks", 512, "backup image size in chunks for -backup")
 		backupR    = flag.Int("backuprounds", 4, "backup generations for -backup")
+		overload   = flag.Bool("overload", false, "run only the overload/exhaustion suite (exit non-zero on a failed gate)")
+		overloadW  = flag.Int("overloadwrites", 400, "writes per measured brownout phase for -overload")
 		ops        = flag.Int("ops", 150, "fio operations per data point")
 		repDur     = flag.Duration("repdur", 3*time.Second, "replication run duration")
 		jsonPath   = flag.String("json", "BENCH_results.json", "write machine-readable results here (empty disables)")
@@ -93,6 +97,7 @@ func main() {
 		scaleOnly: *scale, chaosOnly: *chaos, crashOnly: *crash, traceOnly: *trace,
 		soakOnly: *soak, soakTenants: *soakN, soakDur: *soakDur,
 		backupOnly: *backup, backupChunks: *backupN, backupRounds: *backupR,
+		overloadOnly: *overload, overloadWrites: *overloadW,
 		ops: *ops, repDur: *repDur, jsonPath: *jsonPath,
 	})
 	stop()
@@ -146,6 +151,8 @@ type runCfg struct {
 	soakDur                                                                 time.Duration
 	backupOnly                                                              bool
 	backupChunks, backupRounds                                              int
+	overloadOnly                                                            bool
+	overloadWrites                                                          int
 	ops                                                                     int
 	repDur                                                                  time.Duration
 	jsonPath                                                                string
@@ -157,7 +164,7 @@ func run(cfg runCfg) error {
 	chaosOnly, crashOnly, traceOnly, soakOnly := cfg.chaosOnly, cfg.crashOnly, cfg.traceOnly, cfg.soakOnly
 	ops, repDur, jsonPath := cfg.ops, cfg.repDur, cfg.jsonPath
 	opts := experiments.Options{FioOps: ops}
-	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly && !soakOnly && !cfg.backupOnly
+	all := fig == 0 && table == 0 && !ablationsOnly && !fastpathOnly && !scaleOnly && !chaosOnly && !crashOnly && !traceOnly && !soakOnly && !cfg.backupOnly && !cfg.overloadOnly
 	results := &benchResults{FioOps: ops, Ablations: make(map[string][]experiments.AblationRow)}
 	if jsonPath != "" {
 		defer func() {
@@ -262,6 +269,25 @@ func run(cfg runCfg) error {
 			return fmt.Errorf("backup failed: %s", backupRun.Violations[0])
 		}
 		if cfg.backupOnly {
+			return nil
+		}
+	}
+
+	if cfg.overloadOnly || all {
+		section("Overload: exhaustion, backpressure, circuit breakers")
+		overloadRun, err := experiments.RunOverload(experiments.OverloadConfig{
+			BrownoutWrites: cfg.overloadWrites,
+		})
+		if err != nil {
+			return err
+		}
+		overloadRun.When = time.Now().UTC().Format(time.RFC3339)
+		fmt.Print(experiments.FormatOverload(overloadRun))
+		results.Overload = []experiments.OverloadRun{*overloadRun}
+		if len(overloadRun.Violations) > 0 {
+			return fmt.Errorf("overload failed: %s", overloadRun.Violations[0])
+		}
+		if cfg.overloadOnly {
 			return nil
 		}
 	}
@@ -426,6 +452,7 @@ func writeResults(path string, r *benchResults) error {
 			Tracing  []experiments.TracingRun  `json:"tracing"`
 			Soak     []experiments.SoakRun     `json:"soak"`
 			Backup   []experiments.BackupRun   `json:"backup"`
+			Overload []experiments.OverloadRun `json:"overload"`
 		}
 		if json.Unmarshal(old, &prev) == nil {
 			r.FastPath = append(prev.FastPath, r.FastPath...)
@@ -434,6 +461,7 @@ func writeResults(path string, r *benchResults) error {
 			r.Tracing = append(prev.Tracing, r.Tracing...)
 			r.Soak = append(prev.Soak, r.Soak...)
 			r.Backup = append(prev.Backup, r.Backup...)
+			r.Overload = append(prev.Overload, r.Overload...)
 		}
 	}
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/xerr"
 )
 
 // Errors.
@@ -28,8 +30,14 @@ var (
 	ErrCorrupt = errors.New("cas: chunk content does not match its id")
 	// ErrNoChunk reports a lookup of an ID the backend does not hold.
 	ErrNoChunk = errors.New("cas: no such chunk")
-	// ErrFull reports a backend with no free chunk slot left.
-	ErrFull = errors.New("cas: backend is full")
+	// ErrFull reports a backend with no free chunk slot left. It is classed
+	// xerr.Exhausted: retrying won't help until overwrites release chunk
+	// refs (dedup reclaim) or the backend grows.
+	ErrFull = xerr.New(xerr.Exhausted, "cas: backend is full")
+	// ErrStoreFull is the taxonomy-facing name for chunk-slot exhaustion —
+	// the same sentinel as ErrFull, exported under the name the data-path
+	// error contract uses.
+	ErrStoreFull = ErrFull
 	// ErrGeometry reports a store opened with a mismatched chunk size or
 	// slot count.
 	ErrGeometry = errors.New("cas: geometry mismatch")

@@ -672,11 +672,14 @@ func (p *Platform) buildReplicate(pol *policy.Policy, spec *policy.MiddleBoxSpec
 			_ = old.Close()
 		}
 		box, err := replicate.New(replicate.Config{
-			Name:       mb.Name,
-			Quorum:     spec.ReplicaQuorum(),
-			ChunkSize:  chunk,
-			WALDir:     walDir,
-			SyncWindow: spec.JournalFsyncWindow(),
+			Name:               mb.Name,
+			Quorum:             spec.ReplicaQuorum(),
+			ChunkSize:          chunk,
+			WALDir:             walDir,
+			SyncWindow:         spec.JournalFsyncWindow(),
+			QueueHighWatermark: spec.QueueHighWatermark(),
+			BreakerThreshold:   spec.BreakerThreshold(),
+			DegradedQuorum:     spec.DegradedQuorum(),
 		}, backend, backends)
 		if err != nil {
 			return nil, err
@@ -693,6 +696,7 @@ func (p *Platform) buildReplicate(pol *policy.Policy, spec *policy.MiddleBoxSpec
 				Slots:     slots,
 				ChunkSize: chunk,
 				Interval:  iv,
+				Paused:    box.BreakerOpen,
 			})
 			sc.Start()
 			dep.setScrubber(spec.Name, sc)
@@ -1194,6 +1198,11 @@ type MemberStatus struct {
 	// CopyThreads is the member's concurrent copy bound — the denominator
 	// for utilization (0 = unbounded).
 	CopyThreads int
+	// BreakerOpen and Backpressured surface a replicate member's overload
+	// state (a backend circuit breaker open / dispatch admission refusing
+	// writes); always false for non-replicate groups.
+	BreakerOpen   bool
+	Backpressured bool
 }
 
 // RecoverInstance replaces a crashed group member: it verifies the member's
@@ -1392,6 +1401,9 @@ func (t *TenantDeployment) RetryRecoveries(mbName string) (int, error) {
 func (t *TenantDeployment) GroupStatus(mbName string) []MemberStatus {
 	g := t.steeringGroup(mbName)
 	insts := t.Group(mbName)
+	// Replicate groups are pinned at one instance; its box's overload state
+	// is the member's overload state.
+	box := t.Replicator(mbName)
 	out := make([]MemberStatus, 0, len(insts))
 	for _, in := range insts {
 		ms := MemberStatus{Name: in.Name, Host: in.Host}
@@ -1405,6 +1417,10 @@ func (t *TenantDeployment) GroupStatus(mbName string) []MemberStatus {
 			ms.Sessions = st.Sessions
 			ms.JournalBytes = st.JournalBytes
 			ms.CopyThreads = in.MB.Relay.CopyThreads()
+		}
+		if box != nil && !box.Killed() {
+			ms.BreakerOpen = box.BreakerOpen()
+			ms.Backpressured = box.Backpressured()
 		}
 		out = append(out, ms)
 	}

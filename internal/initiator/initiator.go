@@ -18,7 +18,13 @@ import (
 	"repro/internal/iscsi"
 	"repro/internal/obs"
 	"repro/internal/scsi"
+	"repro/internal/xerr"
 )
+
+// ErrTargetBusy reports a command completed with SCSI BUSY status: the
+// target (or a relay in front of it) is shedding load and wants the command
+// retried after backoff. Classed xerr.Overload, so xerr.Retryable holds.
+var ErrTargetBusy = xerr.New(xerr.Overload, "initiator: target busy")
 
 // Errors returned by session operations.
 var (
@@ -248,8 +254,19 @@ func doLogin(conn net.Conn, cfg Config, isid [6]byte, tsih uint16, cid uint16) (
 		return iscsi.Params{}, 0, 0, err
 	}
 	if resp.StatusClass != iscsi.LoginStatusSuccess {
-		return iscsi.Params{}, 0, 0, fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
+		err := fmt.Errorf("%w: status class 0x%02x detail 0x%02x",
 			ErrLoginFailed, resp.StatusClass, resp.StatusDetail)
+		// The wire status carries the target's error class: TargetErr means
+		// "retry later" (transient or overload), while TargetRemoved under
+		// InitiatorErr marks the refusal terminal — the target will never
+		// accept this login, so redialing it is wasted budget.
+		switch {
+		case resp.StatusClass == iscsi.LoginStatusTargetErr:
+			err = xerr.Wrap(xerr.Transient, err)
+		case resp.StatusClass == iscsi.LoginStatusInitiatorErr && resp.StatusDetail == iscsi.LoginDetailTargetRemoved:
+			err = xerr.Wrap(xerr.Terminal, err)
+		}
+		return iscsi.Params{}, 0, 0, err
 	}
 	params, err := cfg.Params.Negotiate(resp.Pairs)
 	if err != nil {
@@ -709,6 +726,12 @@ func (s *Session) recover(cause error) {
 		if err != nil {
 			conn.Close()
 			lastErr = err
+			if xerr.IsTerminal(err) {
+				// The target refused with a terminal status (e.g. a
+				// draining relay): further redials cannot succeed, so fail
+				// the session now instead of burning the remaining budget.
+				break
+			}
 			continue
 		}
 		s.mu.Lock()
@@ -955,6 +978,9 @@ func (s *Session) execReadOnce(cdb *scsi.CDB, dst []byte, spanCtx obs.SpanContex
 	if sense != nil {
 		return 0, sense
 	}
+	if status == byte(scsi.StatusBusy) {
+		return 0, ErrTargetBusy
+	}
 	if status != byte(scsi.StatusGood) {
 		return 0, fmt.Errorf("initiator: %v", scsi.Status(status))
 	}
@@ -1050,6 +1076,9 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, spanCtx obs.SpanCont
 			if perr != nil {
 				return perr
 			}
+			if status == byte(scsi.StatusBusy) {
+				return ErrTargetBusy
+			}
 			return fmt.Errorf("initiator: write completed before data transfer (status %v)", scsi.Status(status))
 		case <-tc:
 			sc.conn.Close()
@@ -1084,6 +1113,9 @@ func (s *Session) execWriteOnce(cdb *scsi.CDB, data []byte, spanCtx obs.SpanCont
 	}
 	if sense != nil {
 		return sense
+	}
+	if status == byte(scsi.StatusBusy) {
+		return ErrTargetBusy
 	}
 	if status != byte(scsi.StatusGood) {
 		return fmt.Errorf("initiator: %v", scsi.Status(status))

@@ -10,7 +10,7 @@ import (
 // fakeTarget answers the login on the server side of a pipe so unit tests
 // exercise the initiator without the full target package (which has its own
 // integration tests against this one).
-func fakeTarget(t *testing.T, conn net.Conn, statusClass byte) {
+func fakeTarget(t *testing.T, conn net.Conn, statusClass, statusDetail byte) {
 	t.Helper()
 	go func() {
 		pdu, err := iscsi.ReadPDU(conn)
@@ -22,16 +22,17 @@ func fakeTarget(t *testing.T, conn net.Conn, statusClass byte) {
 			return
 		}
 		resp := &iscsi.LoginResponse{
-			Transit:     true,
-			CSG:         iscsi.StageOperational,
-			NSG:         iscsi.StageFullFeature,
-			ISID:        req.ISID,
-			ITT:         req.ITT,
-			StatSN:      1,
-			ExpCmdSN:    req.CmdSN + 1,
-			MaxCmdSN:    req.CmdSN + 32,
-			StatusClass: statusClass,
-			Pairs:       iscsi.DefaultParams().Pairs(),
+			Transit:      true,
+			CSG:          iscsi.StageOperational,
+			NSG:          iscsi.StageFullFeature,
+			ISID:         req.ISID,
+			ITT:          req.ITT,
+			StatSN:       1,
+			ExpCmdSN:     req.CmdSN + 1,
+			MaxCmdSN:     req.CmdSN + 32,
+			StatusClass:  statusClass,
+			StatusDetail: statusDetail,
+			Pairs:        iscsi.DefaultParams().Pairs(),
 		}
 		_, _ = resp.Encode().WriteTo(conn)
 	}()
@@ -82,7 +83,7 @@ func TestLoginExposesSourcePortAndVM(t *testing.T) {
 func TestLoginFailureStatus(t *testing.T) {
 	client, server := net.Pipe()
 	defer server.Close()
-	fakeTarget(t, server, iscsi.LoginStatusInitiatorErr)
+	fakeTarget(t, server, iscsi.LoginStatusInitiatorErr, iscsi.LoginDetailNone)
 	if _, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"}); err == nil {
 		t.Fatal("login succeeded against error status")
 	}
@@ -101,7 +102,7 @@ func TestLoginConnectionDrop(t *testing.T) {
 
 func TestOperationsFailAfterConnClose(t *testing.T) {
 	client, server := net.Pipe()
-	fakeTarget(t, server, iscsi.LoginStatusSuccess)
+	fakeTarget(t, server, iscsi.LoginStatusSuccess, iscsi.LoginDetailNone)
 	sess, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"})
 	if err != nil {
 		t.Fatalf("Login: %v", err)
@@ -119,7 +120,7 @@ func TestOperationsFailAfterConnClose(t *testing.T) {
 func TestWriteValidatesAlignment(t *testing.T) {
 	client, server := net.Pipe()
 	defer server.Close()
-	fakeTarget(t, server, iscsi.LoginStatusSuccess)
+	fakeTarget(t, server, iscsi.LoginStatusSuccess, iscsi.LoginDetailNone)
 	sess, err := Login(client, Config{InitiatorIQN: "i", TargetIQN: "t"})
 	if err != nil {
 		t.Fatalf("Login: %v", err)

@@ -1,0 +1,71 @@
+package initiator
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/iscsi"
+	"repro/internal/xerr"
+)
+
+// refusingRedial returns a Redial hook whose target always refuses the
+// login with the given wire status, counting the attempts.
+func refusingRedial(t *testing.T, attempts *atomic.Int32, class, detail byte) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		attempts.Add(1)
+		client, server := net.Pipe()
+		fakeTarget(t, server, class, detail)
+		return client, nil
+	}
+}
+
+// TestTerminalLoginRefusalStopsRedial is the regression test for redialing
+// a target that has said "gone for good" (a draining relay advertises
+// TargetRemoved): the session must fail after the first refusal instead of
+// burning the whole MaxRedials budget against a refusal that cannot change.
+func TestTerminalLoginRefusalStopsRedial(t *testing.T) {
+	var attempts atomic.Int32
+	cfg := Config{
+		MaxRedials: 4,
+		Redial:     refusingRedial(t, &attempts, iscsi.LoginStatusInitiatorErr, iscsi.LoginDetailTargetRemoved),
+	}
+	sess, _ := redialHarness(t, cfg)
+	if err := sess.Write(0, make([]byte, 512), 512); err != nil {
+		t.Fatalf("write before cut: %v", err)
+	}
+	sess.Conn().Close()
+	err := sess.Write(0, make([]byte, 512), 512)
+	if err == nil {
+		t.Fatal("write succeeded against a terminally refusing target")
+	}
+	if !errors.Is(err, ErrLoginFailed) {
+		t.Fatalf("error = %v, want ErrLoginFailed in the chain", err)
+	}
+	if !xerr.IsTerminal(err) {
+		t.Fatalf("error = %v classed %v, want Terminal", err, xerr.Classify(err))
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("session redialed %d times against a terminal refusal, want 1", got)
+	}
+}
+
+// TestTransientLoginRefusalKeepsRetrying is the contrast case: a TargetErr
+// refusal ("retry later") must consume the full redial budget.
+func TestTransientLoginRefusalKeepsRetrying(t *testing.T) {
+	var attempts atomic.Int32
+	cfg := Config{
+		MaxRedials: 3,
+		Redial:     refusingRedial(t, &attempts, iscsi.LoginStatusTargetErr, iscsi.LoginDetailOutOfResources),
+	}
+	sess, _ := redialHarness(t, cfg)
+	sess.Conn().Close()
+	err := sess.Write(0, make([]byte, 512), 512)
+	if err == nil {
+		t.Fatal("write succeeded against a refusing target")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("session redialed %d times against a transient refusal, want MaxRedials=3", got)
+	}
+}

@@ -22,6 +22,18 @@ const (
 	LoginStatusTargetErr    byte = 0x03
 )
 
+// Login status details (RFC 7143 subset) carried with a refusal so the
+// initiator can distinguish "retry later" from "don't retry here". The
+// target maps its typed error taxonomy onto these: a terminal refusal (for
+// example a draining relay) advertises TargetRemoved under InitiatorErr,
+// while overload advertises OutOfResources under TargetErr.
+const (
+	LoginDetailNone               byte = 0x00
+	LoginDetailTargetRemoved      byte = 0x04 // class InitiatorErr: gone for good, do not redial
+	LoginDetailServiceUnavailable byte = 0x01 // class TargetErr: transient, retry later
+	LoginDetailOutOfResources     byte = 0x02 // class TargetErr: overloaded, retry after backoff
+)
+
 // LoginRequest is the typed view of a Login Request PDU (opcode 0x03).
 type LoginRequest struct {
 	Transit   bool

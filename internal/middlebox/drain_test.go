@@ -12,6 +12,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/target"
+	"repro/internal/testutil"
+	"repro/internal/xerr"
 )
 
 // multiListener yields pushed connections until closed, letting a test open
@@ -89,13 +91,7 @@ func drainTestbed(t *testing.T, mode Mode, reg *obs.Registry) (*Relay, func() (*
 
 func waitQuiesced(t *testing.T, r *Relay) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for !r.Quiesced() && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if !r.Quiesced() {
-		t.Fatalf("relay never quiesced: %+v", r.DrainStatus())
-	}
+	testutil.WaitFor(t, 2*time.Second, "relay to quiesce", r.Quiesced)
 }
 
 func TestRelayDrainLifecycle(t *testing.T) {
@@ -120,9 +116,13 @@ func TestRelayDrainLifecycle(t *testing.T) {
 	if relay.Quiesced() {
 		t.Fatal("Quiesced() true with a live session")
 	}
-	// New logins are refused while draining...
+	// New logins are refused while draining — and the refusal travels the
+	// wire as a terminal status, so initiators fail fast instead of
+	// redialing an instance that is going away.
 	if _, err := login(); err == nil {
 		t.Fatal("login during drain succeeded, want refusal")
+	} else if !xerr.IsTerminal(err) {
+		t.Fatalf("drain refusal classed %v (%v), want Terminal on the initiator side", xerr.Classify(err), err)
 	}
 	// ...but the established session keeps full service.
 	if err := sess.Write(0, make([]byte, 512), 512); err != nil {

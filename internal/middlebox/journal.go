@@ -14,23 +14,26 @@
 package middlebox
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/bufpool"
 	"repro/internal/obs"
+	"repro/internal/xerr"
 )
 
 // ErrJournalFull reports that the non-volatile buffer cannot accept more
 // unacknowledged write data; the relay falls back to synchronous completion
-// until space frees up.
-var ErrJournalFull = errors.New("middlebox: journal full")
+// until space frees up. It is classed xerr.Overload: the condition clears
+// once the appliers drain, so callers with retry budget should back off and
+// retry rather than fail the write.
+var ErrJournalFull = xerr.New(xerr.Overload, "middlebox: journal full")
 
 // ErrJournalClosed reports an append against a journal that has been closed
-// or crash-killed.
-var ErrJournalClosed = errors.New("middlebox: journal closed")
+// or crash-killed. Classed xerr.Terminal: no retry against this journal can
+// succeed.
+var ErrJournalClosed = xerr.New(xerr.Terminal, "middlebox: journal closed")
 
 // EntryState tracks a journaled write through its lifecycle.
 type EntryState int

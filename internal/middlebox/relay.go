@@ -21,6 +21,7 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/target"
 	"repro/internal/wal"
+	"repro/internal/xerr"
 )
 
 // Mode selects the relay's interception strategy (Section III-B).
@@ -147,6 +148,22 @@ type Config struct {
 	// JournalCapacity bounds the active relay's NVRAM buffer in bytes
 	// (0 = unbounded).
 	JournalCapacity int
+	// JournalHighWatermark and JournalLowWatermark bound admission into the
+	// write-back journal: once journaled-but-unapplied bytes reach the high
+	// watermark the relay stops early-acking and refuses front writes with a
+	// typed overload error (surfaced on the wire as SCSI BUSY) until the
+	// appliers drain usage back to the low watermark. Zero high watermark
+	// disables admission control (legacy behaviour: block, then write
+	// through). Low defaults to half of high.
+	JournalHighWatermark int
+	JournalLowWatermark  int
+	// CommandTimeout propagates the front initiator's command deadline onto
+	// the relay's forward legs: each pseudo-client command that exceeds it
+	// declares the forward connection dead and triggers redial/reissue, so a
+	// wedged next hop turns into bounded latency plus recovery instead of an
+	// indefinite stall holding journal space. Zero disables forward-leg
+	// deadlines.
+	CommandTimeout time.Duration
 	// JournalDir, when set for an active relay, makes every session journal
 	// crash-durable: a segmented WAL under JournalDir/sess-<n> that a
 	// replacement instance can reopen with RecoverFrom after this one dies.
@@ -177,7 +194,11 @@ type Config struct {
 // ErrDraining reports a login refused because the relay is draining: the
 // orchestrator has stopped steering new flows here ahead of a scale-down,
 // and the relay refuses new sessions while the established ones log out.
-var ErrDraining = errors.New("middlebox: relay is draining")
+// Classed xerr.Terminal: redialing the same relay is pointless — the
+// steering layer must place the flow elsewhere — so the target advertises
+// the refusal as non-retryable and initiators fail fast instead of burning
+// their redial budget here.
+var ErrDraining = xerr.New(xerr.Terminal, "middlebox: relay is draining")
 
 // Relay is a middle-box's storage relay: pseudo-server toward the source,
 // pseudo-client toward the next hop, with the tenant's service chain in
@@ -365,6 +386,11 @@ func (r *Relay) openBackend(iqn string, next netsim.Addr) (blockdev.Device, iscs
 		DialConn: dial,
 		Obs:      r.cfg.Obs,
 		Stage:    obs.RelayForwardStage(r.cfg.Name),
+		// Deadline propagation: the front command's deadline bounds the
+		// forward leg too, so a wedged next hop fails the command (and the
+		// forward session — the write-back Reopen hook then recovers it)
+		// within the same budget the source gave the relay.
+		CommandTimeout: r.cfg.CommandTimeout,
 	})
 	if err != nil {
 		_ = backConn.Close()
@@ -463,6 +489,12 @@ func (r *Relay) resolve(iqn string, conn net.Conn) (blockdev.Device, bool, error
 		// burst window, so one coalesced apply is at most one solicited
 		// burst on the wire.
 		wb.SetMaxCoalesce(neg.MaxBurstLength)
+		if hw := r.cfg.JournalHighWatermark; hw > 0 {
+			lw := r.cfg.JournalLowWatermark
+			wb.SetBackpressure(hw, lw,
+				r.cfg.Obs.Gauge("backpressure.relay."+r.cfg.Name+".engaged"),
+				r.cfg.Obs.Counter("backpressure.relay."+r.cfg.Name+".rejects"))
+		}
 		r.journalMu.Lock()
 		r.wbAll = append(r.wbAll, wb)
 		r.journalMu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -40,10 +41,11 @@ type Fabric struct {
 	nextPort  int
 
 	// Fault plane (see faults.go). All lazily allocated.
-	tracks    map[*connTrack]struct{}
-	downHosts map[string]struct{}
-	parts     map[partKey]struct{}
-	hostDelay map[string]time.Duration
+	tracks       map[*connTrack]struct{}
+	downHosts    map[string]struct{}
+	parts        map[partKey]struct{}
+	hostDelay    map[string]time.Duration
+	hostThrottle map[string]*faults.SlowBackend
 }
 
 // NewFabric creates a fabric with the given cost model and the direct
@@ -265,7 +267,7 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 		bHost:  ln.endpoint.host.name,
 		dial:   dialSide,
 	}
-	extra, err := f.admitConn(track)
+	extra, throttles, err := f.admitConn(track)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +275,10 @@ func (f *Fabric) dial(src *Endpoint, dst Addr) (*Conn, error) {
 	if extra > 0 {
 		dialSide.out.setExtra(extra)
 		dialSide.in.setExtra(extra)
+	}
+	if len(throttles) > 0 {
+		dialSide.out.setThrottles(throttles)
+		dialSide.in.setThrottles(throttles)
 	}
 	if err := ln.deliver(acceptSide); err != nil {
 		track.remove()

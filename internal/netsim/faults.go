@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Fault-injection errors. Aborted connections report these from every
@@ -76,18 +78,32 @@ func (f *Fabric) checkDialFault(srcHost, dstHost string) error {
 
 // admitConn runs the fault checks for a new connection and, if admitted,
 // registers its track and returns the extra per-frame delay its pipes must
-// model (the sum of both endpoints' host delays).
-func (f *Fabric) admitConn(t *connTrack) (time.Duration, error) {
+// model (the sum of both endpoints' host delays) plus the token buckets of
+// any throttled endpoint hosts.
+func (f *Fabric) admitConn(t *connTrack) (time.Duration, []*faults.SlowBackend, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if err := f.checkDialFault(t.aHost, t.bHost); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if f.tracks == nil {
 		f.tracks = make(map[*connTrack]struct{})
 	}
 	f.tracks[t] = struct{}{}
-	return f.hostDelay[t.aHost] + f.hostDelay[t.bHost], nil
+	return f.hostDelay[t.aHost] + f.hostDelay[t.bHost], f.throttlesFor(t), nil
+}
+
+// throttlesFor collects the token buckets capping a connection's endpoint
+// hosts. Called with f.mu held.
+func (f *Fabric) throttlesFor(t *connTrack) []*faults.SlowBackend {
+	var ts []*faults.SlowBackend
+	if sb := f.hostThrottle[t.aHost]; sb != nil {
+		ts = append(ts, sb)
+	}
+	if sb := f.hostThrottle[t.bHost]; sb != nil && t.bHost != t.aHost {
+		ts = append(ts, sb)
+	}
+	return ts
 }
 
 // abortMatching collects live connections satisfying match under the lock,
@@ -184,6 +200,41 @@ func (f *Fabric) SetHostDelay(name string, d time.Duration) {
 	for i, t := range update {
 		t.dial.out.setExtra(delays[i])
 		t.dial.in.setExtra(delays[i])
+	}
+}
+
+// SetHostThrottle caps the named host's aggregate bandwidth with a token
+// bucket: every frame crossing the host — either direction, any connection,
+// live or future — draws its byte count from one shared bucket refilling at
+// rate bytes/sec up to burst, so a busy host slows *all* of its flows
+// together rather than each in isolation. This is the brownout injection
+// behind "1 slow of 3" overload scenarios: the host stays up and correct,
+// just late. rate <= 0 removes the cap; frames already in flight keep their
+// arrival times.
+func (f *Fabric) SetHostThrottle(name string, rate, burst float64) {
+	f.mu.Lock()
+	if f.hostThrottle == nil {
+		f.hostThrottle = make(map[string]*faults.SlowBackend)
+	}
+	if rate <= 0 {
+		delete(f.hostThrottle, name)
+	} else {
+		f.hostThrottle[name] = faults.NewSlowBackend(rate, burst)
+	}
+	var update []*connTrack
+	for t := range f.tracks {
+		if t.touches(name) {
+			update = append(update, t)
+		}
+	}
+	lists := make([][]*faults.SlowBackend, len(update))
+	for i, t := range update {
+		lists[i] = f.throttlesFor(t)
+	}
+	f.mu.Unlock()
+	for i, t := range update {
+		t.dial.out.setThrottles(lists[i])
+		t.dial.in.setThrottles(lists[i])
 	}
 }
 

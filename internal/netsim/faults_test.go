@@ -245,3 +245,45 @@ func TestScheduleDrivenCut(t *testing.T) {
 		t.Fatalf("Fired() = %v", fired)
 	}
 }
+
+// TestHostThrottleCapsBandwidth: a throttled storage host must stretch a
+// payload's transfer to roughly bytes/rate, a fresh bucket (after removal)
+// restores full speed, and the cap applies to live connections.
+func TestHostThrottleCapsBandwidth(t *testing.T) {
+	f, compute, storage := twoHostFabric(t, fastModel())
+	tgt := storage.NewEndpoint("target")
+	ln, err := tgt.Listen(StorageNet, 3260)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	vm := compute.NewEndpoint("vm")
+	conn := dialEcho(t, ln, vm, "10.0.0.100:3260")
+	defer conn.Close()
+
+	payload := make([]byte, 64*1024)
+	if err := echoOnce(conn, payload); err != nil {
+		t.Fatalf("echo before throttle: %v", err)
+	}
+
+	// 1 MiB/s with a 4 KiB burst: a 64 KiB echo moves 128 KiB through the
+	// host, so it must take >= ~120ms of modelled time.
+	f.SetHostThrottle("storage1", 1<<20, 4096)
+	start := time.Now()
+	if err := echoOnce(conn, payload); err != nil {
+		t.Fatalf("echo under throttle: %v", err)
+	}
+	throttled := time.Since(start)
+	if throttled < 100*time.Millisecond {
+		t.Fatalf("throttled 128KiB round trip took %v, want >= 100ms at 1MiB/s", throttled)
+	}
+
+	f.SetHostThrottle("storage1", 0, 0)
+	start = time.Now()
+	if err := echoOnce(conn, payload); err != nil {
+		t.Fatalf("echo after removing throttle: %v", err)
+	}
+	if unthrottled := time.Since(start); unthrottled > throttled/2 {
+		t.Fatalf("unthrottled round trip %v not faster than throttled %v", unthrottled, throttled)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/faults"
 )
 
 // ErrTimeout is returned by reads that exceed the configured deadline.
@@ -39,7 +40,8 @@ type framePipe struct {
 	closed      bool
 	closeErr    error
 	deadline    time.Time
-	extra       time.Duration // fault-injected added delay per frame
+	extra       time.Duration         // fault-injected added delay per frame
+	throttles   []*faults.SlowBackend // host bandwidth caps; each frame draws its bytes
 
 	wake    chan struct{} // buffered(1): new data / close / deadline change
 	charge  func(time.Duration)
@@ -109,6 +111,12 @@ func (p *framePipe) writeBufs(bufs [][]byte) (int, error) {
 		}
 		delay := p.cost.FrameDelay(n)
 		processing += delay
+		// Host bandwidth caps stretch the frame's serialization (queueing,
+		// not processing — no CPU charge): the shared bucket may run a debt,
+		// so a saturated host delays every flow crossing it.
+		for _, th := range p.throttles {
+			delay += th.Delay(n)
+		}
 		p.lastArrival = p.lastArrival.Add(delay)
 		p.frames = append(p.frames, frame{at: p.lastArrival.Add(p.cost.Propagation + p.extra), data: fb.B, buf: fb})
 		remaining -= n
@@ -248,6 +256,14 @@ func (p *framePipe) close(err error) {
 func (p *framePipe) setExtra(d time.Duration) {
 	p.mu.Lock()
 	p.extra = d
+	p.mu.Unlock()
+}
+
+// setThrottles installs the host bandwidth caps future frames draw from
+// (nil removes them). Frames already in flight keep their arrival times.
+func (p *framePipe) setThrottles(ts []*faults.SlowBackend) {
+	p.mu.Lock()
+	p.throttles = ts
 	p.mu.Unlock()
 }
 

@@ -56,6 +56,11 @@ type managedGroup struct {
 	slo        *obs.SLOTracker
 	sloWatched map[string]bool // member -> watched service histograms
 	sloBurning bool            // last pass exceeded the error budget
+
+	// Overload edge detection (replicate groups): last pass's breaker /
+	// backpressure state, so transitions emit exactly one event each way.
+	breakerOpen   bool
+	backpressured bool
 }
 
 // Orchestrator runs the reconcile loop over its managed groups.
@@ -211,6 +216,7 @@ func (o *Orchestrator) reconcileGroup(g *managedGroup) {
 	status := dep.GroupStatus(g.mb)
 	o.cfg.Obs.Gauge(fmt.Sprintf("orch.group.%s.%s.size", g.tenant, g.mb)).Set(int64(len(status)))
 	o.trackSLO(g, dep, status, now)
+	o.trackOverload(g, status)
 
 	utils := make([]float64, len(status))
 	allMeasured := true
@@ -317,6 +323,40 @@ func (o *Orchestrator) trackSLO(g *managedGroup, dep *core.TenantDeployment, sta
 			g.tenant, g.mb, st.P99, st.Target, st.Violations, st.WindowOps, st.BurnPermille)
 	}
 	g.sloBurning = burning
+}
+
+// trackOverload surfaces replicate overload transitions as orchestrator
+// events and a gauge: a backend circuit breaker opening or recovering, and
+// dispatch backpressure engaging or releasing. Edge-triggered, so a
+// sustained brownout logs once on entry and once on exit rather than every
+// reconcile pass.
+func (o *Orchestrator) trackOverload(g *managedGroup, status []core.MemberStatus) {
+	var breaker, bp bool
+	for _, ms := range status {
+		breaker = breaker || ms.BreakerOpen
+		bp = bp || ms.Backpressured
+	}
+	if breaker != g.breakerOpen {
+		g.breakerOpen = breaker
+		if breaker {
+			o.cfg.Obs.Eventf("orchestrator", "backend breaker open in %s/%s: replication degraded, scrubbing paused", g.tenant, g.mb)
+		} else {
+			o.cfg.Obs.Eventf("orchestrator", "backend breakers recovered in %s/%s", g.tenant, g.mb)
+		}
+	}
+	if bp != g.backpressured {
+		g.backpressured = bp
+		if bp {
+			o.cfg.Obs.Eventf("orchestrator", "backpressure engaged in %s/%s: admission refusing writes (BUSY to initiators)", g.tenant, g.mb)
+		} else {
+			o.cfg.Obs.Eventf("orchestrator", "backpressure released in %s/%s", g.tenant, g.mb)
+		}
+	}
+	var overloaded int64
+	if breaker || bp {
+		overloaded = 1
+	}
+	o.cfg.Obs.Gauge(fmt.Sprintf("orch.group.%s.%s.overloaded", g.tenant, g.mb)).Set(overloaded)
 }
 
 // pickVictim chooses the member to drain: fewest sessions, then lowest

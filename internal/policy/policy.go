@@ -181,6 +181,24 @@ func (p *Policy) Validate() error {
 					return fmt.Errorf("policy: middle-box %q: replicaChunkBytes must be a positive multiple of 512, got %q", mb.Name, v)
 				}
 			}
+			if v := mb.Params["queueHighWatermark"]; v != "" {
+				q, err := strconv.Atoi(v)
+				if err != nil || q < 1 {
+					return fmt.Errorf("policy: middle-box %q: queueHighWatermark must be a positive integer, got %q", mb.Name, v)
+				}
+			}
+			if v := mb.Params["breakerThreshold"]; v != "" {
+				b, err := strconv.Atoi(v)
+				if err != nil || b < 1 {
+					return fmt.Errorf("policy: middle-box %q: breakerThreshold must be a positive integer, got %q", mb.Name, v)
+				}
+			}
+			if v := mb.Params["degradedQuorum"]; v != "" {
+				q, err := strconv.Atoi(v)
+				if err != nil || q < 1 || q > mb.ReplicaQuorum() {
+					return fmt.Errorf("policy: middle-box %q: degradedQuorum must be in [1,%d] (the write quorum), got %q", mb.Name, mb.ReplicaQuorum(), v)
+				}
+			}
 			if mb.EffectiveMode() != ModeActive {
 				return fmt.Errorf("policy: middle-box %q: replicate requires an active relay (it intercepts writes)", mb.Name)
 			}
@@ -366,6 +384,39 @@ func (m *MiddleBoxSpec) ReplicaChunkBytes() int {
 		return c
 	}
 	return 4096
+}
+
+// QueueHighWatermark resolves the "queueHighWatermark" param — the
+// replication box's bounded-admission dispatch-queue ceiling: a write
+// arriving with that many journaled-but-uncommitted records pending is
+// refused with BUSY instead of queued. 0 (the default) keeps the service
+// default.
+func (m *MiddleBoxSpec) QueueHighWatermark() int {
+	if n, err := strconv.Atoi(m.Params["queueHighWatermark"]); err == nil && n >= 1 {
+		return n
+	}
+	return 0
+}
+
+// BreakerThreshold resolves the "breakerThreshold" param — how many
+// consecutive failures (or over-deadline applies) trip a backend's
+// circuit breaker. 0 (the default) keeps the service default.
+func (m *MiddleBoxSpec) BreakerThreshold() int {
+	if n, err := strconv.Atoi(m.Params["breakerThreshold"]); err == nil && n >= 1 {
+		return n
+	}
+	return 0
+}
+
+// DegradedQuorum resolves the "degradedQuorum" param — the reduced
+// write quorum the box may fall back to while backend breakers are open.
+// 0 (the default) disables degraded mode: writes hedge at full quorum and
+// catch up asynchronously.
+func (m *MiddleBoxSpec) DegradedQuorum() int {
+	if n, err := strconv.Atoi(m.Params["degradedQuorum"]); err == nil && n >= 1 {
+		return n
+	}
+	return 0
 }
 
 // DurableJournal reports whether the middle-box asked for a crash-durable

@@ -99,6 +99,52 @@ func TestEffectiveMode(t *testing.T) {
 	}
 }
 
+func TestOverloadKnobValidation(t *testing.T) {
+	// Build a policy with a replicate box (3 backends → write quorum 2)
+	// carrying the given overload params.
+	withKnobs := func(params map[string]string) *Policy {
+		params["replicaBackends"] = "3"
+		p := validPolicy()
+		p.MiddleBoxes = append(p.MiddleBoxes, MiddleBoxSpec{Name: "rpl", Type: TypeReplicate, Params: params})
+		p.Volumes[1].Chain = []string{"rpl"}
+		return p
+	}
+	good := withKnobs(map[string]string{
+		"queueHighWatermark": "256",
+		"breakerThreshold":   "5",
+		"degradedQuorum":     "1",
+	})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid overload knobs rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		params map[string]string
+		want   string
+	}{
+		{"zero watermark", map[string]string{"queueHighWatermark": "0"}, "queueHighWatermark"},
+		{"garbage watermark", map[string]string{"queueHighWatermark": "lots"}, "queueHighWatermark"},
+		{"zero threshold", map[string]string{"breakerThreshold": "0"}, "breakerThreshold"},
+		{"zero degraded quorum", map[string]string{"degradedQuorum": "0"}, "degradedQuorum"},
+		{"degraded above quorum", map[string]string{"degradedQuorum": "3"}, "degradedQuorum"},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			err := withKnobs(tt.params).Validate()
+			if err == nil {
+				t.Fatal("Validate accepted the broken knob")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	spec := &MiddleBoxSpec{Type: TypeReplicate, Params: map[string]string{"replicaBackends": "3"}}
+	if spec.QueueHighWatermark() != 0 || spec.BreakerThreshold() != 0 || spec.DegradedQuorum() != 0 {
+		t.Error("unset overload knobs should resolve to 0 (service defaults)")
+	}
+}
+
 func TestKeyAndReplicasAccessors(t *testing.T) {
 	enc := &MiddleBoxSpec{Type: TypeEncryption, Params: map[string]string{"key": goodKey}}
 	key, err := enc.Key()

@@ -48,6 +48,12 @@ type Config struct {
 	// background loop, bounding the latency impact on foreground I/O.
 	// Default 64.
 	Pace int
+	// Paused, when non-nil, is polled before each background pass: while it
+	// reports true the scrubber idles instead of scanning. Production
+	// wiring points it at the replication box's BreakerOpen — scrubbing
+	// while a backend breaker is open would race resync on a degraded set
+	// and add read load exactly when the system is shedding it.
+	Paused func() bool
 	// Obs receives metrics and events (default obs.Default()).
 	Obs *obs.Registry
 }
@@ -75,8 +81,8 @@ type Scrubber struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
-	mPasses, mScanned, mRepaired, mMismatches, mUnrepairable *obs.Counter
-	gLastPassMS                                              *obs.Gauge
+	mPasses, mScanned, mRepaired, mMismatches, mUnrepairable, mSkipped *obs.Counter
+	gLastPassMS                                                        *obs.Gauge
 }
 
 // New builds a scrubber (call Start for the background loop, or RunPass
@@ -99,6 +105,7 @@ func New(cfg Config) *Scrubber {
 	s.mMismatches = cfg.Obs.Counter(p + "mismatches")
 	s.mUnrepairable = cfg.Obs.Counter(p + "unrepairable")
 	s.gLastPassMS = cfg.Obs.Gauge(p + "last_pass_ms")
+	s.mSkipped = cfg.Obs.Counter(p + "skipped_passes")
 	return s
 }
 
@@ -109,7 +116,9 @@ func (s *Scrubber) Start() {
 	go func() {
 		defer s.wg.Done()
 		for {
-			if _, err := s.runPass(true); err != nil {
+			if s.cfg.Paused != nil && s.cfg.Paused() {
+				s.mSkipped.Inc()
+			} else if _, err := s.runPass(true); err != nil {
 				return
 			}
 			select {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/faults"
+	"repro/internal/testutil"
 )
 
 // gateDev wraps a device so a test can hold a write in flight and observe
@@ -207,11 +208,6 @@ func TestProbeKeepsDeadReplicaEvicted(t *testing.T) {
 	stop := disp.StartProbing(time.Millisecond)
 	defer stop()
 	fd.Heal()
-	deadline := time.Now().Add(5 * time.Second)
-	for disp.AliveCount() != 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("background prober never re-admitted the healed replica")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 5*time.Second, "background prober to re-admit the healed replica",
+		func() bool { return disp.AliveCount() == 2 })
 }

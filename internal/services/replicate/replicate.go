@@ -22,8 +22,10 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/cas"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/wal"
+	"repro/internal/xerr"
 )
 
 // Errors.
@@ -32,6 +34,24 @@ var (
 	ErrKilled = errors.New("replicate: box killed")
 	// ErrClosed reports I/O against a closed box.
 	ErrClosed = errors.New("replicate: box closed")
+	// ErrBusy reports a write refused by admission control: the pending
+	// dispatch queue crossed its high watermark and has not yet drained back
+	// below the low one. Classed Overload — the iSCSI front maps it to SCSI
+	// BUSY and the initiator retries.
+	ErrBusy = xerr.New(xerr.Overload, "replicate: dispatch queue over high watermark")
+	// ErrDegraded reports a write fast-failed because fewer backends are
+	// healthy than even the degraded-quorum policy tolerates. Classed
+	// Transient: the probe machinery is actively reconverging backends, so
+	// a backed-off retry is the right response.
+	ErrDegraded = xerr.New(xerr.Transient, "replicate: insufficient healthy backends for quorum")
+)
+
+// Circuit-breaker states, exposed per backend via the
+// replicate.<box>.<backend>.breaker_state gauge.
+const (
+	BreakerClosed   = 0 // backend healthy, taking dispatch
+	BreakerHalfOpen = 1 // probe in flight, deciding whether to readmit
+	BreakerOpen     = 2 // backend cut off, awaiting a successful probe
 )
 
 // Config parameterizes a replication box.
@@ -57,6 +77,37 @@ type Config struct {
 	// ProbeInterval paces the health probe / resync loop over evicted
 	// backends. Default 50ms.
 	ProbeInterval time.Duration
+	// QueueHighWatermark bounds the pending (journaled, not yet
+	// quorum-committed) dispatch queue: a write arriving with the queue at
+	// or above it gets ErrBusy until the queue drains to QueueLowWatermark.
+	// Default 1024.
+	QueueHighWatermark int
+	// QueueLowWatermark is where engaged backpressure releases (hysteresis,
+	// so admission doesn't flap at the boundary). Default half the high
+	// watermark.
+	QueueLowWatermark int
+	// BreakerThreshold is the consecutive per-backend failure (or
+	// over-deadline apply) count that trips its circuit breaker. Failed
+	// applies are retried inline with jittered backoff until the threshold
+	// exhausts. Default 3.
+	BreakerThreshold int
+	// DegradedQuorum, when > 0, lets writes proceed at a reduced quorum
+	// while breakers are open: a write finding fewer than Quorum healthy
+	// backends succeeds with the survivors' acks as long as at least
+	// DegradedQuorum remain, and fast-fails with ErrDegraded below that.
+	// 0 keeps the legacy behavior (hedged return, asynchronous catch-up).
+	DegradedQuorum int
+	// ApplyTimeout, when > 0, treats a backend apply slower than this as a
+	// breaker-relevant failure even though it succeeded — the slow-backend
+	// brownout detector. Half-open probes must also beat it to close the
+	// breaker. 0 disables latency tripping.
+	ApplyTimeout time.Duration
+	// WALQuota, when set, bounds the dispatch journal's on-disk bytes (see
+	// wal.Options.Quota) — the deterministic ENOSPC injection the overload
+	// experiments drive WAL-full scenarios with.
+	WALQuota wal.Quota
+	// Seed fixes the retry backoff jitter sequence. Default 1.
+	Seed int64
 	// Obs receives the box's metrics and events (default obs.Default()).
 	Obs *obs.Registry
 }
@@ -70,6 +121,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = 50 * time.Millisecond
+	}
+	if c.QueueHighWatermark <= 0 {
+		c.QueueHighWatermark = 1024
+	}
+	if c.QueueLowWatermark <= 0 || c.QueueLowWatermark >= c.QueueHighWatermark {
+		c.QueueLowWatermark = c.QueueHighWatermark / 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	if c.Obs == nil {
 		c.Obs = obs.Default()
@@ -94,6 +157,7 @@ type chunkUpdate struct {
 type job struct {
 	seq    uint64
 	chunks []chunkUpdate
+	quorum int // acks needed to commit; may sit below Config.Quorum in degraded mode
 
 	mu    sync.Mutex
 	acked map[*Target]bool
@@ -118,7 +182,17 @@ type Target struct {
 	// guarded by box.mu
 	alive   bool
 	lastErr error
+
+	// slowStreak counts consecutive over-deadline applies; owned by the
+	// target's worker goroutine.
+	slowStreak int
+
+	gBreaker *obs.Gauge   // breaker_state: BreakerClosed/HalfOpen/Open
+	mProbes  *obs.Counter // half-open probe attempts
 }
+
+// BreakerState returns the backend's current breaker gauge value.
+func (t *Target) BreakerState() int64 { return t.gBreaker.Value() }
 
 // Name returns the backend's diagnostic name.
 func (t *Target) Name() string { return t.name }
@@ -161,12 +235,15 @@ type Box struct {
 	slots   uint64 // primary size in chunks
 	bpc     uint64 // blocks per chunk
 
-	mu      sync.Mutex // targets' health, pending jobs, lifecycle flags
-	writeMu sync.Mutex // serializes append→apply→snapshot→enqueue
-	targets []*Target
-	pending map[uint64]*job
-	killed  bool
-	closed  bool
+	mu         sync.Mutex // targets' health, pending jobs, lifecycle flags
+	writeMu    sync.Mutex // serializes append→apply→snapshot→enqueue
+	targets    []*Target
+	pending    map[uint64]*job
+	overloaded bool // admission latched shut until pending drains to the low watermark
+	killed     bool
+	closed     bool
+
+	backoff *faults.Backoff // jittered spacing for inline apply retries
 
 	stop     chan struct{}
 	workerWG sync.WaitGroup
@@ -182,7 +259,8 @@ type Box struct {
 
 	mDispatch, mDedup, mQuorumMiss, mHedged, mReplays *obs.Counter
 	mBytesLogical, mBytesStored                       *obs.Counter
-	gPending, gAlive                                  *obs.Gauge
+	mBPRejects, mDegraded                             *obs.Counter
+	gPending, gAlive, gBackpressure                   *obs.Gauge
 }
 
 var _ blockdev.Device = (*Box)(nil)
@@ -225,6 +303,10 @@ func New(cfg Config, primary blockdev.Device, backends []NamedStore) (*Box, erro
 		bpc:     bpc,
 		pending: make(map[uint64]*job),
 		stop:    make(chan struct{}),
+		backoff: faults.NewBackoff(time.Millisecond, 50*time.Millisecond, cfg.Seed),
+	}
+	if cfg.DegradedQuorum > cfg.Quorum {
+		return nil, fmt.Errorf("replicate: degraded quorum %d above quorum %d", cfg.DegradedQuorum, cfg.Quorum)
 	}
 	for _, nb := range backends {
 		if nb.Store.ChunkSize() != cfg.ChunkSize {
@@ -243,10 +325,11 @@ func New(cfg Config, primary blockdev.Device, backends []NamedStore) (*Box, erro
 	}
 	b.initMetrics()
 
-	log, rec, err := wal.Open(cfg.WALDir, wal.Options{SyncWindow: cfg.SyncWindow})
+	walOpts := wal.Options{SyncWindow: cfg.SyncWindow, Quota: cfg.WALQuota}
+	log, rec, err := wal.Open(cfg.WALDir, walOpts)
 	switch {
 	case errors.Is(err, wal.ErrNoSegments):
-		log, err = wal.Create(cfg.WALDir, wal.Meta{Attrs: map[string]string{"service": "replicate", "box": cfg.Name}}, wal.Options{SyncWindow: cfg.SyncWindow})
+		log, err = wal.Create(cfg.WALDir, wal.Meta{Attrs: map[string]string{"service": "replicate", "box": cfg.Name}}, walOpts)
 		if err != nil {
 			return nil, fmt.Errorf("replicate: create journal: %w", err)
 		}
@@ -357,8 +440,15 @@ func (b *Box) initMetrics() {
 	b.mReplays = r.Counter(p + "replays")
 	b.mBytesLogical = r.Counter(p + "bytes_logical")
 	b.mBytesStored = r.Counter(p + "bytes_stored")
+	b.mBPRejects = r.Counter("backpressure." + b.cfg.Name + ".rejects")
+	b.mDegraded = r.Counter(p + "degraded_writes")
 	b.gPending = r.Gauge(p + "pending")
 	b.gAlive = r.Gauge(p + "backends_alive")
+	b.gBackpressure = r.Gauge("backpressure." + b.cfg.Name + ".engaged")
+	for _, t := range b.targets {
+		t.gBreaker = r.Gauge(p + t.name + ".breaker_state")
+		t.mProbes = r.Counter(p + t.name + ".breaker_probes")
+	}
 }
 
 // BlockSize implements blockdev.Device.
@@ -373,6 +463,50 @@ func (b *Box) ReadAt(p []byte, lba uint64) error {
 		return err
 	}
 	return b.primary.ReadAt(p, lba)
+}
+
+// admit is WriteAt's admission control, run before the write journals or
+// touches the primary so a refused write leaves no partial state. It
+// enforces the pending-queue watermarks (with hysteresis: once engaged,
+// backpressure holds until the queue drains to the low watermark) and
+// resolves the write's effective quorum against the healthy backend count —
+// reduced to the survivors when DegradedQuorum allows, typed fast-fail when
+// even that floor can't be met.
+func (b *Box) admit() (quorum int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	depth := len(b.pending)
+	if b.overloaded {
+		if depth > b.cfg.QueueLowWatermark {
+			b.mBPRejects.Inc()
+			return 0, fmt.Errorf("%w: %d pending, watermark %d/%d", ErrBusy, depth, b.cfg.QueueHighWatermark, b.cfg.QueueLowWatermark)
+		}
+		b.overloaded = false
+		b.gBackpressure.Set(0)
+		b.cfg.Obs.Eventf("replicate", "box %s backpressure released at %d pending", b.cfg.Name, depth)
+	} else if depth >= b.cfg.QueueHighWatermark {
+		b.overloaded = true
+		b.gBackpressure.Set(1)
+		b.mBPRejects.Inc()
+		b.cfg.Obs.Eventf("replicate", "box %s backpressure engaged at %d pending", b.cfg.Name, depth)
+		return 0, fmt.Errorf("%w: %d pending, watermark %d/%d", ErrBusy, depth, b.cfg.QueueHighWatermark, b.cfg.QueueLowWatermark)
+	}
+
+	alive := 0
+	for _, t := range b.targets {
+		if t.alive {
+			alive++
+		}
+	}
+	quorum = b.cfg.Quorum
+	if alive < quorum && b.cfg.DegradedQuorum > 0 {
+		if alive < b.cfg.DegradedQuorum {
+			return 0, fmt.Errorf("%w: %d healthy, degraded floor %d", ErrDegraded, alive, b.cfg.DegradedQuorum)
+		}
+		quorum = alive
+		b.mDegraded.Inc()
+	}
+	return quorum, nil
 }
 
 func (b *Box) ioErr() error {
@@ -421,6 +555,10 @@ func (b *Box) WriteAt(p []byte, lba uint64) error {
 	if lba+nblocks > b.Blocks() {
 		return blockdev.ErrOutOfRange
 	}
+	quorum, err := b.admit()
+	if err != nil {
+		return err
+	}
 
 	b.writeMu.Lock()
 	seq, err := b.log.Append(lba, p)
@@ -449,9 +587,10 @@ func (b *Box) WriteAt(p []byte, lba uint64) error {
 	first := lba / b.bpc
 	last := (lba + nblocks - 1) / b.bpc
 	j := &job{
-		seq:   seq,
-		acked: make(map[*Target]bool),
-		done:  make(chan struct{}),
+		seq:    seq,
+		quorum: quorum,
+		acked:  make(map[*Target]bool),
+		done:   make(chan struct{}),
 	}
 	for slot := first; slot <= last; slot++ {
 		data, err := b.snapshotChunk(slot)
@@ -480,6 +619,12 @@ func (b *Box) WriteAt(p []byte, lba uint64) error {
 			t.done.Add(1)
 			b.writeMu.Unlock()
 			return ErrKilled
+		default:
+			// The backend's queue is full: it can't keep up with the write
+			// rate. Cut it off (breaker opens) instead of blocking the write
+			// path behind it — resync reconverges it once it recovers.
+			t.done.Add(1)
+			b.evict(t, xerr.Errorf(xerr.Overload, "replicate: backend %s dispatch queue full", t.name))
 		}
 	}
 	b.writeMu.Unlock()
@@ -518,10 +663,41 @@ func (b *Box) worker(t *Target) {
 				t.done.Add(1) // resync will reconverge this backend
 				continue
 			}
-			if err := b.applyJob(t, j); err != nil {
-				t.done.Add(1)
-				b.evict(t, err)
-				continue
+			start := time.Now()
+			err := b.applyJob(t, j)
+			elapsed := time.Since(start)
+			if err != nil {
+				// Inline retry budget: BreakerThreshold consecutive failed
+				// attempts (jitter-backed) before the breaker trips. Errors
+				// classed terminal or exhausted skip the budget — retrying
+				// a full or closed store can't help.
+				for attempt := 0; attempt+1 < b.cfg.BreakerThreshold && err != nil && xerr.Classify(err) != xerr.Exhausted && !xerr.IsTerminal(err); attempt++ {
+					time.Sleep(b.backoff.Delay(attempt))
+					err = b.applyJob(t, j)
+				}
+				if err != nil {
+					t.done.Add(1)
+					b.evict(t, err)
+					continue
+				}
+			}
+			if b.cfg.ApplyTimeout > 0 && elapsed > b.cfg.ApplyTimeout {
+				t.slowStreak++
+				if t.slowStreak >= b.cfg.BreakerThreshold {
+					// The apply landed, so it still acks — but the backend is
+					// consistently over deadline: open its breaker so the
+					// healthy path stops paying for it.
+					streak := t.slowStreak
+					t.slowStreak = 0
+					b.ack(j, t)
+					t.done.Add(1)
+					b.evict(t, xerr.Errorf(xerr.Overload,
+						"replicate: backend %s slow: %d consecutive applies over %v (last %v)",
+						t.name, streak, b.cfg.ApplyTimeout, elapsed))
+					continue
+				}
+			} else {
+				t.slowStreak = 0
 			}
 			b.ack(j, t)
 			t.done.Add(1)
@@ -555,11 +731,11 @@ func (b *Box) ack(j *job, t *Target) {
 	}
 	j.acked[t] = true
 	n := len(j.acked)
-	if n == b.cfg.Quorum {
+	if n == j.quorum {
 		close(j.done)
 	}
 	j.mu.Unlock()
-	if n != b.cfg.Quorum {
+	if n != j.quorum {
 		return
 	}
 	b.mu.Lock()
@@ -571,7 +747,7 @@ func (b *Box) ack(j *job, t *Target) {
 	b.mu.Unlock()
 }
 
-// evict marks a backend unhealthy.
+// evict marks a backend unhealthy and opens its circuit breaker.
 func (b *Box) evict(t *Target, err error) {
 	b.mu.Lock()
 	already := !t.alive
@@ -586,8 +762,33 @@ func (b *Box) evict(t *Target, err error) {
 	b.mu.Unlock()
 	if !already {
 		b.gAlive.Set(int64(alive))
-		b.cfg.Obs.Eventf("replicate", "box %s evicted backend %s: %v", b.cfg.Name, t.name, err)
+		t.gBreaker.Set(BreakerOpen)
+		b.cfg.Obs.Eventf("replicate", "box %s breaker open for backend %s (%s): %v",
+			b.cfg.Name, t.name, xerr.Classify(err), err)
 	}
+}
+
+// BreakerOpen reports whether any backend's breaker is open or half-open —
+// the signal the scrubber pauses on and the orchestrator surfaces.
+func (b *Box) BreakerOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, t := range b.targets {
+		if !t.alive {
+			return true
+		}
+	}
+	return false
+}
+
+// Backpressured reports whether dispatch-queue backpressure is currently
+// engaged (pending depth crossed the high watermark and has not yet
+// drained to the low one) — the admission-side overload signal the
+// orchestrator surfaces alongside BreakerOpen.
+func (b *Box) Backpressured() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.overloaded
 }
 
 // prober periodically resyncs evicted backends from the primary and
@@ -607,8 +808,10 @@ func (b *Box) prober() {
 	}
 }
 
-// Probe resyncs every evicted backend once, re-admitting those that catch
-// up. It returns the number re-admitted. Tests drive it directly.
+// Probe runs the half-open cycle over every open breaker: a cheap
+// single-chunk probe (outside the write lock) decides whether the backend
+// is worth resyncing, and a successful resync closes the breaker and
+// re-admits it. Returns the number re-admitted. Tests drive it directly.
 func (b *Box) Probe() int {
 	b.mu.Lock()
 	var dead []*Target
@@ -620,11 +823,35 @@ func (b *Box) Probe() int {
 	b.mu.Unlock()
 	n := 0
 	for _, t := range dead {
+		t.gBreaker.Set(BreakerHalfOpen)
+		if !b.probeTarget(t) {
+			t.gBreaker.Set(BreakerOpen)
+			continue
+		}
 		if b.resync(t) {
 			n++
+		} else {
+			t.gBreaker.Set(BreakerOpen)
 		}
 	}
 	return n
+}
+
+// probeTarget is the half-open trial: one chunk written to the dead backend
+// without the write lock, judged against ApplyTimeout. A backend that fails
+// (or crawls through) the probe keeps its breaker open without the box
+// paying for a full resync behind writeMu.
+func (b *Box) probeTarget(t *Target) bool {
+	t.mProbes.Inc()
+	data, err := b.snapshotChunk(0)
+	if err != nil {
+		return false
+	}
+	start := time.Now()
+	if _, err := t.store.Write(0, data); err != nil {
+		return false
+	}
+	return b.cfg.ApplyTimeout <= 0 || time.Since(start) <= b.cfg.ApplyTimeout
 }
 
 // resync reconverges one backend to the primary's content chunk by chunk
@@ -661,7 +888,8 @@ func (b *Box) resync(t *Target) bool {
 	}
 	b.mu.Unlock()
 	b.gAlive.Set(int64(alive))
-	b.cfg.Obs.Eventf("replicate", "box %s readmitted backend %s after resync", b.cfg.Name, t.name)
+	t.gBreaker.Set(BreakerClosed)
+	b.cfg.Obs.Eventf("replicate", "box %s breaker closed: backend %s readmitted after resync", b.cfg.Name, t.name)
 	for _, j := range pend {
 		b.ack(j, t)
 	}

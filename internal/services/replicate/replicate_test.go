@@ -13,6 +13,7 @@ import (
 	"repro/internal/cas"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/testutil"
 )
 
 const (
@@ -95,17 +96,11 @@ func newBoxOn(t *testing.T, dir string, primary blockdev.Device, stores []NamedS
 	return b
 }
 
-// waitDrained polls until every journaled write is quorum-committed AND
+// waitDrained waits until every journaled write is quorum-committed AND
 // every backend (not just a quorum) has applied its queue.
 func waitDrained(t *testing.T, b *Box) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !b.Drained() {
-		if time.Now().After(deadline) {
-			t.Fatalf("box never drained: %d pending", b.Pending())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 5*time.Second, "box to drain", b.Drained)
 }
 
 // primaryHash computes the primary's logical content hash the same way a
@@ -236,23 +231,11 @@ func TestEvictionAndResyncReadmits(t *testing.T) {
 	fb.setFail(errors.New("injected"))
 	writeBlocks(t, b, rng, 10)
 	waitDrained(t, b)
-	deadline := time.Now().Add(2 * time.Second)
-	for b.targets[2].Healthy() {
-		if time.Now().After(deadline) {
-			t.Fatal("flaky backend never evicted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 2*time.Second, "flaky backend eviction", func() bool { return !b.targets[2].Healthy() })
 
 	// Heal; the prober must resync and readmit.
 	fb.setFail(nil)
-	deadline = time.Now().Add(2 * time.Second)
-	for !b.targets[2].Healthy() {
-		if time.Now().After(deadline) {
-			t.Fatal("flaky backend never readmitted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 2*time.Second, "flaky backend readmission", b.targets[2].Healthy)
 	writeBlocks(t, b, rng, 5)
 	waitDrained(t, b)
 	want := primaryHash(t, b)

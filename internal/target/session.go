@@ -16,7 +16,16 @@ import (
 	"repro/internal/iscsi"
 	"repro/internal/obs"
 	"repro/internal/scsi"
+	"repro/internal/xerr"
 )
+
+// senseBusy is a pointer-identity marker, not real sense data: senseFor
+// returns it for overload-classed device errors (a full write-back journal,
+// a replicate box over its admission watermark) and sendResponse turns it
+// into SCSI BUSY status with no sense — the standard "task set full, retry
+// later" signal — instead of CHECK CONDITION, so initiators can tell
+// backpressure from medium failure.
+var senseBusy = &scsi.Sense{}
 
 // maxTransfer bounds a single command's data transfer so a corrupt
 // ExpectedDataTransferLength cannot allocate unbounded memory.
@@ -138,6 +147,20 @@ func (s *Server) login(conn net.Conn) (*sessConn, error) {
 			ExpCmdSN:    req.CmdSN + 1,
 			MaxCmdSN:    req.CmdSN + 1,
 			StatusClass: iscsi.LoginStatusInitiatorErr,
+		}
+		// The refusal's wire status advertises the cause's error class so
+		// the initiator spends its redial budget only where retrying can
+		// help: terminal refusals (a draining relay) say "gone, don't
+		// redial", overload says "retry after backoff".
+		switch xerr.Classify(cause) {
+		case xerr.Terminal:
+			resp.StatusDetail = iscsi.LoginDetailTargetRemoved
+		case xerr.Overload:
+			resp.StatusClass = iscsi.LoginStatusTargetErr
+			resp.StatusDetail = iscsi.LoginDetailOutOfResources
+		case xerr.Transient:
+			resp.StatusClass = iscsi.LoginStatusTargetErr
+			resp.StatusDetail = iscsi.LoginDetailServiceUnavailable
 		}
 		if _, werr := resp.Encode().WriteTo(conn); werr != nil && cause == nil {
 			cause = werr
@@ -680,11 +703,16 @@ func clampAlloc(data []byte, alloc uint32) []byte {
 }
 
 // senseFor maps a device error to sense data, passing through sense the
-// device itself raised.
+// device itself raised. Overload-classed errors map to the senseBusy marker
+// (SCSI BUSY on the wire) rather than a medium error: the data is intact,
+// the device just wants the initiator to retry later.
 func senseFor(err error, write bool, lba uint64) *scsi.Sense {
 	var sense *scsi.Sense
 	if errors.As(err, &sense) {
 		return sense
+	}
+	if xerr.Classify(err) == xerr.Overload {
+		return senseBusy
 	}
 	if write {
 		return scsi.MediumError(scsi.ASCWriteError, uint32(lba))
@@ -744,8 +772,8 @@ func (sc *sessConn) sendDataIn(itt uint32, data []byte) {
 	}
 }
 
-// sendResponse sends a SCSI Response carrying GOOD status or CHECK
-// CONDITION with the given sense.
+// sendResponse sends a SCSI Response carrying GOOD status, BUSY (for the
+// senseBusy overload marker), or CHECK CONDITION with the given sense.
 func (sc *sessConn) sendResponse(itt uint32, sense *scsi.Sense) {
 	ss := sc.ss
 	resp := &iscsi.SCSIResponse{
@@ -756,7 +784,9 @@ func (sc *sessConn) sendResponse(itt uint32, sense *scsi.Sense) {
 		ExpCmdSN: ss.expCmdSN(),
 		MaxCmdSN: ss.maxCmdSN(),
 	}
-	if sense != nil {
+	if sense == senseBusy {
+		resp.Status = byte(scsi.StatusBusy)
+	} else if sense != nil {
 		resp.Status = byte(scsi.StatusCheckCondition)
 		resp.Sense = sense.Encode()
 	}

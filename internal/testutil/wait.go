@@ -1,0 +1,24 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond once per millisecond until it reports true, failing
+// the test if timeout elapses first. It replaces the hand-rolled
+// wall-clock deadline loops that used to be copy-pasted per test file:
+// one generous timeout, one failure message, no flake-prone arithmetic
+// under CI load.
+func WaitFor(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,120 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/xerr"
+)
+
+// TestQuotaFullSurfacesTypedError drives the log into its byte quota and
+// checks the full lifecycle: typed ErrWALFull classed Exhausted, reclaim via
+// commit admitting writes again, and quota growth (pressure release) ending
+// the episode.
+func TestQuotaFullSurfacesTypedError(t *testing.T) {
+	dir := t.TempDir()
+	quota := faults.NewDiskFull(4096)
+	l, err := Create(dir, Meta{}, Options{SegmentBytes: 1024, Quota: quota})
+	if err != nil {
+		t.Fatalf("create under quota: %v", err)
+	}
+	defer l.Close()
+
+	data := make([]byte, 256)
+	var seqs []uint64
+	var full error
+	for i := 0; i < 64; i++ {
+		seq, err := l.Append(uint64(i), data)
+		if err != nil {
+			full = err
+			break
+		}
+		seqs = append(seqs, seq)
+	}
+	if full == nil {
+		t.Fatal("quota never filled")
+	}
+	if !errors.Is(full, ErrWALFull) {
+		t.Fatalf("append over quota: got %v, want ErrWALFull", full)
+	}
+	if xerr.Classify(full) != xerr.Exhausted {
+		t.Fatalf("ErrWALFull classed %v, want Exhausted", xerr.Classify(full))
+	}
+	if xerr.Retryable(full) {
+		t.Fatal("exhausted error must not be retryable without reclaim")
+	}
+
+	// Committing everything lets compaction drop leading segments, refunding
+	// the quota so the next append admits — the reclaim-before-surfacing
+	// path exercised for real.
+	for _, seq := range seqs {
+		if err := l.Commit(seq); err != nil {
+			t.Fatalf("commit %d: %v", seq, err)
+		}
+	}
+	if _, err := l.Append(100, data); err != nil {
+		t.Fatalf("append after reclaim: %v", err)
+	}
+
+	// And growing the quota (the operator adds disk) admits bigger records.
+	quota.Grow(1 << 20)
+	for i := 0; i < 16; i++ {
+		if _, err := l.Append(uint64(200+i), data); err != nil {
+			t.Fatalf("append after grow: %v", err)
+		}
+	}
+}
+
+// TestOpenUnwritableDirTyped pins the satellite: wal.Open on a read-only
+// directory must fail with ErrUnwritable, never something a caller could
+// mistake for ErrCorrupt or ErrNoSegments.
+func TestOpenUnwritableDirTyped(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	l, err := Create(dir, Meta{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+
+	_, _, err = Open(dir, Options{})
+	if !errors.Is(err, ErrUnwritable) {
+		t.Fatalf("open 0o500 dir: got %v, want ErrUnwritable", err)
+	}
+	if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrNoSegments) {
+		t.Fatalf("unwritable misclassified: %v", err)
+	}
+	if !xerr.IsTerminal(err) {
+		t.Fatalf("ErrUnwritable classed %v, want Terminal", xerr.Classify(err))
+	}
+}
+
+// TestCreateUnwritableDirTyped covers the Create path against a read-only
+// parent.
+func TestCreateUnwritableDirTyped(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(parent, 0o755)
+	_, err := Create(parent+"/log", Meta{}, Options{})
+	if !errors.Is(err, ErrUnwritable) {
+		t.Fatalf("create under 0o500 parent: got %v, want ErrUnwritable", err)
+	}
+}

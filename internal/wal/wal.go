@@ -38,9 +38,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/xerr"
 )
 
 // ErrCorrupt reports damage recovery cannot attribute to a torn final
@@ -58,6 +60,29 @@ var ErrClosed = errors.New("wal: log closed")
 // Nothing was ever acknowledged from such a log, so callers may treat it as
 // empty.
 var ErrNoSegments = errors.New("wal: no segments")
+
+// ErrWALFull reports that the log's disk space is exhausted — a real ENOSPC
+// from the filesystem or a configured Quota that can't cover the record —
+// and a segment-reclaim attempt freed nothing. Classed Exhausted: retrying
+// helps only after commits release segments or the operator adds space.
+var ErrWALFull = xerr.New(xerr.Exhausted, "wal: log full")
+
+// ErrUnwritable reports that the log directory refuses writes (permissions,
+// read-only mount) — an environment problem, not damage, so it is distinct
+// from ErrCorrupt and ErrNoSegments and classed Terminal: no retry against
+// this directory can succeed.
+var ErrUnwritable = xerr.New(xerr.Terminal, "wal: directory unwritable")
+
+// Quota bounds the log's on-disk footprint for fault injection: every
+// record write first charges its framed size, and compaction refunds
+// reclaimed segments. *faults.DiskFull satisfies it.
+type Quota interface {
+	// Consume charges n bytes, failing (without charging) when the budget
+	// can't cover them.
+	Consume(n uint64) error
+	// Release refunds n bytes.
+	Release(n uint64)
+}
 
 // Record types.
 const (
@@ -115,6 +140,10 @@ type Options struct {
 	// window of added ack latency. 0 syncs inline on every append (still
 	// batching appends that piled up behind the sync mutex).
 	SyncWindow time.Duration
+	// Quota, when set, bounds the log's on-disk bytes: record writes that
+	// the budget can't cover fail with ErrWALFull after a reclaim attempt.
+	// Used by overload experiments to drive deterministic disk-full.
+	Quota Quota
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +192,9 @@ type Log struct {
 // existing segments) and writes the meta record durably before returning.
 func Create(dir string, meta Meta, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		if isPermission(err) {
+			return nil, fmt.Errorf("%w: create %s: %v", ErrUnwritable, dir, err)
+		}
 		return nil, fmt.Errorf("wal: create %s: %w", dir, err)
 	}
 	if segs, err := listSegments(dir); err != nil {
@@ -203,6 +235,14 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		if segs[i] != segs[i-1]+1 {
 			return nil, nil, fmt.Errorf("%w: segment gap %d -> %d", ErrCorrupt, segs[i-1], segs[i])
 		}
+	}
+	// Probe writability up front: a read-only directory can still let the
+	// current segment reopen for append (file permissions, not directory
+	// ones, govern that), which would defer the failure to the first
+	// rotation. Surfacing ErrUnwritable here keeps "bad permissions" from
+	// ever being mistaken for corruption mid-run.
+	if err := checkWritable(dir); err != nil {
+		return nil, nil, err
 	}
 	rec := &Recovery{}
 	pending := make(map[uint64]Record)
@@ -294,6 +334,9 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	}
 	f, err := os.OpenFile(segPath(dir, l.curSeg), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		if isPermission(err) {
+			return nil, nil, fmt.Errorf("%w: reopen segment: %v", ErrUnwritable, err)
+		}
 		return nil, nil, fmt.Errorf("wal: reopen segment: %w", err)
 	}
 	fi, err := f.Stat()
@@ -521,11 +564,28 @@ func (l *Log) writeRecordLocked(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	if q := l.opts.Quota; q != nil {
+		if err := q.Consume(uint64(need)); err != nil {
+			// Reclaim before surfacing: fully-committed leading segments may
+			// still be on disk if an earlier compaction attempt hit an error;
+			// dropping them refunds their bytes and may admit this record.
+			l.compactLocked()
+			if err := q.Consume(uint64(need)); err != nil {
+				return 0, fmt.Errorf("%w: %d-byte record over quota: %w", ErrWALFull, need, err)
+			}
+		}
+	}
 	buf := make([]byte, recHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
 	copy(buf[recHeaderSize:], payload)
 	if _, err := l.f.Write(buf); err != nil {
+		if q := l.opts.Quota; q != nil {
+			q.Release(uint64(need))
+		}
+		if errors.Is(err, syscall.ENOSPC) {
+			return 0, fmt.Errorf("%w: %v", ErrWALFull, err)
+		}
 		return 0, fmt.Errorf("wal: write record: %w", err)
 	}
 	l.curSize += int64(len(buf))
@@ -568,6 +628,12 @@ func (l *Log) rotateLocked() error {
 func (l *Log) openSegment(idx int) error {
 	f, err := os.OpenFile(segPath(l.dir, idx), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		if isPermission(err) {
+			return fmt.Errorf("%w: new segment: %v", ErrUnwritable, err)
+		}
+		if errors.Is(err, syscall.ENOSPC) {
+			return fmt.Errorf("%w: new segment: %v", ErrWALFull, err)
+		}
 		return fmt.Errorf("wal: new segment: %w", err)
 	}
 	l.f = f
@@ -581,9 +647,16 @@ func (l *Log) openSegment(idx int) error {
 // The current segment always survives. Caller holds l.mu.
 func (l *Log) compactLocked() {
 	for l.firstSeg < l.curSeg && l.live[l.firstSeg] == 0 {
+		var segBytes uint64
+		if fi, err := os.Stat(segPath(l.dir, l.firstSeg)); err == nil {
+			segBytes = uint64(fi.Size())
+		}
 		if err := os.Remove(segPath(l.dir, l.firstSeg)); err != nil {
 			obs.Default().Eventf("wal", "compact %s segment %d: %v", l.dir, l.firstSeg, err)
 			return
+		}
+		if q := l.opts.Quota; q != nil {
+			q.Release(segBytes)
 		}
 		delete(l.live, l.firstSeg)
 		l.firstSeg++
@@ -662,6 +735,31 @@ func (l *Log) startSyncer() {
 			l.mu.Unlock()
 		}
 	}()
+}
+
+// isPermission reports errors a caller cannot write around: permission
+// denials and read-only filesystems.
+func isPermission(err error) bool {
+	return os.IsPermission(err) || errors.Is(err, syscall.EROFS)
+}
+
+// checkWritable proves dir accepts file creation by creating and removing a
+// probe file, surfacing ErrUnwritable on permission/read-only failures. A
+// leftover probe from a crashed earlier check is removed first so O_EXCL
+// stays meaningful.
+func checkWritable(dir string) error {
+	probe := filepath.Join(dir, ".wal-writable")
+	_ = os.Remove(probe)
+	f, err := os.OpenFile(probe, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if isPermission(err) {
+			return fmt.Errorf("%w: %s: %v", ErrUnwritable, dir, err)
+		}
+		return fmt.Errorf("wal: writability probe %s: %w", dir, err)
+	}
+	_ = f.Close()
+	_ = os.Remove(probe)
+	return nil
 }
 
 // segPath names a segment file.

@@ -1,0 +1,99 @@
+package xerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifyWalksWrappedChains(t *testing.T) {
+	base := errors.New("disk went away")
+	tagged := Wrap(Exhausted, base)
+	// A class must survive any number of fmt.Errorf("%w") hops.
+	deep := fmt.Errorf("relay: %w", fmt.Errorf("journal: %w", tagged))
+	if got := Classify(deep); got != Exhausted {
+		t.Fatalf("Classify(deep) = %v, want Exhausted", got)
+	}
+	if !errors.Is(deep, base) {
+		t.Fatal("wrapping lost the underlying sentinel")
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	if got := Classify(errors.New("plain")); got != Unknown {
+		t.Fatalf("Classify(plain) = %v, want Unknown", got)
+	}
+	if got := Classify(nil); got != Unknown {
+		t.Fatalf("Classify(nil) = %v, want Unknown", got)
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(Transient, nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		class Class
+		want  bool
+	}{
+		{Transient, true},
+		{Overload, true},
+		{Exhausted, false},
+		{Terminal, false},
+		{Unknown, false},
+	}
+	for _, c := range cases {
+		err := New(c.class, "x")
+		if c.class == Unknown {
+			err = errors.New("x")
+		}
+		if got := Retryable(err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.class, got, c.want)
+		}
+	}
+}
+
+func TestIsTerminal(t *testing.T) {
+	if !IsTerminal(New(Terminal, "draining")) {
+		t.Fatal("terminal error not detected")
+	}
+	if IsTerminal(New(Overload, "busy")) {
+		t.Fatal("overload misread as terminal")
+	}
+}
+
+func TestErrorfPreservesVerbWrapping(t *testing.T) {
+	base := errors.New("inner")
+	err := Errorf(Overload, "queue full: %w", base)
+	if !errors.Is(err, base) {
+		t.Fatal("Errorf lost %w semantics")
+	}
+	if Classify(err) != Overload {
+		t.Fatal("Errorf lost its class")
+	}
+}
+
+func TestInnermostClassDoesNotOverrideOuter(t *testing.T) {
+	// The nearest (outermost) class wins — a caller re-classing an error
+	// changes how its own callers treat it.
+	inner := New(Transient, "flaky")
+	outer := Wrap(Terminal, fmt.Errorf("gave up after retries: %w", inner))
+	if got := Classify(outer); got != Terminal {
+		t.Fatalf("Classify = %v, want outermost Terminal", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		Unknown: "unknown", Transient: "transient", Overload: "overload",
+		Exhausted: "exhausted", Terminal: "terminal",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
